@@ -1,0 +1,44 @@
+//! Criterion bench for the PRAM-style substrate: sequential vs parallel reductions,
+//! scans and row sorts over dense matrices (the building blocks whose counts the paper's
+//! work bounds are expressed in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfaclo_matrixops::{ops, scan, sort, CostMeter, ExecPolicy};
+
+fn bench_matrixops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrixops");
+    group.sample_size(10);
+    for &n in &[1usize << 16, 1 << 20] {
+        let data: Vec<f64> = (0..n).map(|x| ((x * 2654435761) % 1000) as f64).collect();
+        let meter = CostMeter::new();
+        for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+            let label = format!("{policy:?}");
+            group.bench_with_input(
+                BenchmarkId::new(format!("reduce_{label}"), n),
+                &data,
+                |b, d| b.iter(|| ops::reduce(d, ops::AssocOp::Add, policy, &meter)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("scan_{label}"), n),
+                &data,
+                |b, d| b.iter(|| scan::inclusive_scan(d, ops::AssocOp::Add, policy, &meter)),
+            );
+        }
+    }
+    // Row sort: a 256x1024 matrix (the greedy presort shape).
+    let rows = 256;
+    let cols = 1024;
+    let data: Vec<f64> = (0..rows * cols).map(|x| ((x * 48271) % 7919) as f64).collect();
+    let meter = CostMeter::new();
+    for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("argsort_rows_{policy:?}"), rows * cols),
+            &data,
+            |b, d| b.iter(|| sort::argsort_rows(d, rows, cols, policy, &meter)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrixops);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E10 — ablations of the design choices DESIGN.md calls out:
+//!
+//! * **ε slack**: quality / round-count trade-off as ε varies (ε → 0 approaches the
+//!   sequential behaviour; large ε gives few rounds and a worse constant).
+//! * **Preprocessing on/off** (γ/m² cheap stars for greedy, free facilities for
+//!   primal-dual): effect on round counts and quality.
+//! * **Subselection vote threshold on/off** for the greedy algorithm: removing the
+//!   `deg/(2(1+ε))` requirement voids the dual-fitting argument; the ablation measures
+//!   how much quality is actually lost.
+
+use parfaclo_bench::{f3, Table};
+use parfaclo_core::{greedy, primal_dual, FlConfig};
+use parfaclo_metric::gen::{self, GenParams};
+use parfaclo_seq_baselines::{jain_vazirani, jms_greedy};
+
+fn main() {
+    let inst = gen::facility_location(GenParams::uniform_square(128, 64).with_seed(12));
+    println!(
+        "E10 ablations on a {}x{} uniform instance\n",
+        inst.num_clients(),
+        inst.num_facilities()
+    );
+
+    println!("(a) epsilon sweep:");
+    let t = Table::new(&[
+        "eps", "greedy_cost", "greedy_rounds", "pd_cost", "pd_rounds", "seq_jms", "seq_jv",
+    ]);
+    let seq_g = jms_greedy(&inst);
+    let seq_jv = jain_vazirani(&inst);
+    for &eps in &[0.01, 0.05, 0.1, 0.25, 0.5, 1.0] {
+        let g = greedy::parallel_greedy(&inst, &FlConfig::new(eps).with_seed(2));
+        let pd = primal_dual::parallel_primal_dual(&inst, &FlConfig::new(eps).with_seed(2));
+        t.row(&[
+            format!("{eps}"),
+            f3(g.cost),
+            g.rounds.to_string(),
+            f3(pd.cost),
+            pd.rounds.to_string(),
+            f3(seq_g.cost),
+            f3(seq_jv.cost),
+        ]);
+    }
+
+    println!("\n(b) preprocessing on/off (eps = 0.1):");
+    let t2 = Table::new(&["algorithm", "preprocess", "cost", "rounds"]);
+    for &pre in &[true, false] {
+        let cfg = FlConfig::new(0.1).with_seed(2).with_preprocess(pre);
+        let g = greedy::parallel_greedy(&inst, &cfg);
+        let pd = primal_dual::parallel_primal_dual(&inst, &cfg);
+        t2.row(&[
+            "greedy".into(),
+            pre.to_string(),
+            f3(g.cost),
+            g.rounds.to_string(),
+        ]);
+        t2.row(&[
+            "primal-dual".into(),
+            pre.to_string(),
+            f3(pd.cost),
+            pd.rounds.to_string(),
+        ]);
+    }
+
+    println!("\n(c) greedy subselection vote threshold on/off (eps = 0.1):");
+    let t3 = Table::new(&["subselection", "cost", "open_facilities", "rounds"]);
+    for &sub in &[true, false] {
+        let cfg = FlConfig::new(0.1).with_seed(2).with_subselection(sub);
+        let g = greedy::parallel_greedy(&inst, &cfg);
+        t3.row(&[
+            sub.to_string(),
+            f3(g.cost),
+            g.open.len().to_string(),
+            g.rounds.to_string(),
+        ]);
+    }
+    println!("\nSmaller eps should approach the sequential costs at the price of more rounds;");
+    println!("disabling preprocessing may increase rounds; disabling subselection opens more");
+    println!("facilities and degrades quality.");
+}

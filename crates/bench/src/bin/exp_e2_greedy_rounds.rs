@@ -1,0 +1,39 @@
+//! E2 — Lemma 4.8 and the §4 round bound: the parallel greedy algorithm needs
+//! `O(log_{1+ε} m)` outer rounds and `O(log_{1+ε} m)` subselection iterations per round,
+//! for `O(m log²_{1+ε} m)` total work.
+//!
+//! The table reports, per size and ε: measured outer rounds, total subselection
+//! iterations, the theoretical `3·log_{1+ε}(m)` budget, and measured element operations
+//! divided by `m·log²_{1+ε} m` (which should stay roughly flat across sizes if the
+//! bound is tight up to constants).
+
+use parfaclo_bench::{f1, f3, log1p_eps, Table};
+use parfaclo_core::{greedy, FlConfig};
+use parfaclo_metric::gen::{self, GenParams};
+
+fn main() {
+    println!("E2: parallel greedy round and work scaling (bound: O(log_(1+eps) m) rounds)\n");
+    let table = Table::new(&[
+        "n", "m", "eps", "rounds", "inner", "log_bound", "work", "work/(m*log^2)",
+    ]);
+    for &size in &[16usize, 32, 64, 128, 256] {
+        let inst = gen::facility_location(GenParams::uniform_square(size, size).with_seed(3));
+        let m = inst.m() as f64;
+        for &eps in &[0.1, 0.5, 1.0] {
+            let out = greedy::parallel_greedy_detailed(&inst, &FlConfig::new(eps).with_seed(5));
+            let bound = 3.0 * log1p_eps(m, eps);
+            let log2 = log1p_eps(m, eps).powi(2);
+            table.row(&[
+                size.to_string(),
+                (size * size).to_string(),
+                format!("{eps}"),
+                out.solution.rounds.to_string(),
+                out.solution.inner_rounds.to_string(),
+                f1(bound),
+                out.solution.work.element_ops.to_string(),
+                f3(out.solution.work.element_ops as f64 / (m * log2)),
+            ]);
+        }
+    }
+    println!("\nrounds should stay below log_bound; work/(m*log^2) should stay roughly flat.");
+}

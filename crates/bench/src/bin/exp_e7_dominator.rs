@@ -1,0 +1,97 @@
+//! E7 — Lemma 3.1: `MaxDom(G)` and `MaxUDom(H)` run in `O(log n)` Luby rounds in
+//! expectation, doing `O(n²)` (resp. `O(|U||V|)`) work per round, without ever
+//! materialising `G²` or `H'`.
+//!
+//! The table sweeps graph sizes and edge densities and reports the measured number of
+//! Luby rounds (averaged over seeds), `log₂ n` for reference, the dominator-set size,
+//! and measured work divided by `n² log n`.
+
+use parfaclo_bench::{f1, f3, Table};
+use parfaclo_dominator::{max_dom, max_u_dom, BipartiteGraph, DenseGraph};
+use parfaclo_matrixops::{CostMeter, ExecPolicy};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_graph(n: usize, p: f64, seed: u64) -> DenseGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut g = DenseGraph::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+fn random_bipartite(nu: usize, nv: usize, p: f64, seed: u64) -> BipartiteGraph {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut h = BipartiteGraph::new(nu, nv);
+    for u in 0..nu {
+        for v in 0..nv {
+            if rng.gen_bool(p) {
+                h.add_edge(u, v);
+            }
+        }
+    }
+    h
+}
+
+fn main() {
+    println!("E7: dominator-set substrates (Lemma 3.1: O(log n) rounds, O(n^2 log n) work)\n");
+    println!("MaxDom(G) on random G(n, p):");
+    let t1 = Table::new(&["n", "p", "avg_rounds", "log2_n", "set_size", "work/(n^2*logn)"]);
+    for &n in &[64usize, 128, 256, 512] {
+        for &p in &[0.01, 0.05] {
+            let mut rounds = 0usize;
+            let mut size = 0usize;
+            let mut work = 0u64;
+            let trials = 5u64;
+            for seed in 0..trials {
+                let g = random_graph(n, p, seed);
+                let meter = CostMeter::new();
+                let r = max_dom(&g, seed, ExecPolicy::Parallel, &meter);
+                rounds += r.rounds;
+                size += r.selected.len();
+                work += meter.report().element_ops;
+            }
+            let denom = (n * n) as f64 * (n as f64).ln();
+            t1.row(&[
+                n.to_string(),
+                format!("{p}"),
+                f1(rounds as f64 / trials as f64),
+                f1((n as f64).log2()),
+                f1(size as f64 / trials as f64),
+                f3(work as f64 / trials as f64 / denom),
+            ]);
+        }
+    }
+
+    println!("\nMaxUDom(H) on random bipartite H(n, n/2, p):");
+    let t2 = Table::new(&["n_u", "n_v", "p", "avg_rounds", "log2_n", "set_size"]);
+    for &nu in &[64usize, 128, 256, 512] {
+        let nv = nu / 2;
+        for &p in &[0.02, 0.1] {
+            let mut rounds = 0usize;
+            let mut size = 0usize;
+            let trials = 5u64;
+            for seed in 0..trials {
+                let h = random_bipartite(nu, nv, p, 100 + seed);
+                let meter = CostMeter::new();
+                let r = max_u_dom(&h, seed, ExecPolicy::Parallel, &meter);
+                rounds += r.rounds;
+                size += r.selected.len();
+            }
+            t2.row(&[
+                nu.to_string(),
+                nv.to_string(),
+                format!("{p}"),
+                f1(rounds as f64 / trials as f64),
+                f1((nu as f64).log2()),
+                f1(size as f64 / trials as f64),
+            ]);
+        }
+    }
+    println!("\navg_rounds should track log2_n (up to a small constant), not n.");
+}

@@ -1,0 +1,79 @@
+//! E9 — the RNC / low-depth claim, measured as self-relative speedup.
+//!
+//! Depth is not directly observable on a multicore, so the proxy is wall-clock scaling
+//! with the number of rayon threads on a fixed instance: each algorithm is run with
+//! 1, 2, 4, … threads (up to the machine's logical cores) and the table reports the
+//! time and the speedup relative to the single-threaded run of the *same parallel
+//! implementation*.
+
+use parfaclo_bench::{f3, timed, Table};
+use parfaclo_core::{greedy, primal_dual, FlConfig};
+use parfaclo_kclustering::{parallel_kcenter, parallel_kmedian, LocalSearchConfig};
+use parfaclo_matrixops::ExecPolicy;
+use parfaclo_metric::gen::{self, GenParams};
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut v = vec![1usize];
+    let mut t = 2;
+    while t < max {
+        v.push(t);
+        t *= 2;
+    }
+    if *v.last().unwrap() != max {
+        v.push(max);
+    }
+    v
+}
+
+fn main() {
+    println!("E9: self-relative speedup vs rayon thread count\n");
+    let fl = gen::facility_location(GenParams::uniform_square(512, 256).with_seed(1));
+    let cl = gen::clustering(GenParams::uniform_square(400, 400).with_seed(1));
+    let cfg = FlConfig::new(0.1).with_seed(1).with_policy(ExecPolicy::Parallel);
+    let ls = LocalSearchConfig::new(0.1).with_seed(1).with_policy(ExecPolicy::Parallel);
+
+    let table = Table::new(&["algorithm", "threads", "time_ms", "speedup"]);
+    let mut baselines: Vec<(String, f64)> = Vec::new();
+
+    for threads in thread_counts() {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let runs: Vec<(&str, f64)> = pool.install(|| {
+            vec![
+                ("parallel greedy", timed(|| greedy::parallel_greedy(&fl, &cfg)).1),
+                (
+                    "parallel primal-dual",
+                    timed(|| primal_dual::parallel_primal_dual(&fl, &cfg)).1,
+                ),
+                (
+                    "parallel k-center",
+                    timed(|| parallel_kcenter(&cl, 8, 1, ExecPolicy::Parallel)).1,
+                ),
+                (
+                    "parallel k-median",
+                    timed(|| parallel_kmedian(&cl, 8, &ls)).1,
+                ),
+            ]
+        });
+        for (name, ms) in runs {
+            if threads == 1 {
+                baselines.push((name.to_string(), ms));
+            }
+            let base = baselines
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, b)| *b)
+                .unwrap_or(ms);
+            table.row(&[
+                name.to_string(),
+                threads.to_string(),
+                format!("{ms:.0}"),
+                f3(base / ms),
+            ]);
+        }
+    }
+    println!("\nspeedup is relative to the same implementation on 1 thread.");
+}

@@ -1,0 +1,97 @@
+//! Shared harness code for the `parfaclo` experiment binaries and Criterion benches.
+//!
+//! Each experiment binary (`exp_e1_*` … `exp_e10_*`) regenerates one row-set of
+//! `EXPERIMENTS.md`: it sweeps the workloads/parameters listed in DESIGN.md's experiment
+//! index, runs the relevant algorithms, and prints an aligned plain-text table to
+//! stdout. The Criterion benches in `benches/` measure wall-clock time for the same
+//! code paths.
+//!
+//! Everything here is deterministic given the seeds embedded in the binaries, so the
+//! tables in `EXPERIMENTS.md` can be reproduced exactly with
+//! `cargo run -p parfaclo-bench --release --bin <experiment>`.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// A fixed-width plain-text table printer used by every experiment binary.
+pub struct Table {
+    headers: Vec<String>,
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers and prints the header row.
+    pub fn new(headers: &[&str]) -> Self {
+        let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+        let widths: Vec<usize> = headers.iter().map(|h| h.len().max(10)).collect();
+        let t = Table { headers, widths };
+        t.print_header();
+        t
+    }
+
+    fn print_header(&self) {
+        let cells: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&self.widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        println!("{}", cells.join("  "));
+        println!("{}", "-".repeat(cells.join("  ").len()));
+    }
+
+    /// Prints one row; the number of cells must match the number of headers.
+    pub fn row(&self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        let cells: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", cells.join("  "));
+    }
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float with 1 decimal place.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Times a closure, returning (result, milliseconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// The standard square sizes (`nc = nf = s`) used by the size sweeps.
+pub fn size_sweep() -> Vec<usize> {
+    vec![16, 32, 64, 128]
+}
+
+/// `log_{1+eps}(x)`.
+pub fn log1p_eps(x: f64, eps: f64) -> f64 {
+    x.ln() / (1.0 + eps).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+        assert!((log1p_eps(8.0, 1.0) - 3.0).abs() < 1e-12);
+        let (v, ms) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+        assert!(!size_sweep().is_empty());
+    }
+}

@@ -1,0 +1,435 @@
+//! The parallel primal-dual facility-location algorithm (Algorithm 5.1, Theorem 5.4).
+//!
+//! The Jain–Vazirani primal-dual scheme raises all client duals `α_j` continuously; the
+//! parallel version instead raises them **geometrically**: in iteration `ℓ` every
+//! unfrozen client has `α_j = (γ/m²)(1 + ε)^ℓ`. Each iteration then performs three
+//! data-parallel steps over the distance matrix: open every facility whose (slack-
+//! inflated) payments cover its cost, freeze every client that can reach an open
+//! facility, and extend the client/facility graph `H` with the newly tight edges.
+//! Because `α` values rise by `(1 + ε)` factors, `O(log_{1+ε} m)` iterations suffice.
+//!
+//! The preprocessing step (borrowed by the paper from Pandit & Pemmaraju's distributed
+//! algorithm) opens "free" facilities that are already paid for at the starting dual
+//! value `γ/m²` and freezes their co-located clients at `α = 0`, which is what pins the
+//! iteration count.
+//!
+//! Post-processing computes `MaxUDom(H)` so each client contributes to at most one open
+//! facility, exactly as in the sequential algorithm's conflict-graph MIS. The final
+//! α vector is dual feasible (Claim 5.1), so `Σ_j α_j` is a certified lower bound on
+//! `opt`, and the solution cost is at most `(3 + O(ε))` times it (Lemmas 5.2, 5.3).
+
+use crate::config::FlConfig;
+use crate::solution::FlSolution;
+use parfaclo_dominator::{max_u_dom, BipartiteGraph};
+use parfaclo_lp::dual;
+use parfaclo_matrixops::CostMeter;
+use parfaclo_metric::{FacilityId, FlInstance};
+use rayon::prelude::*;
+
+/// Extended result of the parallel primal-dual algorithm.
+#[derive(Debug, Clone)]
+pub struct PrimalDualOutput {
+    /// The solution (open set, costs, α values, work counters).
+    pub solution: FlSolution,
+    /// Facilities opened by the preprocessing step ("free facilities", `F_0`).
+    pub free_facilities: Vec<FacilityId>,
+    /// Facilities temporarily opened during the main iterations (`F_T`).
+    pub temporarily_open: Vec<FacilityId>,
+    /// Number of Luby rounds the `MaxUDom` post-processing used.
+    pub postprocess_rounds: usize,
+}
+
+/// Runs Algorithm 5.1 and returns just the solution.
+pub fn parallel_primal_dual(inst: &FlInstance, cfg: &FlConfig) -> FlSolution {
+    parallel_primal_dual_detailed(inst, cfg).solution
+}
+
+/// Runs Algorithm 5.1, returning the solution plus the intermediate facility sets.
+///
+/// # Panics
+/// Panics if the instance has no clients or no facilities, or if the defensive
+/// `cfg.max_rounds` cap is exceeded.
+pub fn parallel_primal_dual_detailed(inst: &FlInstance, cfg: &FlConfig) -> PrimalDualOutput {
+    let nc = inst.num_clients();
+    let nf = inst.num_facilities();
+    assert!(nc > 0 && nf > 0, "instance must have clients and facilities");
+    let eps = cfg.epsilon;
+    let slack = 1.0 + eps;
+    let meter = CostMeter::new();
+    let m = inst.m() as f64;
+
+    let gamma = inst.gamma();
+    // Starting dual value. γ > 0 whenever some client has a positive distance or some
+    // facility a positive cost; if γ = 0 the whole instance is degenerate (every client
+    // sits on a free facility) and the loop below terminates immediately anyway.
+    let alpha0 = if cfg.preprocess {
+        gamma / (m * m)
+    } else {
+        // Without preprocessing start at the smallest scale present in the input so the
+        // guarantee still holds; only the round bound degrades.
+        let min_pos = inst
+            .distances()
+            .min_positive_entry()
+            .unwrap_or(1.0)
+            .min(gamma.max(f64::MIN_POSITIVE));
+        min_pos / (m * m)
+    };
+
+    let mut frozen: Vec<bool> = vec![false; nc];
+    let mut alpha: Vec<f64> = vec![0.0; nc];
+    let mut opened: Vec<bool> = vec![false; nf];
+    let mut free_facilities: Vec<FacilityId> = Vec::new();
+    let mut temporarily_open: Vec<FacilityId> = Vec::new();
+
+    // ---- Preprocessing: free facilities ------------------------------------------------
+    if cfg.preprocess && gamma > 0.0 {
+        meter.add_primitive(inst.m() as u64);
+        let threshold = gamma / (m * m);
+        let is_free = |i: usize| -> bool {
+            let paid: f64 = (0..nc)
+                .map(|j| (threshold - inst.dist(j, i)).max(0.0))
+                .sum();
+            paid >= inst.facility_cost(i)
+        };
+        let free: Vec<bool> = if cfg.policy.run_parallel(inst.m()) {
+            (0..nf).into_par_iter().map(is_free).collect()
+        } else {
+            (0..nf).map(is_free).collect()
+        };
+        for i in 0..nf {
+            if free[i] {
+                opened[i] = true;
+                free_facilities.push(i);
+            }
+        }
+        // Clients adjacent to a free facility at distance <= γ/m² are freely connected.
+        meter.add_primitive(inst.m() as u64);
+        for j in 0..nc {
+            if free_facilities
+                .iter()
+                .any(|&i| inst.dist(j, i) <= threshold)
+            {
+                frozen[j] = true;
+                alpha[j] = 0.0;
+            }
+        }
+    }
+
+    // ---- Main iterations ---------------------------------------------------------------
+    let mut iterations = 0usize;
+    let mut t = alpha0;
+    while frozen.iter().any(|&f| !f) && opened.iter().any(|&o| !o) {
+        iterations += 1;
+        meter.add_round();
+        assert!(
+            iterations <= cfg.max_rounds,
+            "parallel primal-dual exceeded {} iterations — this indicates a bug",
+            cfg.max_rounds
+        );
+
+        // Step 1: unfrozen clients raise their dual to the current level.
+        for j in 0..nc {
+            if !frozen[j] {
+                alpha[j] = t;
+            }
+        }
+        meter.add_primitive(nc as u64);
+
+        // Step 2: open facilities whose slack-inflated payments cover their cost.
+        meter.add_primitive(inst.m() as u64);
+        let should_open = |i: usize| -> bool {
+            if opened[i] {
+                return false;
+            }
+            let paid: f64 = (0..nc)
+                .map(|j| (slack * alpha[j] - inst.dist(j, i)).max(0.0))
+                .sum();
+            paid >= inst.facility_cost(i)
+        };
+        let newly: Vec<bool> = if cfg.policy.run_parallel(inst.m()) {
+            (0..nf).into_par_iter().map(should_open).collect()
+        } else {
+            (0..nf).map(should_open).collect()
+        };
+        for i in 0..nf {
+            if newly[i] {
+                opened[i] = true;
+                temporarily_open.push(i);
+            }
+        }
+
+        // Step 3: freeze clients that can reach an open facility within the slack.
+        meter.add_primitive(inst.m() as u64);
+        let should_freeze = |j: usize| -> bool {
+            !frozen[j] && (0..nf).any(|i| opened[i] && slack * alpha[j] >= inst.dist(j, i))
+        };
+        let newly_frozen: Vec<bool> = if cfg.policy.run_parallel(inst.m()) {
+            (0..nc).into_par_iter().map(should_freeze).collect()
+        } else {
+            (0..nc).map(should_freeze).collect()
+        };
+        for j in 0..nc {
+            if newly_frozen[j] {
+                frozen[j] = true;
+            }
+        }
+
+        // Step 4 (the graph H) is materialised once at the end from the final α values:
+        // edges only ever get added and the membership test is monotone in α.
+        t *= slack;
+    }
+
+    // If every facility opened before every client froze, the remaining clients' duals
+    // rise just enough to reach their closest (now open) facility.
+    for j in 0..nc {
+        if !frozen[j] {
+            let d_min = (0..nf)
+                .filter(|&i| opened[i])
+                .map(|i| inst.dist(j, i))
+                .fold(f64::INFINITY, f64::min);
+            alpha[j] = alpha[j].max(d_min);
+            frozen[j] = true;
+        }
+    }
+
+    // ---- Post-processing: MaxUDom over the tight-edge graph ----------------------------
+    // H = (F_T, C, E) with ij ∈ E iff (1+ε)·α_j > d(j, i).
+    let ft: Vec<FacilityId> = temporarily_open.clone();
+    let h = BipartiteGraph::from_predicate(ft.len(), nc, |u, j| {
+        slack * alpha[j] > inst.dist(j, ft[u])
+    });
+    meter.add_primitive((ft.len() * nc) as u64);
+    let dom = if ft.is_empty() {
+        parfaclo_dominator::DominatorResult {
+            selected: vec![],
+            rounds: 0,
+        }
+    } else {
+        max_u_dom(&h, cfg.seed, cfg.policy, &meter)
+    };
+    let mut open_set: Vec<FacilityId> = dom.selected.iter().map(|&u| ft[u]).collect();
+    open_set.extend(free_facilities.iter().copied());
+
+    if open_set.is_empty() {
+        // Degenerate guard (e.g. nf = 1 with an enormous cost and the loop cap): open
+        // the cheapest facility so the solution is well-defined.
+        open_set.push(
+            (0..nf)
+                .min_by(|&a, &b| {
+                    inst.facility_cost(a)
+                        .partial_cmp(&inst.facility_cost(b))
+                        .unwrap()
+                })
+                .unwrap(),
+        );
+    }
+
+    let mut solution = FlSolution::from_open_set(inst, open_set);
+    // α is dual feasible by Claim 5.1; certify numerically (and fall back to scaling if
+    // floating-point slack pushed it marginally over).
+    let scale = dual::max_feasible_scaling(inst, &alpha, 40);
+    let scaled: Vec<f64> = alpha.iter().map(|a| a * scale).collect();
+    solution.lower_bound = dual::dual_value(&scaled);
+    solution.alpha = alpha;
+    solution.rounds = iterations;
+    solution.inner_rounds = dom.rounds;
+    solution.work = meter.report();
+
+    PrimalDualOutput {
+        solution,
+        free_facilities,
+        temporarily_open,
+        postprocess_rounds: dom.rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfaclo_matrixops::ExecPolicy;
+    use parfaclo_metric::gen::{self, FacilityCostModel, GenParams};
+    use parfaclo_metric::lower_bounds;
+    use parfaclo_metric::DistanceMatrix;
+    use parfaclo_seq_baselines::jain_vazirani;
+
+    #[test]
+    fn single_facility_single_client() {
+        // With m = 1 the γ/m² preprocessing threshold equals γ itself, so the facility
+        // is opened as a "free" facility straight away (the paper assumes large m; for
+        // m = 1 this costs nothing since the solution is forced anyway).
+        let inst = FlInstance::new(vec![2.0], DistanceMatrix::from_rows(1, 1, vec![1.0]));
+        let sol = parallel_primal_dual(&inst, &FlConfig::new(0.1));
+        assert_eq!(sol.open, vec![0]);
+        assert!((sol.cost - 3.0).abs() < 1e-9);
+        assert!(sol.alpha[0] <= 3.0 * 1.1 + 1e-9);
+
+        // Without preprocessing the dual must rise to (roughly) the exact JV value 3.
+        let sol2 = parallel_primal_dual(&inst, &FlConfig::new(0.1).with_preprocess(false));
+        assert_eq!(sol2.open, vec![0]);
+        assert!(sol2.alpha[0] <= 3.0 * 1.1 + 1e-9 && sol2.alpha[0] >= 3.0 / 1.1 - 1e-9);
+    }
+
+    #[test]
+    fn within_theorem_bound_on_small_instances() {
+        // Theorem 5.4: (3 + ε')-approximation. Check against brute force.
+        for seed in 0..10 {
+            let inst = gen::facility_location(GenParams::uniform_square(12, 6).with_seed(seed));
+            let sol = parallel_primal_dual(&inst, &FlConfig::new(0.1).with_seed(seed));
+            let (_, opt) = lower_bounds::brute_force_facility_location(&inst);
+            assert!(
+                sol.cost <= (3.0 + 3.0 * 0.1 + 0.05) * opt + 1e-6,
+                "seed {seed}: cost {} vs opt {opt}",
+                sol.cost
+            );
+            assert!(sol.cost >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn alpha_is_dual_feasible_and_certifies_lower_bound() {
+        for seed in 0..6 {
+            let inst =
+                gen::facility_location(GenParams::gaussian_clusters(14, 7, 3).with_seed(seed));
+            let sol = parallel_primal_dual(&inst, &FlConfig::new(0.2).with_seed(seed));
+            // Claim 5.1: α with canonical β is dual feasible (tolerate tiny fp slack).
+            assert!(
+                dual::check_alpha_feasible(&inst, &sol.alpha, 1e-6).is_ok(),
+                "seed {seed}: α not dual feasible"
+            );
+            let (_, opt) = lower_bounds::brute_force_facility_location(&inst);
+            assert!(sol.lower_bound <= opt + 1e-6, "seed {seed}");
+            assert!(sol.lower_bound > 0.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn comparable_to_sequential_jain_vazirani() {
+        for seed in 0..6 {
+            let inst = gen::facility_location(GenParams::uniform_square(25, 10).with_seed(seed));
+            let seq = jain_vazirani(&inst);
+            let par = parallel_primal_dual(&inst, &FlConfig::new(0.05).with_seed(seed));
+            // Both are ≤ 3(1+O(ε))·opt; relative to each other they should be within a
+            // small constant factor (and usually nearly identical).
+            assert!(
+                par.cost <= 1.5 * seq.cost + 1e-6,
+                "seed {seed}: parallel {} vs sequential {}",
+                par.cost,
+                seq.cost
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_count_is_logarithmic() {
+        let inst = gen::facility_location(GenParams::uniform_square(80, 40).with_seed(2));
+        let cfg = FlConfig::new(0.1);
+        let out = parallel_primal_dual_detailed(&inst, &cfg);
+        // Theory: at most ~3·log_{1+ε}(m) iterations with preprocessing.
+        let m = inst.m() as f64;
+        let bound = 3.0 * m.ln() / (1.1_f64).ln() + 10.0;
+        assert!(
+            (out.solution.rounds as f64) <= bound,
+            "rounds {} exceed bound {bound}",
+            out.solution.rounds
+        );
+        assert!(out.solution.rounds >= 1);
+    }
+
+    #[test]
+    fn deterministic_and_policy_independent() {
+        let inst = gen::facility_location(GenParams::grid(30, 15).with_seed(0));
+        let cfg_seq = FlConfig::new(0.2)
+            .with_seed(3)
+            .with_policy(ExecPolicy::Sequential);
+        let cfg_par = FlConfig::new(0.2)
+            .with_seed(3)
+            .with_policy(ExecPolicy::Parallel);
+        let a = parallel_primal_dual(&inst, &cfg_seq);
+        let b = parallel_primal_dual(&inst, &cfg_par);
+        assert_eq!(a.open, b.open);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn free_facility_preprocessing_handles_zero_cost_colocated_facilities() {
+        // A zero-cost facility at distance 0 from client 0 is opened as a free facility
+        // by the preprocessing step (γ = 1 > 0 here because client 1 sits at distance 1).
+        let dist = DistanceMatrix::from_rows(2, 2, vec![0.0, 5.0, 1.0, 5.0]);
+        let inst = FlInstance::new(vec![0.0, 3.0], dist);
+        let out = parallel_primal_dual_detailed(&inst, &FlConfig::new(0.1));
+        assert!(out.free_facilities.contains(&0));
+        assert!(out.solution.open.contains(&0));
+        // Optimal cost is 1 (open the free facility; client 1 connects at distance 1).
+        assert!(out.solution.cost <= 3.5, "cost {}", out.solution.cost);
+        assert!(out.solution.cost >= 1.0 - 1e-9);
+
+        // The fully degenerate case (γ = 0: every client co-located with a free
+        // facility) must also work — preprocessing is skipped and the main loop opens
+        // the free facility in its first iteration at zero cost.
+        let dist0 = DistanceMatrix::from_rows(2, 2, vec![0.0, 5.0, 0.0, 5.0]);
+        let inst0 = FlInstance::new(vec![0.0, 1.0], dist0);
+        let sol0 = parallel_primal_dual(&inst0, &FlConfig::new(0.1));
+        assert!(sol0.open.contains(&0));
+        assert!((sol0.cost - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_client_pays_for_two_open_facilities() {
+        // The MaxUDom post-processing guarantees each client contributes to at most one
+        // opened (non-free) facility.
+        let inst = gen::facility_location(GenParams::uniform_square(30, 12).with_seed(7));
+        let cfg = FlConfig::new(0.25).with_seed(7);
+        let out = parallel_primal_dual_detailed(&inst, &cfg);
+        let slack = 1.25;
+        let non_free: Vec<_> = out
+            .solution
+            .open
+            .iter()
+            .copied()
+            .filter(|i| !out.free_facilities.contains(i))
+            .collect();
+        for j in 0..inst.num_clients() {
+            let paying: usize = non_free
+                .iter()
+                .filter(|&&i| slack * out.solution.alpha[j] > inst.dist(j, i))
+                .count();
+            assert!(paying <= 1, "client {j} pays for {paying} facilities");
+        }
+    }
+
+    #[test]
+    fn zero_cost_facilities_everywhere() {
+        let inst = gen::facility_location(
+            GenParams::uniform_square(16, 8)
+                .with_seed(5)
+                .with_cost_model(FacilityCostModel::Zero),
+        );
+        let sol = parallel_primal_dual(&inst, &FlConfig::new(0.1));
+        let (_, opt) = lower_bounds::brute_force_facility_location(&inst);
+        assert!(sol.cost <= (3.0 + 0.4) * opt + 1e-6);
+    }
+
+    #[test]
+    fn preprocessing_ablation_still_meets_guarantee() {
+        let inst = gen::facility_location(GenParams::uniform_square(12, 6).with_seed(11));
+        let without = parallel_primal_dual(&inst, &FlConfig::new(0.1).with_preprocess(false));
+        let with = parallel_primal_dual(&inst, &FlConfig::new(0.1));
+        let (_, opt) = lower_bounds::brute_force_facility_location(&inst);
+        assert!(without.cost <= (3.0 + 0.4) * opt + 1e-6);
+        assert!(with.cost <= (3.0 + 0.4) * opt + 1e-6);
+    }
+
+    #[test]
+    fn work_counters_and_round_stats_populated() {
+        let inst = gen::facility_location(GenParams::uniform_square(40, 20).with_seed(1));
+        let out = parallel_primal_dual_detailed(&inst, &FlConfig::new(0.1));
+        assert!(out.solution.work.element_ops > 0);
+        assert!(out.solution.work.primitive_calls > 0);
+        assert!(out.solution.rounds > 0);
+        // Every temporarily-open facility index is valid and distinct.
+        let mut t = out.temporarily_open.clone();
+        t.sort_unstable();
+        t.dedup();
+        assert_eq!(t.len(), out.temporarily_open.len());
+    }
+}

@@ -1,0 +1,111 @@
+//! The solution type returned by every parallel facility-location algorithm.
+
+use parfaclo_matrixops::CostReport;
+use parfaclo_metric::{FacilityId, FlInstance};
+
+/// A facility-location solution together with the certificates and statistics the
+/// experiments need.
+#[derive(Debug, Clone)]
+pub struct FlSolution {
+    /// The facilities opened by the algorithm, sorted ascending.
+    pub open: Vec<FacilityId>,
+    /// Total solution cost (Equation (1)): opening plus connection.
+    pub cost: f64,
+    /// Opening-cost part of `cost`.
+    pub opening_cost: f64,
+    /// Connection-cost part of `cost`.
+    pub connection_cost: f64,
+    /// Closest-open-facility assignment for every client.
+    pub assignment: Vec<FacilityId>,
+    /// The per-client dual values `α_j` produced by the run. For the primal-dual
+    /// algorithm these are dual feasible as-is; for greedy they must be scaled down (by
+    /// 1.861 or 3, Lemmas 4.6/4.7) to become feasible. For LP rounding this is empty.
+    pub alpha: Vec<f64>,
+    /// A certified lower bound on `opt` derived from the run (dual value after any
+    /// necessary scaling, or the LP value for the rounding algorithm). Zero when the
+    /// algorithm provides no certificate.
+    pub lower_bound: f64,
+    /// Number of outer rounds executed.
+    pub rounds: usize,
+    /// Total number of inner (subselection / Luby) iterations across all rounds.
+    pub inner_rounds: usize,
+    /// Work/primitive/round counters accumulated during the run.
+    pub work: CostReport,
+}
+
+impl FlSolution {
+    /// Builds a solution record from an open set by evaluating costs on the instance.
+    ///
+    /// # Panics
+    /// Panics if `open` is empty.
+    pub fn from_open_set(inst: &FlInstance, mut open: Vec<FacilityId>) -> Self {
+        assert!(!open.is_empty(), "a solution must open at least one facility");
+        open.sort_unstable();
+        open.dedup();
+        let opening_cost = inst.opening_cost(&open);
+        let connection_cost = inst.connection_cost(&open);
+        let assignment = inst.closest_assignment(&open);
+        FlSolution {
+            cost: opening_cost + connection_cost,
+            opening_cost,
+            connection_cost,
+            assignment,
+            open,
+            alpha: Vec::new(),
+            lower_bound: 0.0,
+            rounds: 0,
+            inner_rounds: 0,
+            work: CostReport::default(),
+        }
+    }
+
+    /// The approximation ratio relative to the solution's own certified lower bound, or
+    /// `None` if the run produced no certificate.
+    pub fn certified_ratio(&self) -> Option<f64> {
+        if self.lower_bound > 0.0 {
+            Some(self.cost / self.lower_bound)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfaclo_metric::DistanceMatrix;
+
+    fn tiny() -> FlInstance {
+        FlInstance::new(
+            vec![10.0, 20.0],
+            DistanceMatrix::from_rows(3, 2, vec![1.0, 4.0, 2.0, 3.0, 5.0, 1.0]),
+        )
+    }
+
+    #[test]
+    fn from_open_set_evaluates_costs() {
+        let inst = tiny();
+        let s = FlSolution::from_open_set(&inst, vec![1, 0, 0]);
+        assert_eq!(s.open, vec![0, 1]);
+        assert_eq!(s.opening_cost, 30.0);
+        assert_eq!(s.connection_cost, 4.0);
+        assert_eq!(s.cost, 34.0);
+        assert_eq!(s.assignment, vec![0, 0, 1]);
+        assert_eq!(s.certified_ratio(), None);
+    }
+
+    #[test]
+    fn certified_ratio_uses_lower_bound() {
+        let inst = tiny();
+        let mut s = FlSolution::from_open_set(&inst, vec![0]);
+        s.lower_bound = 9.0;
+        assert!((s.certified_ratio().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one facility")]
+    fn empty_open_set_rejected() {
+        let inst = tiny();
+        let _ = FlSolution::from_open_set(&inst, vec![]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Stars and maximal-star computation (Definition 4.1, Fact 4.2).
+//!
+//! A *star* `S = (i, C')` is a facility together with a set of clients; its price is
+//! `(f_i + Σ_{j∈C'} d(j,i)) / |C'|`. The greedy algorithms (sequential and parallel)
+//! repeatedly need, for every facility, the **cheapest maximal star** over the remaining
+//! clients. By Fact 4.2 this star consists of the `κ` closest remaining clients for some
+//! `κ`, so after presorting each facility's client distances once, each round only needs
+//! a prefix sum along the sorted order — which is exactly how Algorithm 4.1 implements
+//! its step 1.
+
+use parfaclo_matrixops::{sort, CostMeter, ExecPolicy};
+use parfaclo_metric::{ClientId, FacilityId, FlInstance};
+use rayon::prelude::*;
+
+/// Pre-sorted client order for every facility: `orders[i]` lists the client indices in
+/// non-decreasing distance from facility `i`.
+#[derive(Debug, Clone)]
+pub struct FacilityOrders {
+    orders: Vec<Vec<u32>>,
+}
+
+impl FacilityOrders {
+    /// Presorts every facility's clients by distance. Costs one row sort over the
+    /// transposed distance matrix (`O(m log m)` work), done once per algorithm run.
+    pub fn presort(inst: &FlInstance, policy: ExecPolicy, meter: &CostMeter) -> Self {
+        let nc = inst.num_clients();
+        let nf = inst.num_facilities();
+        // Facility-major matrix: row i holds d(j, i) for every client j.
+        let transposed: Vec<f64> = {
+            let mut t = vec![0.0; nc * nf];
+            for j in 0..nc {
+                for i in 0..nf {
+                    t[i * nc + j] = inst.dist(j, i);
+                }
+            }
+            t
+        };
+        meter.add_primitive((nc * nf) as u64);
+        let row_orders = sort::argsort_rows(&transposed, nf, nc, policy, meter);
+        FacilityOrders {
+            orders: row_orders.into_iter().map(|ro| ro.order).collect(),
+        }
+    }
+
+    /// The sorted client order of facility `i`.
+    #[inline]
+    pub fn order(&self, i: FacilityId) -> &[u32] {
+        &self.orders[i]
+    }
+
+    /// Number of facilities covered.
+    pub fn num_facilities(&self) -> usize {
+        self.orders.len()
+    }
+}
+
+/// A maximal cheapest star: facility, price, and the clients it contains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Star {
+    /// The facility at the centre of the star.
+    pub facility: FacilityId,
+    /// The star's price `(f_i + Σ d(j,i)) / |C'|`.
+    pub price: f64,
+    /// The clients of the star (the `|C'|` closest remaining clients).
+    pub clients: Vec<ClientId>,
+}
+
+/// Computes the cheapest maximal star of facility `i` over the clients for which
+/// `remaining` is `true`, using the presorted `order` and the (possibly zeroed) facility
+/// cost `fcost`. Returns `None` if no clients remain.
+pub fn cheapest_maximal_star(
+    inst: &FlInstance,
+    i: FacilityId,
+    fcost: f64,
+    order: &[u32],
+    remaining: &[bool],
+) -> Option<Star> {
+    let mut best_price = f64::INFINITY;
+    let mut best_k = 0usize;
+    let mut dist_sum = 0.0;
+    let mut k = 0usize;
+    let mut clients_in_order: Vec<ClientId> = Vec::new();
+    for &j in order {
+        let j = j as usize;
+        if !remaining[j] {
+            continue;
+        }
+        dist_sum += inst.dist(j, i);
+        k += 1;
+        clients_in_order.push(j);
+        let price = (fcost + dist_sum) / k as f64;
+        // Prefer smaller prices; on ties prefer the larger star (maximality) — ties are
+        // handled automatically because `k` increases monotonically through the scan.
+        if price <= best_price {
+            best_price = price;
+            best_k = k;
+        }
+    }
+    if k == 0 {
+        return None;
+    }
+    clients_in_order.truncate(best_k);
+    Some(Star {
+        facility: i,
+        price: best_price,
+        clients: clients_in_order,
+    })
+}
+
+/// Computes the cheapest maximal star of every facility in parallel. `fcosts` carries
+/// the *current* facility costs (zeroed for already-open facilities, per the paper).
+pub fn all_cheapest_stars(
+    inst: &FlInstance,
+    fcosts: &[f64],
+    orders: &FacilityOrders,
+    remaining: &[bool],
+    policy: ExecPolicy,
+    meter: &CostMeter,
+) -> Vec<Option<Star>> {
+    let nf = inst.num_facilities();
+    meter.add_primitive((inst.num_clients() * nf) as u64);
+    let one = |i: usize| cheapest_maximal_star(inst, i, fcosts[i], orders.order(i), remaining);
+    if policy.run_parallel(inst.m()) {
+        (0..nf).into_par_iter().map(one).collect()
+    } else {
+        (0..nf).map(one).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfaclo_metric::gen::{self, GenParams};
+    use parfaclo_metric::DistanceMatrix;
+
+    fn inst_one_facility() -> FlInstance {
+        // Facility cost 3, clients at distances 1, 2, 100, 200.
+        FlInstance::new(
+            vec![3.0],
+            DistanceMatrix::from_rows(4, 1, vec![1.0, 2.0, 100.0, 200.0]),
+        )
+    }
+
+    #[test]
+    fn presort_orders_clients_by_distance() {
+        let inst = gen::facility_location(GenParams::uniform_square(12, 5).with_seed(3));
+        let meter = CostMeter::new();
+        let orders = FacilityOrders::presort(&inst, ExecPolicy::Sequential, &meter);
+        assert_eq!(orders.num_facilities(), 5);
+        for i in 0..5 {
+            let o = orders.order(i);
+            assert_eq!(o.len(), 12);
+            for w in o.windows(2) {
+                assert!(inst.dist(w[0] as usize, i) <= inst.dist(w[1] as usize, i));
+            }
+        }
+        assert!(meter.report().sort_calls >= 1);
+    }
+
+    #[test]
+    fn cheapest_star_known_answer() {
+        let inst = inst_one_facility();
+        let order = vec![0u32, 1, 2, 3];
+        let remaining = vec![true; 4];
+        let star = cheapest_maximal_star(&inst, 0, 3.0, &order, &remaining).unwrap();
+        // Prices: k=1: 4, k=2: 3, k=3: 35.33, k=4: 76.5 → best is k=2, price 3.
+        assert_eq!(star.clients, vec![0, 1]);
+        assert!((star.price - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removed_clients_are_skipped() {
+        let inst = inst_one_facility();
+        let order = vec![0u32, 1, 2, 3];
+        let remaining = vec![false, true, true, false];
+        let star = cheapest_maximal_star(&inst, 0, 3.0, &order, &remaining).unwrap();
+        // Only clients 1 and 2 remain: k=1 → (3+2)/1 = 5; k=2 → (3+102)/2 = 52.5.
+        assert_eq!(star.clients, vec![1]);
+        assert!((star.price - 5.0).abs() < 1e-12);
+        assert!(cheapest_maximal_star(&inst, 0, 3.0, &order, &[false; 4]).is_none());
+    }
+
+    #[test]
+    fn star_clients_are_within_price_distance() {
+        // Fact 4.2(1): j is in the cheapest maximal star iff d(j,i) <= price.
+        let inst = gen::facility_location(GenParams::gaussian_clusters(20, 6, 3).with_seed(5));
+        let meter = CostMeter::new();
+        let orders = FacilityOrders::presort(&inst, ExecPolicy::Sequential, &meter);
+        let remaining = vec![true; 20];
+        let fcosts: Vec<f64> = (0..6).map(|i| inst.facility_cost(i)).collect();
+        let stars = all_cheapest_stars(
+            &inst,
+            &fcosts,
+            &orders,
+            &remaining,
+            ExecPolicy::Sequential,
+            &meter,
+        );
+        for star in stars.into_iter().flatten() {
+            for &j in &star.clients {
+                assert!(inst.dist(j, star.facility) <= star.price + 1e-9);
+            }
+            for j in 0..20 {
+                if !star.clients.contains(&j) {
+                    assert!(inst.dist(j, star.facility) >= star.price - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fact_42_second_part_holds() {
+        // Fact 4.2(2): if t = price(S_i) then Σ_j max(0, t − d(j,i)) = f_i.
+        let inst = gen::facility_location(GenParams::uniform_square(15, 4).with_seed(8));
+        let meter = CostMeter::new();
+        let orders = FacilityOrders::presort(&inst, ExecPolicy::Sequential, &meter);
+        let remaining = vec![true; 15];
+        for i in 0..4 {
+            let star = cheapest_maximal_star(
+                &inst,
+                i,
+                inst.facility_cost(i),
+                orders.order(i),
+                &remaining,
+            )
+            .unwrap();
+            let lhs: f64 = (0..15)
+                .map(|j| (star.price - inst.dist(j, i)).max(0.0))
+                .sum();
+            assert!(
+                (lhs - inst.facility_cost(i)).abs() < 1e-6,
+                "facility {i}: {lhs} vs {}",
+                inst.facility_cost(i)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_star_computation_agree() {
+        let inst = gen::facility_location(GenParams::uniform_square(50, 30).with_seed(4));
+        let meter = CostMeter::new();
+        let orders = FacilityOrders::presort(&inst, ExecPolicy::Sequential, &meter);
+        let remaining = vec![true; 50];
+        let fcosts: Vec<f64> = (0..30).map(|i| inst.facility_cost(i)).collect();
+        let seq = all_cheapest_stars(
+            &inst,
+            &fcosts,
+            &orders,
+            &remaining,
+            ExecPolicy::Sequential,
+            &meter,
+        );
+        let par = all_cheapest_stars(
+            &inst,
+            &fcosts,
+            &orders,
+            &remaining,
+            ExecPolicy::Parallel,
+            &meter,
+        );
+        assert_eq!(seq, par);
+    }
+}

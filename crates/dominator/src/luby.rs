@@ -1,0 +1,222 @@
+//! Luby's maximal independent set algorithm on an explicit graph.
+//!
+//! This is the classical algorithm the paper builds on (Algorithm 3.1): in each round
+//! every live node draws a random priority, nodes that hold a local minimum among their
+//! live neighbours enter the independent set, and selected nodes plus their neighbours
+//! are removed. The expected number of rounds is `O(log n)`.
+//!
+//! The dominator-set variants in [`crate::maxdom`] and [`crate::maxudom`] simulate this
+//! algorithm on the *square* of a graph without materialising it; this explicit version
+//! is used as the reference implementation in tests (run it on an explicitly squared
+//! graph and compare invariants) and is exposed because it is useful in its own right.
+
+use crate::graph::DenseGraph;
+use crate::DominatorResult;
+use parfaclo_matrixops::{CostMeter, ExecPolicy};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Draws one distinct priority per node: the high 32 bits are random, the low 32 bits
+/// are the node index, so priorities never collide (the paper instead draws from
+/// `{1, ..., 2n^4}` and accepts a small collision probability).
+pub(crate) fn draw_priorities(rng: &mut ChaCha8Rng, n: usize, alive: &[bool]) -> Vec<u64> {
+    (0..n)
+        .map(|i| {
+            if alive[i] {
+                ((rng.gen::<u32>() as u64) << 32) | i as u64
+            } else {
+                u64::MAX
+            }
+        })
+        .collect()
+}
+
+/// Computes a maximal independent set of `g` using Luby's algorithm.
+///
+/// Deterministic for a fixed `seed`. Returns the selected nodes (sorted) and the number
+/// of rounds executed.
+pub fn maximal_independent_set(
+    g: &DenseGraph,
+    seed: u64,
+    policy: ExecPolicy,
+    meter: &CostMeter,
+) -> DominatorResult {
+    let n = g.n();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut alive = vec![true; n];
+    let mut selected = vec![false; n];
+    let mut rounds = 0usize;
+
+    while alive.iter().any(|&a| a) {
+        rounds += 1;
+        meter.add_round();
+        let pri = draw_priorities(&mut rng, n, &alive);
+        meter.add_primitive(n as u64);
+
+        // Select step: node i is selected if it is alive and its priority is strictly
+        // smaller than every live neighbour's priority.
+        let select_node = |i: usize| -> bool {
+            if !alive[i] {
+                return false;
+            }
+            let row = g.row(i);
+            let min_nb = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, &adj)| adj && alive[j])
+                .map(|(j, _)| pri[j])
+                .min()
+                .unwrap_or(u64::MAX);
+            pri[i] < min_nb
+        };
+        meter.add_primitive((n * n) as u64);
+        let newly: Vec<bool> = if policy.run_parallel(n * n) {
+            (0..n).into_par_iter().map(select_node).collect()
+        } else {
+            (0..n).map(select_node).collect()
+        };
+
+        // Removal step: selected nodes and their neighbours leave the graph.
+        meter.add_primitive((n * n) as u64);
+        let kill = |i: usize| -> bool {
+            if !alive[i] {
+                return false;
+            }
+            newly[i] || g.row(i).iter().enumerate().any(|(j, &adj)| adj && newly[j])
+        };
+        let to_kill: Vec<bool> = if policy.run_parallel(n * n) {
+            (0..n).into_par_iter().map(kill).collect()
+        } else {
+            (0..n).map(kill).collect()
+        };
+
+        for i in 0..n {
+            if newly[i] {
+                selected[i] = true;
+            }
+            if to_kill[i] {
+                alive[i] = false;
+            }
+        }
+    }
+
+    DominatorResult {
+        selected: (0..n).filter(|&i| selected[i]).collect(),
+        rounds,
+    }
+}
+
+/// Checks that `set` is an independent set of `g` (no two members adjacent).
+pub fn is_independent_set(g: &DenseGraph, set: &[usize]) -> bool {
+    for (idx, &a) in set.iter().enumerate() {
+        for &b in &set[idx + 1..] {
+            if g.has_edge(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that `set` is a *maximal* independent set of `g`: independent, and every
+/// non-member has a neighbour in the set.
+pub fn is_maximal_independent_set(g: &DenseGraph, set: &[usize]) -> bool {
+    if !is_independent_set(g, set) {
+        return false;
+    }
+    let in_set = {
+        let mut v = vec![false; g.n()];
+        for &i in set {
+            v[i] = true;
+        }
+        v
+    };
+    (0..g.n()).all(|i| in_set[i] || g.neighbors(i).iter().any(|&j| in_set[j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meter() -> CostMeter {
+        CostMeter::new()
+    }
+
+    #[test]
+    fn empty_graph_selects_everything() {
+        let g = DenseGraph::new(5);
+        let r = maximal_independent_set(&g, 1, ExecPolicy::Sequential, &meter());
+        assert_eq!(r.selected, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn complete_graph_selects_one() {
+        let mut g = DenseGraph::new(6);
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                g.add_edge(a, b);
+            }
+        }
+        let r = maximal_independent_set(&g, 2, ExecPolicy::Sequential, &meter());
+        assert_eq!(r.selected.len(), 1);
+        assert!(is_maximal_independent_set(&g, &r.selected));
+    }
+
+    #[test]
+    fn path_graph_mis_is_valid() {
+        let g = DenseGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        for seed in 0..10 {
+            let r = maximal_independent_set(&g, seed, ExecPolicy::Sequential, &meter());
+            assert!(is_maximal_independent_set(&g, &r.selected), "seed {seed}");
+            // A maximal independent set of P6 has between 2 and 3 nodes.
+            assert!(r.selected.len() >= 2 && r.selected.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = DenseGraph::from_edges(8, &[(0, 1), (2, 3), (4, 5), (6, 7), (1, 2), (5, 6)]);
+        let a = maximal_independent_set(&g, 99, ExecPolicy::Sequential, &meter());
+        let b = maximal_independent_set(&g, 99, ExecPolicy::Parallel, &meter());
+        assert_eq!(a, b, "parallel and sequential must agree for the same seed");
+    }
+
+    #[test]
+    fn random_graphs_produce_valid_mis() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..30);
+            let mut g = DenseGraph::new(n);
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(0.3) {
+                        g.add_edge(a, b);
+                    }
+                }
+            }
+            let r = maximal_independent_set(&g, trial, ExecPolicy::Sequential, &meter());
+            assert!(is_maximal_independent_set(&g, &r.selected), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn round_count_is_recorded() {
+        let g = DenseGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let m = meter();
+        let r = maximal_independent_set(&g, 3, ExecPolicy::Sequential, &m);
+        assert!(r.rounds >= 1);
+        assert_eq!(m.report().rounds as usize, r.rounds);
+    }
+
+    #[test]
+    fn independence_checkers() {
+        let g = DenseGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(is_independent_set(&g, &[0, 2]));
+        assert!(!is_independent_set(&g, &[0, 1]));
+        assert!(is_maximal_independent_set(&g, &[0, 2]));
+        assert!(!is_maximal_independent_set(&g, &[0]));
+    }
+}

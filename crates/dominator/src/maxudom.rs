@@ -1,0 +1,275 @@
+//! `MaxUDom(H)`: maximal U-dominator set of a bipartite graph, computed in place.
+//!
+//! Given `H = (U, V, E)`, a U-dominator set is a set `I ⊆ U` such that no two members
+//! share a `V`-side neighbour; a *maximal* such set is a maximal independent set of the
+//! implicit graph `H' = (U, {uw : ∃z ∈ V, uz, zw ∈ E})` (Section 3). The facility-location
+//! algorithms use it to make sure each client "pays" for at most one opened facility:
+//! the primal-dual post-processing (Section 5), the LP-rounding clean-up step
+//! (Section 6.2) and, in spirit, the greedy subselection all call it.
+//!
+//! As with [`crate::maxdom`], Luby's select step is simulated with two min-propagation
+//! passes — U → V and back V → U — so `H'` is never materialised, giving
+//! `O(|U||V|)` work per round and `O(log |U|)` rounds in expectation (Lemma 3.1).
+
+use crate::graph::BipartiteGraph;
+use crate::luby::draw_priorities;
+use crate::DominatorResult;
+use parfaclo_matrixops::{CostMeter, ExecPolicy};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Computes a maximal U-dominator set of the bipartite graph `h`.
+///
+/// U-side nodes with no `V`-neighbours are always selected (they conflict with nothing,
+/// so maximality requires them). Deterministic for a fixed `seed`.
+pub fn max_u_dom(
+    h: &BipartiteGraph,
+    seed: u64,
+    policy: ExecPolicy,
+    meter: &CostMeter,
+) -> DominatorResult {
+    let nu = h.nu();
+    let nv = h.nv();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut alive = vec![true; nu];
+    let mut selected = vec![false; nu];
+    let mut rounds = 0usize;
+
+    while alive.iter().any(|&a| a) {
+        rounds += 1;
+        meter.add_round();
+
+        // Random priorities for live U-nodes.
+        let pri = draw_priorities(&mut rng, nu, &alive);
+        meter.add_primitive(nu as u64);
+
+        // V-side minimum: mv[v] = min over U-neighbours u of pri[u].
+        meter.add_primitive((nu * nv) as u64);
+        let mv: Vec<u64> = {
+            let one = |v: usize| -> u64 {
+                (0..nu)
+                    .filter(|&u| h.has_edge(u, v))
+                    .map(|u| pri[u])
+                    .min()
+                    .unwrap_or(u64::MAX)
+            };
+            if policy.run_parallel(nu * nv) {
+                (0..nv).into_par_iter().map(one).collect()
+            } else {
+                (0..nv).map(one).collect()
+            }
+        };
+
+        // Back to U: closed H'-neighbourhood minimum of u.
+        meter.add_primitive((nu * nv) as u64);
+        let mu: Vec<u64> = {
+            let one = |u: usize| -> u64 {
+                let via_v = h
+                    .row_u(u)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &adj)| adj)
+                    .map(|(v, _)| mv[v])
+                    .min()
+                    .unwrap_or(u64::MAX);
+                pri[u].min(via_v)
+            };
+            if policy.run_parallel(nu * nv) {
+                (0..nu).into_par_iter().map(one).collect()
+            } else {
+                (0..nu).map(one).collect()
+            }
+        };
+
+        // Select live local minima of H' (distinct priorities ⇒ equality test works).
+        let newly: Vec<bool> = (0..nu).map(|u| alive[u] && pri[u] == mu[u]).collect();
+        meter.add_primitive(nu as u64);
+
+        // Removal: a V-node covered by a selected U-node blocks all its U-neighbours.
+        meter.add_primitive((nu * nv) as u64);
+        let v_blocked: Vec<bool> = {
+            let one = |v: usize| -> bool { (0..nu).any(|u| newly[u] && h.has_edge(u, v)) };
+            if policy.run_parallel(nu * nv) {
+                (0..nv).into_par_iter().map(one).collect()
+            } else {
+                (0..nv).map(one).collect()
+            }
+        };
+        meter.add_primitive((nu * nv) as u64);
+        let kill: Vec<bool> = {
+            let one = |u: usize| -> bool {
+                alive[u]
+                    && (newly[u]
+                        || h.row_u(u)
+                            .iter()
+                            .enumerate()
+                            .any(|(v, &adj)| adj && v_blocked[v]))
+            };
+            if policy.run_parallel(nu * nv) {
+                (0..nu).into_par_iter().map(one).collect()
+            } else {
+                (0..nu).map(one).collect()
+            }
+        };
+
+        for u in 0..nu {
+            if newly[u] {
+                selected[u] = true;
+            }
+            if kill[u] {
+                alive[u] = false;
+            }
+        }
+    }
+
+    DominatorResult {
+        selected: (0..nu).filter(|&u| selected[u]).collect(),
+        rounds,
+    }
+}
+
+/// Checks that no two members of `set` share a `V`-side neighbour.
+pub fn is_u_dominator_independent(h: &BipartiteGraph, set: &[usize]) -> bool {
+    for (idx, &a) in set.iter().enumerate() {
+        for &b in &set[idx + 1..] {
+            if h.share_v_neighbor(a, b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that `set` is a **maximal** U-dominator set: valid, and every U-node outside
+/// the set shares a `V`-neighbour with some member (so nothing can be added).
+pub fn is_maximal_u_dominator_set(h: &BipartiteGraph, set: &[usize]) -> bool {
+    if !is_u_dominator_independent(h, set) {
+        return false;
+    }
+    let in_set = {
+        let mut v = vec![false; h.nu()];
+        for &i in set {
+            v[i] = true;
+        }
+        v
+    };
+    (0..h.nu()).all(|u| in_set[u] || set.iter().any(|&s| h.share_v_neighbor(u, s)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn meter() -> CostMeter {
+        CostMeter::new()
+    }
+
+    #[test]
+    fn empty_bipartite_graph_selects_all_u() {
+        let h = BipartiteGraph::new(4, 3);
+        let r = max_u_dom(&h, 0, ExecPolicy::Sequential, &meter());
+        assert_eq!(r.selected, vec![0, 1, 2, 3]);
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn single_shared_v_node_selects_one_u() {
+        // All U-nodes attached to the single V-node: only one can be selected.
+        let h = BipartiteGraph::from_edges(5, 1, &[(0, 0), (1, 0), (2, 0), (3, 0), (4, 0)]);
+        for seed in 0..5 {
+            let r = max_u_dom(&h, seed, ExecPolicy::Sequential, &meter());
+            assert_eq!(r.selected.len(), 1, "seed {seed}");
+            assert!(is_maximal_u_dominator_set(&h, &r.selected));
+        }
+    }
+
+    #[test]
+    fn disjoint_stars_select_one_each() {
+        // U {0,1} share V0; U {2,3} share V1.
+        let h = BipartiteGraph::from_edges(4, 2, &[(0, 0), (1, 0), (2, 1), (3, 1)]);
+        for seed in 0..5 {
+            let r = max_u_dom(&h, seed, ExecPolicy::Sequential, &meter());
+            assert_eq!(r.selected.len(), 2, "seed {seed}");
+            assert!(is_maximal_u_dominator_set(&h, &r.selected));
+        }
+    }
+
+    #[test]
+    fn isolated_u_nodes_are_always_selected() {
+        // U-node 2 has no edges — it must be in every maximal U-dominator set.
+        let h = BipartiteGraph::from_edges(3, 2, &[(0, 0), (1, 0), (0, 1), (1, 1)]);
+        for seed in 0..5 {
+            let r = max_u_dom(&h, seed, ExecPolicy::Sequential, &meter());
+            assert!(r.selected.contains(&2), "seed {seed}: {:?}", r.selected);
+            assert!(is_maximal_u_dominator_set(&h, &r.selected));
+        }
+    }
+
+    #[test]
+    fn random_bipartite_graphs_produce_valid_results() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        for trial in 0..20 {
+            let nu = rng.gen_range(1..20);
+            let nv = rng.gen_range(1..20);
+            let mut h = BipartiteGraph::new(nu, nv);
+            for u in 0..nu {
+                for v in 0..nv {
+                    if rng.gen_bool(0.2) {
+                        h.add_edge(u, v);
+                    }
+                }
+            }
+            let r = max_u_dom(&h, trial, ExecPolicy::Sequential, &meter());
+            assert!(
+                is_maximal_u_dominator_set(&h, &r.selected),
+                "trial {trial} invalid: {:?}",
+                r.selected
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_same_seed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let (nu, nv) = (60, 50);
+        let mut h = BipartiteGraph::new(nu, nv);
+        for u in 0..nu {
+            for v in 0..nv {
+                if rng.gen_bool(0.08) {
+                    h.add_edge(u, v);
+                }
+            }
+        }
+        let a = max_u_dom(&h, 123, ExecPolicy::Sequential, &meter());
+        let b = max_u_dom(&h, 123, ExecPolicy::Parallel, &meter());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkers_reject_bad_sets() {
+        let h = BipartiteGraph::from_edges(3, 1, &[(0, 0), (1, 0)]);
+        assert!(!is_u_dominator_independent(&h, &[0, 1]));
+        assert!(is_u_dominator_independent(&h, &[0, 2]));
+        assert!(is_maximal_u_dominator_set(&h, &[0, 2]));
+        assert!(!is_maximal_u_dominator_set(&h, &[2]));
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_in_practice() {
+        let mut rng = ChaCha8Rng::seed_from_u64(44);
+        let (nu, nv) = (300, 200);
+        let mut h = BipartiteGraph::new(nu, nv);
+        for u in 0..nu {
+            for v in 0..nv {
+                if rng.gen_bool(0.02) {
+                    h.add_edge(u, v);
+                }
+            }
+        }
+        let r = max_u_dom(&h, 5, ExecPolicy::Parallel, &meter());
+        assert!(is_maximal_u_dominator_set(&h, &r.selected));
+        assert!(r.rounds <= 25, "expected few rounds, got {}", r.rounds);
+    }
+}

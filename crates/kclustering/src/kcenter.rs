@@ -1,0 +1,227 @@
+//! Parallel k-center (Section 6.1, Theorem 6.1).
+//!
+//! Hochbaum & Shmoys observed that k-center reduces to a bottleneck search: for a
+//! candidate radius `α`, build the threshold graph `H_α` (nodes adjacent when within
+//! distance `α`) and compute a maximal dominator set; if it has at most `k` nodes then
+//! `2α` is an achievable radius, and the smallest feasible `α` in the sorted distance
+//! set certifies a 2-approximation. The paper parallelises the probe with the in-place
+//! `MaxDom` algorithm of Section 3 and keeps the binary search over the `O(n²)` distinct
+//! distances, giving `O((n log n)²)` work overall.
+
+use parfaclo_dominator::{max_dom, DenseGraph};
+use parfaclo_matrixops::{CostMeter, CostReport, ExecPolicy};
+use parfaclo_metric::{ClusterInstance, NodeId};
+
+/// Result of the parallel k-center algorithm.
+#[derive(Debug, Clone)]
+pub struct KCenterSolution {
+    /// The chosen centers (at most `k`).
+    pub centers: Vec<NodeId>,
+    /// The achieved radius `max_j d(j, centers)`.
+    pub radius: f64,
+    /// The threshold distance `d_t` the binary search settled on; the 2-approximation
+    /// guarantee is `radius <= 2 * d_t` and `d_t <= opt`.
+    pub threshold: f64,
+    /// Number of binary-search probes (each probe is one `MaxDom` run).
+    pub probes: usize,
+    /// Total Luby rounds across all probes.
+    pub luby_rounds: usize,
+    /// Work counters accumulated over the run.
+    pub work: CostReport,
+}
+
+/// Runs the parallel Hochbaum–Shmoys k-center algorithm.
+///
+/// Deterministic for a fixed `seed`.
+///
+/// # Panics
+/// Panics if `k == 0` or the instance is empty.
+pub fn parallel_kcenter(
+    inst: &ClusterInstance,
+    k: usize,
+    seed: u64,
+    policy: ExecPolicy,
+) -> KCenterSolution {
+    let n = inst.n();
+    assert!(k >= 1, "k must be at least 1");
+    assert!(n >= 1, "instance must be non-empty");
+    let meter = CostMeter::new();
+
+    if n <= k {
+        return KCenterSolution {
+            centers: (0..n).collect(),
+            radius: 0.0,
+            threshold: 0.0,
+            probes: 0,
+            luby_rounds: 0,
+            work: meter.report(),
+        };
+    }
+
+    // The candidate radii are the distinct pairwise distances, sorted.
+    let distances = inst.distances().sorted_distinct_values();
+    meter.add_sort(inst.distances().len() as u64);
+
+    // Binary search for the smallest threshold whose dominator set has at most k nodes.
+    let mut lo = 0usize;
+    let mut hi = distances.len() - 1;
+    let mut probes = 0usize;
+    let mut luby_rounds = 0usize;
+    let mut best: Option<(usize, Vec<NodeId>)> = None;
+    while lo <= hi {
+        let mid = (lo + hi) / 2;
+        probes += 1;
+        let g = DenseGraph::from_distance_threshold(
+            inst.distances().as_slice(),
+            n,
+            distances[mid],
+        );
+        meter.add_primitive((n * n) as u64);
+        let dom = max_dom(&g, seed ^ (mid as u64).wrapping_mul(0x9E37_79B9), policy, &meter);
+        luby_rounds += dom.rounds;
+        if dom.selected.len() <= k {
+            best = Some((mid, dom.selected));
+            if mid == 0 {
+                break;
+            }
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
+        }
+    }
+
+    let (t_idx, centers) = best.unwrap_or_else(|| {
+        // The largest threshold makes the whole graph one clique-square, so the
+        // dominator set is a single node — always feasible.
+        let g = DenseGraph::from_distance_threshold(
+            inst.distances().as_slice(),
+            n,
+            *distances.last().unwrap(),
+        );
+        let dom = max_dom(&g, seed, policy, &meter);
+        (distances.len() - 1, dom.selected)
+    });
+
+    let radius = inst.kcenter_cost(&centers);
+    KCenterSolution {
+        centers,
+        radius,
+        threshold: distances[t_idx],
+        probes,
+        luby_rounds,
+        work: meter.report(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfaclo_metric::gen::{self, GenParams};
+    use parfaclo_metric::lower_bounds::{self, ClusterObjective};
+    use parfaclo_seq_baselines::{gonzalez_kcenter, hochbaum_shmoys_kcenter};
+
+    #[test]
+    fn planted_clusters_are_recovered() {
+        let inst = gen::clustering(GenParams::planted(48, 48, 6).with_seed(1));
+        let sol = parallel_kcenter(&inst, 6, 0, ExecPolicy::Sequential);
+        assert!(sol.centers.len() <= 6);
+        // Blobs have radius 1 and separation 50; any valid 2-approximation has radius
+        // at most 2·2 = 4, and the dominator-set structure typically achieves ≤ 2.
+        assert!(sol.radius <= 4.0 + 1e-9, "radius {}", sol.radius);
+    }
+
+    #[test]
+    fn two_approximation_vs_brute_force() {
+        for seed in 0..6 {
+            let inst = gen::clustering(GenParams::uniform_square(13, 13).with_seed(seed));
+            for k in 1..4 {
+                let (_, opt) =
+                    lower_bounds::brute_force_kclustering(&inst, k, ClusterObjective::KCenter);
+                let sol = parallel_kcenter(&inst, k, seed, ExecPolicy::Sequential);
+                assert!(
+                    sol.radius <= 2.0 * opt + 1e-9,
+                    "seed {seed} k {k}: {} vs opt {opt}",
+                    sol.radius
+                );
+                assert!(sol.centers.len() <= k);
+                // The chosen threshold is itself a lower bound on the optimum.
+                assert!(sol.threshold <= opt + 1e-9, "seed {seed} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn radius_within_twice_threshold() {
+        // The structural guarantee behind the 2-approximation: the returned radius is at
+        // most twice the feasibility threshold found by the binary search.
+        for seed in 0..5 {
+            let inst = gen::clustering(GenParams::gaussian_clusters(30, 30, 4).with_seed(seed));
+            let sol = parallel_kcenter(&inst, 4, seed, ExecPolicy::Parallel);
+            assert!(
+                sol.radius <= 2.0 * sol.threshold + 1e-9,
+                "seed {seed}: radius {} threshold {}",
+                sol.radius,
+                sol.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn comparable_to_sequential_baselines() {
+        for seed in 0..5 {
+            let inst = gen::clustering(GenParams::uniform_square(40, 40).with_seed(seed));
+            let k = 5;
+            let par = parallel_kcenter(&inst, k, seed, ExecPolicy::Sequential);
+            let gonz = gonzalez_kcenter(&inst, k);
+            let hs = hochbaum_shmoys_kcenter(&inst, k);
+            // All three are 2-approximations of the same optimum, so no one of them can
+            // be more than twice as bad as another.
+            let lb = lower_bounds::kcenter_lower_bound(&inst, k);
+            for r in [par.radius, gonz.radius, hs.radius] {
+                assert!(r <= 2.0 * (2.0 * lb) + 1e-9 || lb == 0.0);
+            }
+            assert!(par.radius <= 2.0 * gonz.radius + 1e-9);
+        }
+    }
+
+    #[test]
+    fn probes_are_logarithmic_in_distance_count() {
+        let inst = gen::clustering(GenParams::uniform_square(50, 50).with_seed(7));
+        let sol = parallel_kcenter(&inst, 4, 7, ExecPolicy::Parallel);
+        let num_distances = inst.distances().sorted_distinct_values().len();
+        let bound = (num_distances as f64).log2().ceil() as usize + 2;
+        assert!(
+            sol.probes <= bound,
+            "probes {} exceed log bound {bound}",
+            sol.probes
+        );
+        assert!(sol.work.element_ops > 0);
+    }
+
+    #[test]
+    fn k_geq_n_selects_everything() {
+        let inst = gen::clustering(GenParams::uniform_square(6, 6).with_seed(2));
+        let sol = parallel_kcenter(&inst, 10, 0, ExecPolicy::Sequential);
+        assert_eq!(sol.centers.len(), 6);
+        assert_eq!(sol.radius, 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_policy() {
+        let inst = gen::clustering(GenParams::uniform_square(25, 25).with_seed(4));
+        let a = parallel_kcenter(&inst, 3, 11, ExecPolicy::Sequential);
+        let b = parallel_kcenter(&inst, 3, 11, ExecPolicy::Parallel);
+        assert_eq!(a.centers, b.centers);
+        assert_eq!(a.radius, b.radius);
+    }
+
+    #[test]
+    fn line_metric_radius() {
+        // Nodes at 0..11 with k = 2: optimal radius is ceil(11/4) = 2.75 → 3 at integer
+        // positions (centers at 3 and 9 give radius 3 exactly); accept ≤ 2·opt.
+        let inst = gen::clustering(GenParams::line(12, 12));
+        let (_, opt) = lower_bounds::brute_force_kclustering(&inst, 2, ClusterObjective::KCenter);
+        let sol = parallel_kcenter(&inst, 2, 1, ExecPolicy::Sequential);
+        assert!(sol.radius <= 2.0 * opt + 1e-9);
+    }
+}

@@ -1,0 +1,172 @@
+//! The dual of the facility-location LP (the right-hand program of Figure 1) and the
+//! dual-fitting machinery the paper's analyses rely on.
+//!
+//! ```text
+//! maximise   Σ_j α_j
+//! subject to Σ_j β_ij          <= f_i     for every facility i
+//!            α_j − β_ij        <= d(j,i)  for every facility i, client j
+//!            α_j >= 0, β_ij >= 0
+//! ```
+//!
+//! By weak LP duality the value `Σ_j α_j` of **any** feasible dual solution is a lower
+//! bound on the optimal fractional (hence also integral) cost. Both parallel
+//! facility-location algorithms produce α vectors:
+//!
+//! * the primal-dual algorithm of Section 5 produces a dual-feasible α directly
+//!   (Claim 5.1), and
+//! * the greedy algorithm of Section 4 produces α values that become feasible after
+//!   scaling down by γ = 1.861 (Lemma 4.6) or by 3 (Lemma 4.7).
+//!
+//! The experiment harness uses these α vectors (and the LP value) to certify measured
+//! approximation ratios.
+
+use parfaclo_metric::FlInstance;
+
+/// Canonical β choice for a given α: `β_ij = max(0, α_j − d(j,i))`.
+///
+/// This choice satisfies the `α_j − β_ij <= d(j,i)` constraints by construction and is
+/// the one the paper always uses, so dual feasibility of `(α, β)` reduces to the
+/// per-facility constraint checked by [`check_alpha_feasible`].
+pub fn canonical_beta(inst: &FlInstance, alpha: &[f64], i: usize, j: usize) -> f64 {
+    (alpha[j] - inst.dist(j, i)).max(0.0)
+}
+
+/// The dual objective `Σ_j α_j`.
+pub fn dual_value(alpha: &[f64]) -> f64 {
+    alpha.iter().sum()
+}
+
+/// Checks that α (with the canonical β) is dual feasible up to tolerance `tol`:
+/// non-negative and, for every facility `i`, `Σ_j max(0, α_j − d(j,i)) <= f_i`.
+///
+/// Returns the first violated facility and the violation amount on failure.
+pub fn check_alpha_feasible(
+    inst: &FlInstance,
+    alpha: &[f64],
+    tol: f64,
+) -> Result<(), (usize, f64)> {
+    assert_eq!(alpha.len(), inst.num_clients(), "alpha length mismatch");
+    for (j, &a) in alpha.iter().enumerate() {
+        if a < -tol {
+            return Err((j, a));
+        }
+    }
+    for i in 0..inst.num_facilities() {
+        let contribution: f64 = (0..inst.num_clients())
+            .map(|j| canonical_beta(inst, alpha, i, j))
+            .sum();
+        let excess = contribution - inst.facility_cost(i);
+        if excess > tol * (1.0 + inst.facility_cost(i).abs()) {
+            return Err((i, excess));
+        }
+    }
+    Ok(())
+}
+
+/// Largest uniform scaling factor `s <= 1` such that `s·α` is dual feasible, found by
+/// checking the per-facility constraints exactly (binary search on the piecewise-linear
+/// constraint functions is unnecessary at the sizes we use — we simply evaluate the
+/// worst facility ratio).
+///
+/// Useful to turn an *infeasible* α (e.g. the raw greedy α before the Lemma 4.6 scaling)
+/// into a valid lower bound `s · Σ_j α_j`.
+pub fn max_feasible_scaling(inst: &FlInstance, alpha: &[f64], granularity: usize) -> f64 {
+    assert!(granularity >= 2);
+    if check_alpha_feasible(inst, alpha, 1e-9).is_ok() {
+        return 1.0;
+    }
+    // The constraint functions are increasing in s, so binary search works.
+    let mut lo = 0.0_f64;
+    let mut hi = 1.0_f64;
+    for _ in 0..granularity {
+        let mid = 0.5 * (lo + hi);
+        let scaled: Vec<f64> = alpha.iter().map(|a| a * mid).collect();
+        if check_alpha_feasible(inst, &scaled, 1e-9).is_ok() {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfaclo_metric::gen::{self, GenParams};
+    use parfaclo_metric::lower_bounds;
+    use parfaclo_metric::DistanceMatrix;
+
+    #[test]
+    fn zero_alpha_is_always_feasible() {
+        let inst = gen::facility_location(GenParams::uniform_square(6, 4).with_seed(1));
+        let alpha = vec![0.0; 6];
+        assert!(check_alpha_feasible(&inst, &alpha, 1e-9).is_ok());
+        assert_eq!(dual_value(&alpha), 0.0);
+    }
+
+    #[test]
+    fn feasible_alpha_lower_bounds_opt() {
+        // α_j = γ_j / 2 need not be feasible in general, so use max_feasible_scaling to
+        // produce a certified bound and compare against the brute-force optimum.
+        for seed in 0..5 {
+            let inst = gen::facility_location(GenParams::uniform_square(7, 4).with_seed(seed));
+            let alpha: Vec<f64> = inst.gamma_per_client();
+            let s = max_feasible_scaling(&inst, &alpha, 40);
+            let scaled: Vec<f64> = alpha.iter().map(|a| a * s).collect();
+            assert!(check_alpha_feasible(&inst, &scaled, 1e-7).is_ok());
+            let (_, opt) = lower_bounds::brute_force_facility_location(&inst);
+            assert!(
+                dual_value(&scaled) <= opt + 1e-6,
+                "seed {seed}: dual value {} exceeds optimum {opt}",
+                dual_value(&scaled)
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_alpha_is_rejected() {
+        // One facility with cost 1, one client at distance 0. α = 2 over-pays.
+        let inst = FlInstance::new(vec![1.0], DistanceMatrix::from_rows(1, 1, vec![0.0]));
+        assert!(check_alpha_feasible(&inst, &[2.0], 1e-9).is_err());
+        assert!(check_alpha_feasible(&inst, &[1.0], 1e-9).is_ok());
+        assert!(check_alpha_feasible(&inst, &[-0.5], 1e-9).is_err());
+    }
+
+    #[test]
+    fn canonical_beta_matches_definition() {
+        let inst = FlInstance::new(
+            vec![1.0, 2.0],
+            DistanceMatrix::from_rows(1, 2, vec![3.0, 5.0]),
+        );
+        let alpha = vec![4.0];
+        assert_eq!(canonical_beta(&inst, &alpha, 0, 0), 1.0);
+        assert_eq!(canonical_beta(&inst, &alpha, 1, 0), 0.0);
+    }
+
+    #[test]
+    fn scaling_of_feasible_alpha_is_one() {
+        let inst = gen::facility_location(GenParams::uniform_square(5, 3).with_seed(2));
+        let alpha = vec![0.0; 5];
+        assert_eq!(max_feasible_scaling(&inst, &alpha, 20), 1.0);
+    }
+
+    #[test]
+    fn weak_duality_against_lp() {
+        use crate::faclp::solve_facility_lp;
+        for seed in 0..3 {
+            let inst = gen::facility_location(GenParams::gaussian_clusters(6, 4, 2).with_seed(seed));
+            let lp = solve_facility_lp(&inst).expect("lp");
+            // Any feasible dual value is at most the LP optimum.
+            let alpha: Vec<f64> = inst.gamma_per_client();
+            let s = max_feasible_scaling(&inst, &alpha, 40);
+            let scaled: Vec<f64> = alpha.iter().map(|a| a * s).collect();
+            assert!(
+                dual_value(&scaled) <= lp.value() + 1e-6,
+                "seed {seed}: dual {} > primal {}",
+                dual_value(&scaled),
+                lp.value()
+            );
+        }
+    }
+}

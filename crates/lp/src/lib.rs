@@ -1,0 +1,30 @@
+//! # parfaclo-lp
+//!
+//! Linear-programming substrate for the `parfaclo` workspace.
+//!
+//! Section 6.2 of *Blelloch & Tangwongsan (SPAA 2010)* parallelises the
+//! randomized-rounding algorithm of Shmoys, Tardos and Aardal, which takes **an optimal
+//! solution of the facility-location LP relaxation as input** — the paper explicitly
+//! does not solve the LP ("we do not know how to solve the linear program for facility
+//! location in polylogarithmic depth"). A reproduction therefore needs an LP solver as a
+//! substrate; none being available offline, this crate implements one from scratch:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex solver with Bland's anti-cycling
+//!   rule, adequate for the small/medium instances the rounding experiments use;
+//! * [`faclp`] — construction of the facility-location LP relaxation (Figure 1 of the
+//!   paper), solving it, and validating primal feasibility/optimality;
+//! * [`dual`] — the dual program of Figure 1: feasibility checks and objective value for
+//!   `(α, β)` assignments. The greedy (Section 4) and primal-dual (Section 5) analyses
+//!   both certify their solutions against dual-feasible vectors, and the experiment
+//!   harness uses [`dual::dual_value`] and [`faclp::FlLpSolution::value`] as lower
+//!   bounds on `opt` when reporting approximation ratios.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dual;
+pub mod faclp;
+pub mod simplex;
+
+pub use faclp::{solve_facility_lp, FlLpSolution};
+pub use simplex::{Constraint, ConstraintOp, LinearProgram, SimplexOutcome, SimplexSolution};

@@ -1,0 +1,64 @@
+//! # parfaclo-matrixops
+//!
+//! The "basic matrix operations" substrate assumed by Section 2 of
+//! *Blelloch & Tangwongsan, SPAA 2010*.
+//!
+//! The paper expresses every parallel algorithm in terms of a small set of primitives
+//! over dense vectors and matrices:
+//!
+//! * parallel loops (element-wise map) over a vector or matrix,
+//! * summation / minimum / maximum **reductions** across the rows or columns,
+//! * **prefix sums** (scans) with various associative operators,
+//! * **distribution** of a per-row (or per-column) value across the row (column),
+//! * **transposing** the matrix, and
+//! * **sorting** the rows of a matrix.
+//!
+//! On an EREW PRAM each non-sort primitive costs `O(m)` work and `O(log m)` depth, and a
+//! sort costs `O(m log m)` work; the paper's bounds are stated as a number of calls to
+//! these primitives. This crate implements each primitive twice — sequentially and with
+//! rayon — selected by an [`ExecPolicy`], and counts the *measured* work, the number of
+//! primitive invocations, and the number of synchronisation rounds in a [`CostMeter`],
+//! so the experiment harness can compare measured totals against the paper's
+//! `O(m log_{1+ε} m)`-style bounds.
+//!
+//! The matrix layout convention is row-major `data[row * cols + col]`, matching
+//! `parfaclo_metric::DistanceMatrix`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod meter;
+pub mod ops;
+pub mod policy;
+pub mod scan;
+pub mod sort;
+
+pub use meter::{CostMeter, CostReport};
+pub use policy::ExecPolicy;
+
+#[cfg(test)]
+mod integration_tests {
+    use crate::meter::CostMeter;
+    use crate::ops;
+    use crate::policy::ExecPolicy;
+
+    /// The primitives compose: a row-reduce followed by a scan followed by a global
+    /// reduce mirrors the structure of a single round of the paper's algorithms.
+    #[test]
+    fn primitives_compose_like_a_paper_round() {
+        let rows = 8;
+        let cols = 16;
+        let data: Vec<f64> = (0..rows * cols).map(|x| (x % 7) as f64).collect();
+        let meter = CostMeter::new();
+        for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+            let row_sums = ops::row_reduce(&data, rows, cols, ops::AssocOp::Add, policy, &meter);
+            let prefix = crate::scan::inclusive_scan(&row_sums, ops::AssocOp::Add, policy, &meter);
+            let total = ops::reduce(&prefix, ops::AssocOp::Max, policy, &meter);
+            let direct: f64 = data.iter().sum();
+            assert!((total - direct).abs() < 1e-9);
+        }
+        let report = meter.report();
+        assert!(report.element_ops > 0);
+        assert!(report.primitive_calls >= 6);
+    }
+}

@@ -1,0 +1,53 @@
+//! Execution policy: sequential or rayon-parallel.
+//!
+//! Every primitive in this crate takes an [`ExecPolicy`]. The sequential implementation
+//! is the reference (it is what the cost accounting models), and the parallel
+//! implementation must produce identical results; the experiment harness runs both to
+//! measure self-relative speedup, and the property tests assert the equivalence.
+
+/// Whether a primitive should run sequentially or on the rayon thread pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Plain sequential loops. Used as the reference implementation and for tiny inputs
+    /// where parallel overhead dominates.
+    Sequential,
+    /// Data-parallel execution via rayon's work-stealing pool.
+    Parallel,
+}
+
+impl ExecPolicy {
+    /// Minimum number of elements for which parallel execution is worthwhile; below this
+    /// the parallel implementations silently fall back to sequential loops to avoid
+    /// paying rayon's task-spawning overhead on tiny inputs.
+    pub const PAR_THRESHOLD: usize = 2048;
+
+    /// Returns `true` if work of the given size should actually be run in parallel under
+    /// this policy.
+    #[inline]
+    pub fn run_parallel(self, len: usize) -> bool {
+        matches!(self, ExecPolicy::Parallel) && len >= Self::PAR_THRESHOLD
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy::Parallel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_gates_parallelism() {
+        assert!(!ExecPolicy::Sequential.run_parallel(usize::MAX));
+        assert!(!ExecPolicy::Parallel.run_parallel(ExecPolicy::PAR_THRESHOLD - 1));
+        assert!(ExecPolicy::Parallel.run_parallel(ExecPolicy::PAR_THRESHOLD));
+    }
+
+    #[test]
+    fn default_is_parallel() {
+        assert_eq!(ExecPolicy::default(), ExecPolicy::Parallel);
+    }
+}

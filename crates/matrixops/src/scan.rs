@@ -1,0 +1,198 @@
+//! Prefix sums (scans).
+//!
+//! "A prefix sum returns to each element of a sequence the sum of previous elements"
+//! (Section 2). The paper uses prefix sums with `+`, `min` and `max`; Algorithm 4.1's
+//! maximal-star computation is the main consumer (a prefix sum over each facility's
+//! sorted client distances).
+//!
+//! The parallel implementation is the classical two-pass blocked scan: partition the
+//! input into chunks, scan each chunk independently, scan the chunk totals sequentially
+//! (there are few of them), then add each chunk's offset in a second parallel pass.
+//! This does `O(n)` work and `O(log n)` depth up to the chunking granularity.
+
+use crate::meter::CostMeter;
+use crate::ops::AssocOp;
+use crate::policy::ExecPolicy;
+use rayon::prelude::*;
+
+/// Inclusive scan: `out[i] = op(data[0], ..., data[i])`.
+pub fn inclusive_scan(
+    data: &[f64],
+    op: AssocOp,
+    policy: ExecPolicy,
+    meter: &CostMeter,
+) -> Vec<f64> {
+    meter.add_primitive(data.len() as u64);
+    if policy.run_parallel(data.len()) {
+        parallel_scan(data, op, true)
+    } else {
+        sequential_scan(data, op, true)
+    }
+}
+
+/// Exclusive scan: `out[i] = op(data[0], ..., data[i-1])`, `out[0] = identity`.
+pub fn exclusive_scan(
+    data: &[f64],
+    op: AssocOp,
+    policy: ExecPolicy,
+    meter: &CostMeter,
+) -> Vec<f64> {
+    meter.add_primitive(data.len() as u64);
+    if policy.run_parallel(data.len()) {
+        parallel_scan(data, op, false)
+    } else {
+        sequential_scan(data, op, false)
+    }
+}
+
+/// Per-row inclusive scan over a row-major `rows x cols` matrix.
+pub fn row_inclusive_scan(
+    data: &[f64],
+    rows: usize,
+    cols: usize,
+    op: AssocOp,
+    policy: ExecPolicy,
+    meter: &CostMeter,
+) -> Vec<f64> {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    meter.add_primitive(data.len() as u64);
+    let scan_row = |r: usize| -> Vec<f64> {
+        sequential_scan(&data[r * cols..(r + 1) * cols], op, true)
+    };
+    if policy.run_parallel(data.len()) {
+        (0..rows).into_par_iter().flat_map_iter(scan_row).collect()
+    } else {
+        (0..rows).flat_map(scan_row).collect()
+    }
+}
+
+fn sequential_scan(data: &[f64], op: AssocOp, inclusive: bool) -> Vec<f64> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut acc = op.identity();
+    for &x in data {
+        if inclusive {
+            acc = op.apply(acc, x);
+            out.push(acc);
+        } else {
+            out.push(acc);
+            acc = op.apply(acc, x);
+        }
+    }
+    out
+}
+
+fn parallel_scan(data: &[f64], op: AssocOp, inclusive: bool) -> Vec<f64> {
+    let n = data.len();
+    let chunk = (n / (rayon::current_num_threads() * 4)).max(1024);
+    // Pass 1: per-chunk totals.
+    let totals: Vec<f64> = data
+        .par_chunks(chunk)
+        .map(|c| c.iter().copied().fold(op.identity(), |a, b| op.apply(a, b)))
+        .collect();
+    // Sequential scan over the (few) chunk totals to get per-chunk offsets.
+    let offsets = sequential_scan(&totals, op, false);
+    // Pass 2: scan each chunk with its offset.
+    let mut out = vec![0.0; n];
+    out.par_chunks_mut(chunk)
+        .zip(data.par_chunks(chunk))
+        .zip(offsets.par_iter())
+        .for_each(|((out_chunk, in_chunk), &offset)| {
+            let mut acc = offset;
+            for (o, &x) in out_chunk.iter_mut().zip(in_chunk.iter()) {
+                if inclusive {
+                    acc = op.apply(acc, x);
+                    *o = acc;
+                } else {
+                    *o = acc;
+                    acc = op.apply(acc, x);
+                }
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusive_scan_add() {
+        let meter = CostMeter::new();
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(
+            inclusive_scan(&data, AssocOp::Add, ExecPolicy::Sequential, &meter),
+            vec![1.0, 3.0, 6.0, 10.0]
+        );
+    }
+
+    #[test]
+    fn exclusive_scan_add() {
+        let meter = CostMeter::new();
+        let data = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(
+            exclusive_scan(&data, AssocOp::Add, ExecPolicy::Sequential, &meter),
+            vec![0.0, 1.0, 3.0, 6.0]
+        );
+    }
+
+    #[test]
+    fn min_and_max_scans() {
+        let meter = CostMeter::new();
+        let data = vec![3.0, 1.0, 4.0, 1.0, 5.0];
+        assert_eq!(
+            inclusive_scan(&data, AssocOp::Min, ExecPolicy::Sequential, &meter),
+            vec![3.0, 1.0, 1.0, 1.0, 1.0]
+        );
+        assert_eq!(
+            inclusive_scan(&data, AssocOp::Max, ExecPolicy::Sequential, &meter),
+            vec![3.0, 3.0, 4.0, 4.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let meter = CostMeter::new();
+        assert!(inclusive_scan(&[], AssocOp::Add, ExecPolicy::Sequential, &meter).is_empty());
+        assert_eq!(
+            exclusive_scan(&[7.0], AssocOp::Add, ExecPolicy::Sequential, &meter),
+            vec![0.0]
+        );
+        assert_eq!(
+            inclusive_scan(&[7.0], AssocOp::Add, ExecPolicy::Parallel, &meter),
+            vec![7.0]
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let meter = CostMeter::new();
+        let data: Vec<f64> = (0..10_000).map(|x| ((x * 37 + 11) % 19) as f64).collect();
+        for op in [AssocOp::Add, AssocOp::Min, AssocOp::Max] {
+            let seq = inclusive_scan(&data, op, ExecPolicy::Sequential, &meter);
+            let par = inclusive_scan(&data, op, ExecPolicy::Parallel, &meter);
+            for (a, b) in seq.iter().zip(par.iter()) {
+                assert!((a - b).abs() < 1e-9, "{op:?}: {a} vs {b}");
+            }
+            let seq_ex = exclusive_scan(&data, op, ExecPolicy::Sequential, &meter);
+            let par_ex = exclusive_scan(&data, op, ExecPolicy::Parallel, &meter);
+            for (a, b) in seq_ex.iter().zip(par_ex.iter()) {
+                // The first exclusive-scan entry is the identity, which may be ±∞ for
+                // Min/Max; compare exactly in that case.
+                assert!(a == b || (a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn row_scan_scans_each_row_independently() {
+        let meter = CostMeter::new();
+        // 2x3: [[1,2,3],[10,20,30]]
+        let data = vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0];
+        for p in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+            assert_eq!(
+                row_inclusive_scan(&data, 2, 3, AssocOp::Add, p, &meter),
+                vec![1.0, 3.0, 6.0, 10.0, 30.0, 60.0]
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Row sorting and argsort.
+//!
+//! Section 2 allows "sorting the rows of a matrix" as a primitive costing
+//! `O(m log m)` work. Algorithm 4.1 pre-sorts each facility's client distances once
+//! ("the rows can be presorted to give each client its distances from facilities in
+//! order. In the original order, each element can be marked with its rank"), so what the
+//! algorithms actually need is an **argsort with ranks**: for each row, the permutation
+//! that sorts it and the rank of every original position.
+
+use crate::meter::CostMeter;
+use crate::policy::ExecPolicy;
+use rayon::prelude::*;
+
+/// The result of argsorting one row: the sorting permutation and the rank of each
+/// original element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowOrder {
+    /// `order[k]` is the original index of the `k`-th smallest element.
+    pub order: Vec<u32>,
+    /// `rank[i]` is the position of original element `i` in the sorted order.
+    pub rank: Vec<u32>,
+}
+
+impl RowOrder {
+    /// Builds the order/rank pair for one row.
+    fn from_row(row: &[f64]) -> RowOrder {
+        let mut order: Vec<u32> = (0..row.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            row[a as usize]
+                .partial_cmp(&row[b as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let mut rank = vec![0u32; row.len()];
+        for (pos, &idx) in order.iter().enumerate() {
+            rank[idx as usize] = pos as u32;
+        }
+        RowOrder { order, rank }
+    }
+}
+
+/// Argsorts every row of a row-major `rows x cols` matrix.
+///
+/// Ties are broken towards the smaller original index, so the result is deterministic.
+pub fn argsort_rows(
+    data: &[f64],
+    rows: usize,
+    cols: usize,
+    policy: ExecPolicy,
+    meter: &CostMeter,
+) -> Vec<RowOrder> {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    meter.add_sort(data.len() as u64);
+    let sort_row = |r: usize| RowOrder::from_row(&data[r * cols..(r + 1) * cols]);
+    if policy.run_parallel(data.len()) {
+        (0..rows).into_par_iter().map(sort_row).collect()
+    } else {
+        (0..rows).map(sort_row).collect()
+    }
+}
+
+/// Sorts a vector of `f64` ascending (ties keep relative order), returning a new vector.
+pub fn sort_values(data: &[f64], policy: ExecPolicy, meter: &CostMeter) -> Vec<f64> {
+    meter.add_sort(data.len() as u64);
+    let mut v = data.to_vec();
+    if policy.run_parallel(data.len()) {
+        v.par_sort_by(|a, b| a.partial_cmp(b).unwrap());
+    } else {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    }
+    v
+}
+
+/// Sorts and deduplicates a vector of `f64` (used for the k-center distance set `D`).
+pub fn sorted_distinct(data: &[f64], policy: ExecPolicy, meter: &CostMeter) -> Vec<f64> {
+    let mut v = sort_values(data, policy, meter);
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argsort_single_row() {
+        let meter = CostMeter::new();
+        let data = vec![3.0, 1.0, 2.0];
+        let orders = argsort_rows(&data, 1, 3, ExecPolicy::Sequential, &meter);
+        assert_eq!(orders[0].order, vec![1, 2, 0]);
+        assert_eq!(orders[0].rank, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn argsort_breaks_ties_by_index() {
+        let meter = CostMeter::new();
+        let data = vec![5.0, 5.0, 1.0, 5.0];
+        let orders = argsort_rows(&data, 1, 4, ExecPolicy::Sequential, &meter);
+        assert_eq!(orders[0].order, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn argsort_multiple_rows_independent() {
+        let meter = CostMeter::new();
+        let data = vec![2.0, 1.0, 10.0, 20.0];
+        let orders = argsort_rows(&data, 2, 2, ExecPolicy::Sequential, &meter);
+        assert_eq!(orders[0].order, vec![1, 0]);
+        assert_eq!(orders[1].order, vec![0, 1]);
+    }
+
+    #[test]
+    fn order_and_rank_are_inverse_permutations() {
+        let meter = CostMeter::new();
+        let data: Vec<f64> = (0..500).map(|x| ((x * 7919 + 13) % 97) as f64).collect();
+        let orders = argsort_rows(&data, 5, 100, ExecPolicy::Parallel, &meter);
+        for ro in &orders {
+            for (pos, &idx) in ro.order.iter().enumerate() {
+                assert_eq!(ro.rank[idx as usize] as usize, pos);
+            }
+            // Sorted order is non-decreasing.
+            for w in ro.order.windows(2) {
+                let row_start = orders.iter().position(|x| std::ptr::eq(x, ro)).unwrap() * 100;
+                let a = data[row_start + w[0] as usize];
+                let b = data[row_start + w[1] as usize];
+                assert!(a <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let meter = CostMeter::new();
+        let data: Vec<f64> = (0..4000).map(|x| ((x * 31 + 3) % 500) as f64).collect();
+        let seq = argsort_rows(&data, 8, 500, ExecPolicy::Sequential, &meter);
+        let par = argsort_rows(&data, 8, 500, ExecPolicy::Parallel, &meter);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn sort_values_and_distinct() {
+        let meter = CostMeter::new();
+        let data = vec![3.0, 1.0, 2.0, 1.0];
+        assert_eq!(
+            sort_values(&data, ExecPolicy::Sequential, &meter),
+            vec![1.0, 1.0, 2.0, 3.0]
+        );
+        assert_eq!(
+            sorted_distinct(&data, ExecPolicy::Sequential, &meter),
+            vec![1.0, 2.0, 3.0]
+        );
+    }
+
+    #[test]
+    fn meter_counts_sorts() {
+        let meter = CostMeter::new();
+        let data = vec![1.0; 16];
+        let _ = sort_values(&data, ExecPolicy::Sequential, &meter);
+        let _ = argsort_rows(&data, 4, 4, ExecPolicy::Sequential, &meter);
+        assert_eq!(meter.report().sort_calls, 2);
+    }
+}

@@ -1,0 +1,451 @@
+//! Synthetic instance generators.
+//!
+//! The paper evaluates nothing empirically and ships no datasets, so the benchmark
+//! harness needs synthetic workloads. The generators here cover the regimes the paper's
+//! analyses care about:
+//!
+//! * **Uniform random** points in a square — the "typical" unstructured workload.
+//! * **Gaussian clusters** — well-separated cluster structure, the easy case for all
+//!   algorithms and the motivating case for k-median/k-means.
+//! * **Grid** — highly regular instance with massive cost ties, which stresses the
+//!   `(1 + ε)`-slack selection steps (many elements fall inside the slack window at
+//!   once).
+//! * **Line** — a 1-dimensional metric; the adversarial shape for greedy/local-search
+//!   style algorithms because clusters are ambiguous at every scale.
+//! * **Planted clusters** — `k` well-separated blobs of equal size, for which tight
+//!   lower bounds on the optimal k-center/k-median cost are easy to compute.
+//!
+//! Facility opening costs come from a [`FacilityCostModel`], and everything is seeded so
+//! experiments are reproducible.
+
+use crate::distmat::DistanceMatrix;
+use crate::instance::{ClusterInstance, FlInstance};
+use crate::point::{DistanceKind, Point};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How client / facility / node positions are laid out in space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpatialModel {
+    /// Points drawn uniformly at random from an axis-aligned square `[0, side]^2`.
+    UniformSquare {
+        /// Side length of the square.
+        side: f64,
+    },
+    /// `clusters` Gaussian blobs with centres drawn uniformly from `[0, side]^2` and
+    /// per-coordinate standard deviation `std`.
+    GaussianClusters {
+        /// Number of blobs.
+        clusters: usize,
+        /// Standard deviation of each blob.
+        std: f64,
+        /// Side length of the square containing the blob centres.
+        side: f64,
+    },
+    /// Points on the integer grid `{0, .., w-1} x {0, .., h-1}`, scaled by `spacing`.
+    /// Extra points (beyond `w*h`) wrap around with a small deterministic jitter so the
+    /// generator still produces the requested count.
+    Grid {
+        /// Grid width (number of columns).
+        width: usize,
+        /// Distance between adjacent grid points.
+        spacing: f64,
+    },
+    /// Points on a line with unit spacing — a 1-dimensional metric.
+    Line {
+        /// Distance between consecutive points.
+        spacing: f64,
+    },
+    /// `clusters` tightly packed blobs of radius `radius` whose centres are at mutual
+    /// distance at least `separation`; used when a known cluster structure (and hence an
+    /// easy lower bound) is wanted.
+    PlantedClusters {
+        /// Number of blobs (the intended `k`).
+        clusters: usize,
+        /// Maximum distance of a point from its blob centre.
+        radius: f64,
+        /// Minimum distance between blob centres.
+        separation: f64,
+    },
+}
+
+/// How facility opening costs are generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FacilityCostModel {
+    /// Every facility costs the same fixed amount.
+    Uniform(f64),
+    /// Costs drawn uniformly at random from `[lo, hi]`.
+    UniformRange {
+        /// Lower bound of the cost range.
+        lo: f64,
+        /// Upper bound of the cost range.
+        hi: f64,
+    },
+    /// Every facility cost is `factor` times the spatial extent (maximum pairwise
+    /// distance scale) of the instance; keeps facility and connection costs comparable
+    /// regardless of the spatial model.
+    ProportionalToSpread(f64),
+    /// All facilities are free; the optimum then opens everything and the problem
+    /// degenerates to nearest-facility assignment (useful as an edge case in tests).
+    Zero,
+}
+
+/// Full parameter set for the generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenParams {
+    /// Number of clients (or nodes, for clustering instances).
+    pub num_clients: usize,
+    /// Number of facilities (ignored by clustering instances).
+    pub num_facilities: usize,
+    /// Spatial layout of the points.
+    pub spatial: SpatialModel,
+    /// Facility opening-cost model.
+    pub cost_model: FacilityCostModel,
+    /// Distance function used to materialise matrices.
+    pub distance: DistanceKind,
+    /// RNG seed; the same parameters and seed always produce the same instance.
+    pub seed: u64,
+}
+
+impl GenParams {
+    /// Uniform-square layout with proportional facility costs — the workhorse workload.
+    pub fn uniform_square(num_clients: usize, num_facilities: usize) -> Self {
+        GenParams {
+            num_clients,
+            num_facilities,
+            spatial: SpatialModel::UniformSquare { side: 100.0 },
+            cost_model: FacilityCostModel::ProportionalToSpread(0.25),
+            distance: DistanceKind::Euclidean,
+            seed: 0xFAC1_10C,
+        }
+    }
+
+    /// Gaussian-cluster layout with `clusters` blobs.
+    pub fn gaussian_clusters(num_clients: usize, num_facilities: usize, clusters: usize) -> Self {
+        GenParams {
+            spatial: SpatialModel::GaussianClusters {
+                clusters,
+                std: 2.0,
+                side: 100.0,
+            },
+            ..GenParams::uniform_square(num_clients, num_facilities)
+        }
+    }
+
+    /// Regular grid layout (many distance ties).
+    pub fn grid(num_clients: usize, num_facilities: usize) -> Self {
+        let width = (num_clients.max(num_facilities) as f64).sqrt().ceil() as usize;
+        GenParams {
+            spatial: SpatialModel::Grid {
+                width: width.max(2),
+                spacing: 1.0,
+            },
+            ..GenParams::uniform_square(num_clients, num_facilities)
+        }
+    }
+
+    /// Line-metric layout (1-dimensional adversarial instance).
+    pub fn line(num_clients: usize, num_facilities: usize) -> Self {
+        GenParams {
+            spatial: SpatialModel::Line { spacing: 1.0 },
+            ..GenParams::uniform_square(num_clients, num_facilities)
+        }
+    }
+
+    /// Planted-cluster layout with `clusters` well-separated blobs.
+    pub fn planted(num_clients: usize, num_facilities: usize, clusters: usize) -> Self {
+        GenParams {
+            spatial: SpatialModel::PlantedClusters {
+                clusters,
+                radius: 1.0,
+                separation: 50.0,
+            },
+            ..GenParams::uniform_square(num_clients, num_facilities)
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the facility cost model.
+    pub fn with_cost_model(mut self, cost_model: FacilityCostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Replaces the distance kind.
+    pub fn with_distance(mut self, distance: DistanceKind) -> Self {
+        self.distance = distance;
+        self
+    }
+}
+
+/// A named generator configuration, used by the experiment harness to sweep over a
+/// standard suite of workloads.
+#[derive(Debug, Clone)]
+pub struct NamedWorkload {
+    /// Short human-readable name (appears in experiment tables).
+    pub name: &'static str,
+    /// The generator parameters.
+    pub params: GenParams,
+}
+
+/// The standard workload suite used by the experiments in `EXPERIMENTS.md`.
+pub fn standard_suite(num_clients: usize, num_facilities: usize, seed: u64) -> Vec<NamedWorkload> {
+    vec![
+        NamedWorkload {
+            name: "uniform",
+            params: GenParams::uniform_square(num_clients, num_facilities).with_seed(seed),
+        },
+        NamedWorkload {
+            name: "clustered",
+            params: GenParams::gaussian_clusters(num_clients, num_facilities, 8).with_seed(seed),
+        },
+        NamedWorkload {
+            name: "grid",
+            params: GenParams::grid(num_clients, num_facilities).with_seed(seed),
+        },
+        NamedWorkload {
+            name: "line",
+            params: GenParams::line(num_clients, num_facilities).with_seed(seed),
+        },
+        NamedWorkload {
+            name: "planted",
+            params: GenParams::planted(num_clients, num_facilities, 8).with_seed(seed),
+        },
+    ]
+}
+
+/// Deterministic, seedable instance generator.
+pub struct InstanceGenerator {
+    params: GenParams,
+    rng: ChaCha8Rng,
+}
+
+impl InstanceGenerator {
+    /// Creates a generator for the given parameters.
+    pub fn new(params: GenParams) -> Self {
+        InstanceGenerator {
+            rng: ChaCha8Rng::seed_from_u64(params.seed),
+            params,
+        }
+    }
+
+    /// The parameters this generator was constructed with.
+    pub fn params(&self) -> &GenParams {
+        &self.params
+    }
+
+    fn sample_points(&mut self, count: usize) -> Vec<Point> {
+        match self.params.spatial {
+            SpatialModel::UniformSquare { side } => (0..count)
+                .map(|_| Point::xy(self.rng.gen::<f64>() * side, self.rng.gen::<f64>() * side))
+                .collect(),
+            SpatialModel::GaussianClusters {
+                clusters,
+                std,
+                side,
+            } => {
+                let clusters = clusters.max(1);
+                let centers: Vec<(f64, f64)> = (0..clusters)
+                    .map(|_| (self.rng.gen::<f64>() * side, self.rng.gen::<f64>() * side))
+                    .collect();
+                (0..count)
+                    .map(|idx| {
+                        let (cx, cy) = centers[idx % clusters];
+                        // Box–Muller transform for Gaussian offsets.
+                        let (u1, u2) = (
+                            self.rng.gen::<f64>().max(f64::MIN_POSITIVE),
+                            self.rng.gen::<f64>(),
+                        );
+                        let r = (-2.0 * u1.ln()).sqrt();
+                        let (dx, dy) = (
+                            r * (2.0 * std::f64::consts::PI * u2).cos(),
+                            r * (2.0 * std::f64::consts::PI * u2).sin(),
+                        );
+                        Point::xy(cx + std * dx, cy + std * dy)
+                    })
+                    .collect()
+            }
+            SpatialModel::Grid { width, spacing } => (0..count)
+                .map(|idx| {
+                    let x = (idx % width) as f64 * spacing;
+                    let y = (idx / width) as f64 * spacing;
+                    Point::xy(x, y)
+                })
+                .collect(),
+            SpatialModel::Line { spacing } => {
+                (0..count).map(|idx| Point::scalar(idx as f64 * spacing)).collect()
+            }
+            SpatialModel::PlantedClusters {
+                clusters,
+                radius,
+                separation,
+            } => {
+                let clusters = clusters.max(1);
+                // Place blob centres on a coarse line so mutual distances are exactly
+                // multiples of `separation`.
+                let centers: Vec<(f64, f64)> =
+                    (0..clusters).map(|c| (c as f64 * separation, 0.0)).collect();
+                (0..count)
+                    .map(|idx| {
+                        let (cx, cy) = centers[idx % clusters];
+                        let angle = self.rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                        let r = self.rng.gen::<f64>() * radius;
+                        Point::xy(cx + r * angle.cos(), cy + r * angle.sin())
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn facility_costs(&mut self, count: usize, spread: f64) -> Vec<f64> {
+        match self.params.cost_model {
+            FacilityCostModel::Uniform(c) => vec![c; count],
+            FacilityCostModel::UniformRange { lo, hi } => {
+                assert!(lo <= hi && lo >= 0.0, "invalid facility cost range");
+                (0..count).map(|_| self.rng.gen_range(lo..=hi)).collect()
+            }
+            FacilityCostModel::ProportionalToSpread(factor) => vec![factor * spread; count],
+            FacilityCostModel::Zero => vec![0.0; count],
+        }
+    }
+
+    /// Generates a facility-location instance.
+    pub fn facility_location(&mut self) -> FlInstance {
+        let clients = self.sample_points(self.params.num_clients);
+        let facilities = self.sample_points(self.params.num_facilities);
+        let dist = DistanceMatrix::between(&clients, &facilities, self.params.distance);
+        let spread = dist.max_entry().max(1.0);
+        let costs = self.facility_costs(self.params.num_facilities, spread);
+        FlInstance::new(costs, dist).with_points(clients, facilities)
+    }
+
+    /// Generates a clustering instance over `num_clients` nodes (the `num_facilities`
+    /// parameter is ignored: every node is a potential center).
+    pub fn clustering(&mut self) -> ClusterInstance {
+        let points = self.sample_points(self.params.num_clients);
+        let dist = DistanceMatrix::pairwise(&points, self.params.distance);
+        ClusterInstance::new(dist).with_points(points)
+    }
+}
+
+/// Convenience: generate a facility-location instance directly from parameters.
+pub fn facility_location(params: GenParams) -> FlInstance {
+    InstanceGenerator::new(params).facility_location()
+}
+
+/// Convenience: generate a clustering instance directly from parameters.
+pub fn clustering(params: GenParams) -> ClusterInstance {
+    InstanceGenerator::new(params).clustering()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate;
+
+    #[test]
+    fn uniform_square_dimensions() {
+        let inst = facility_location(GenParams::uniform_square(20, 10).with_seed(1));
+        assert_eq!(inst.num_clients(), 20);
+        assert_eq!(inst.num_facilities(), 10);
+        assert_eq!(inst.m(), 200);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = facility_location(GenParams::uniform_square(16, 8).with_seed(42));
+        let b = facility_location(GenParams::uniform_square(16, 8).with_seed(42));
+        let c = facility_location(GenParams::uniform_square(16, 8).with_seed(43));
+        assert_eq!(a.distances(), b.distances());
+        assert_eq!(a.facility_costs(), b.facility_costs());
+        assert_ne!(a.distances(), c.distances());
+    }
+
+    #[test]
+    fn all_spatial_models_produce_valid_metrics() {
+        for wl in standard_suite(24, 12, 5) {
+            let inst = facility_location(wl.params);
+            assert!(
+                validate::check_fl_metric(&inst, 1e-6).is_ok(),
+                "workload {} violated metric axioms",
+                wl.name
+            );
+        }
+    }
+
+    #[test]
+    fn clustering_instances_are_symmetric() {
+        for wl in standard_suite(20, 20, 9) {
+            let inst = clustering(wl.params);
+            assert_eq!(inst.n(), 20);
+            assert!(inst.distances().is_symmetric(1e-9), "workload {}", wl.name);
+        }
+    }
+
+    #[test]
+    fn cost_models() {
+        let base = GenParams::uniform_square(8, 8).with_seed(3);
+        let uniform =
+            facility_location(base.with_cost_model(FacilityCostModel::Uniform(7.0)));
+        assert!(uniform.facility_costs().iter().all(|&c| c == 7.0));
+
+        let zero = facility_location(base.with_cost_model(FacilityCostModel::Zero));
+        assert!(zero.facility_costs().iter().all(|&c| c == 0.0));
+
+        let ranged = facility_location(
+            base.with_cost_model(FacilityCostModel::UniformRange { lo: 1.0, hi: 2.0 }),
+        );
+        assert!(ranged
+            .facility_costs()
+            .iter()
+            .all(|&c| (1.0..=2.0).contains(&c)));
+    }
+
+    #[test]
+    fn planted_clusters_are_separated() {
+        let inst = clustering(GenParams::planted(40, 40, 4).with_seed(11));
+        // Any two points in the same blob are within 2*radius = 2.0; points in different
+        // blobs are at least separation - 2*radius = 48 apart.
+        let mut near = 0usize;
+        let mut far = 0usize;
+        for a in 0..inst.n() {
+            for b in (a + 1)..inst.n() {
+                let d = inst.dist(a, b);
+                if d <= 2.0 + 1e-9 {
+                    near += 1;
+                } else if d >= 48.0 - 1e-9 {
+                    far += 1;
+                } else {
+                    panic!("unexpected intermediate distance {d}");
+                }
+            }
+        }
+        assert!(near > 0 && far > 0);
+    }
+
+    #[test]
+    fn grid_and_line_are_deterministic_layouts() {
+        let g = facility_location(GenParams::grid(9, 9).with_seed(0));
+        let g2 = facility_location(GenParams::grid(9, 9).with_seed(999));
+        // Grid ignores randomness for positions; only cost model could differ but it is
+        // proportional, so instances coincide.
+        assert_eq!(g.distances(), g2.distances());
+
+        let l = clustering(GenParams::line(5, 5));
+        assert_eq!(l.dist(0, 4), 4.0);
+        assert_eq!(l.dist(1, 3), 2.0);
+    }
+
+    #[test]
+    fn standard_suite_has_expected_workloads() {
+        let suite = standard_suite(10, 10, 1);
+        let names: Vec<_> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(names, vec!["uniform", "clustered", "grid", "line", "planted"]);
+    }
+}

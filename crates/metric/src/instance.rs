@@ -1,0 +1,437 @@
+//! Problem instances: facility location and k-clustering.
+
+use crate::distmat::DistanceMatrix;
+use crate::point::Point;
+use crate::{ClientId, FacilityId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An instance of (metric, uncapacitated) facility location.
+///
+/// Matches the setup of Section 2 of the paper: a facility set `F` with opening costs
+/// `f_i`, a client set `C`, and distances `d(j, i)` between clients and facilities,
+/// stored densely with rows indexed by clients and columns by facilities. The instance
+/// size in the paper's work bounds is `m = |C| * |F|` ([`FlInstance::m`]).
+///
+/// Instances built by the generators also carry the underlying [`Point`]s, which is
+/// convenient for examples and for validating the metric axioms; instances built
+/// directly from a matrix may omit them.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlInstance {
+    facility_costs: Vec<f64>,
+    dist: DistanceMatrix,
+    client_points: Option<Vec<Point>>,
+    facility_points: Option<Vec<Point>>,
+}
+
+impl FlInstance {
+    /// Creates an instance from facility opening costs and a client x facility distance
+    /// matrix.
+    ///
+    /// # Panics
+    /// Panics if the number of facility costs does not match the number of columns of
+    /// `dist`, or if any facility cost is negative or non-finite.
+    pub fn new(facility_costs: Vec<f64>, dist: DistanceMatrix) -> Self {
+        assert_eq!(
+            facility_costs.len(),
+            dist.cols(),
+            "facility cost vector length must equal number of matrix columns"
+        );
+        assert!(
+            facility_costs.iter().all(|f| f.is_finite() && *f >= 0.0),
+            "facility costs must be finite and non-negative"
+        );
+        FlInstance {
+            facility_costs,
+            dist,
+            client_points: None,
+            facility_points: None,
+        }
+    }
+
+    /// Creates an instance from explicit client and facility point sets, Euclidean
+    /// distances, and facility opening costs.
+    pub fn from_points(
+        facility_costs: Vec<f64>,
+        client_points: Vec<Point>,
+        facility_points: Vec<Point>,
+    ) -> Self {
+        let dist = DistanceMatrix::between(
+            &client_points,
+            &facility_points,
+            crate::point::DistanceKind::Euclidean,
+        );
+        let mut inst = FlInstance::new(facility_costs, dist);
+        inst.client_points = Some(client_points);
+        inst.facility_points = Some(facility_points);
+        inst
+    }
+
+    /// Attaches provenance points to an instance built from a matrix.
+    pub fn with_points(mut self, client_points: Vec<Point>, facility_points: Vec<Point>) -> Self {
+        assert_eq!(client_points.len(), self.num_clients());
+        assert_eq!(facility_points.len(), self.num_facilities());
+        self.client_points = Some(client_points);
+        self.facility_points = Some(facility_points);
+        self
+    }
+
+    /// Number of clients `|C|` (`nc` in the paper).
+    #[inline]
+    pub fn num_clients(&self) -> usize {
+        self.dist.rows()
+    }
+
+    /// Number of facilities `|F|` (`nf` in the paper).
+    #[inline]
+    pub fn num_facilities(&self) -> usize {
+        self.dist.cols()
+    }
+
+    /// The paper's input-size parameter `m = nc * nf`.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.num_clients() * self.num_facilities()
+    }
+
+    /// Opening cost of facility `i`.
+    #[inline]
+    pub fn facility_cost(&self, i: FacilityId) -> f64 {
+        self.facility_costs[i]
+    }
+
+    /// All facility opening costs.
+    #[inline]
+    pub fn facility_costs(&self) -> &[f64] {
+        &self.facility_costs
+    }
+
+    /// The distance `d(j, i)` from client `j` to facility `i`.
+    #[inline]
+    pub fn dist(&self, j: ClientId, i: FacilityId) -> f64 {
+        self.dist.get(j, i)
+    }
+
+    /// The full client x facility distance matrix.
+    #[inline]
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.dist
+    }
+
+    /// Row of distances from client `j` to every facility.
+    #[inline]
+    pub fn client_row(&self, j: ClientId) -> &[f64] {
+        self.dist.row(j)
+    }
+
+    /// The client points, if the instance was built from geometry.
+    pub fn client_points(&self) -> Option<&[Point]> {
+        self.client_points.as_deref()
+    }
+
+    /// The facility points, if the instance was built from geometry.
+    pub fn facility_points(&self) -> Option<&[Point]> {
+        self.facility_points.as_deref()
+    }
+
+    /// `d(j, S) = min_{i in S} d(j, i)` — distance from client `j` to the closest open
+    /// facility in `open`, together with the argmin facility.
+    ///
+    /// Returns `None` if `open` is empty.
+    pub fn closest_open(&self, j: ClientId, open: &[FacilityId]) -> Option<(FacilityId, f64)> {
+        open.iter()
+            .map(|&i| (i, self.dist(j, i)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    }
+
+    /// Total cost (Equation (1) of the paper) of opening exactly the facilities in
+    /// `open`: sum of opening costs plus each client's distance to its closest open
+    /// facility.
+    ///
+    /// # Panics
+    /// Panics if `open` is empty but there is at least one client, or if an index is out
+    /// of range.
+    pub fn solution_cost(&self, open: &[FacilityId]) -> f64 {
+        let facility: f64 = open.iter().map(|&i| self.facility_cost(i)).sum();
+        let connection: f64 = (0..self.num_clients())
+            .map(|j| {
+                self.closest_open(j, open)
+                    .expect("solution must open at least one facility")
+                    .1
+            })
+            .sum();
+        facility + connection
+    }
+
+    /// Facility-opening part of the cost of `open`.
+    pub fn opening_cost(&self, open: &[FacilityId]) -> f64 {
+        open.iter().map(|&i| self.facility_cost(i)).sum()
+    }
+
+    /// Connection part of the cost of `open`.
+    pub fn connection_cost(&self, open: &[FacilityId]) -> f64 {
+        (0..self.num_clients())
+            .map(|j| {
+                self.closest_open(j, open)
+                    .expect("solution must open at least one facility")
+                    .1
+            })
+            .sum()
+    }
+
+    /// The greedy client-to-facility assignment induced by an open set: every client is
+    /// assigned to its closest open facility.
+    pub fn closest_assignment(&self, open: &[FacilityId]) -> Vec<FacilityId> {
+        (0..self.num_clients())
+            .map(|j| {
+                self.closest_open(j, open)
+                    .expect("solution must open at least one facility")
+                    .0
+            })
+            .collect()
+    }
+
+    /// `γ_j = min_i (f_i + d(j, i))` for each client, from Equation (2) of the paper.
+    pub fn gamma_per_client(&self) -> Vec<f64> {
+        (0..self.num_clients())
+            .map(|j| {
+                (0..self.num_facilities())
+                    .map(|i| self.facility_cost(i) + self.dist(j, i))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    /// `γ = max_j γ_j` — the lower bound on `opt` from Equation (2).
+    pub fn gamma(&self) -> f64 {
+        self.gamma_per_client().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Upper bound `Σ_j γ_j >= opt` from Equation (2).
+    pub fn gamma_sum(&self) -> f64 {
+        self.gamma_per_client().into_iter().sum()
+    }
+}
+
+/// An instance of a k-clustering problem (k-median, k-means or k-center).
+///
+/// Every node is simultaneously a client and a potential center, as in Section 2 of the
+/// paper; distances form a symmetric `n x n` matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterInstance {
+    dist: DistanceMatrix,
+    points: Option<Vec<Point>>,
+}
+
+impl ClusterInstance {
+    /// Creates a clustering instance from a symmetric distance matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn new(dist: DistanceMatrix) -> Self {
+        assert_eq!(
+            dist.rows(),
+            dist.cols(),
+            "clustering instances need a square distance matrix"
+        );
+        ClusterInstance { dist, points: None }
+    }
+
+    /// Creates a clustering instance from a point set under Euclidean distance.
+    pub fn from_points(points: Vec<Point>) -> Self {
+        let dist = DistanceMatrix::pairwise(&points, crate::point::DistanceKind::Euclidean);
+        ClusterInstance {
+            dist,
+            points: Some(points),
+        }
+    }
+
+    /// Attaches provenance points to an instance built from a matrix.
+    ///
+    /// # Panics
+    /// Panics if the number of points does not match the matrix dimension.
+    pub fn with_points(mut self, points: Vec<Point>) -> Self {
+        assert_eq!(points.len(), self.n(), "points must match matrix dimension");
+        self.points = Some(points);
+        self
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.dist.rows()
+    }
+
+    /// Distance between nodes `a` and `b`.
+    #[inline]
+    pub fn dist(&self, a: NodeId, b: NodeId) -> f64 {
+        self.dist.get(a, b)
+    }
+
+    /// The full symmetric distance matrix.
+    #[inline]
+    pub fn distances(&self) -> &DistanceMatrix {
+        &self.dist
+    }
+
+    /// The node points, if the instance was built from geometry.
+    pub fn points(&self) -> Option<&[Point]> {
+        self.points.as_deref()
+    }
+
+    /// `d(j, S)` and the closest center for node `j` under center set `centers`.
+    pub fn closest_center(&self, j: NodeId, centers: &[NodeId]) -> Option<(NodeId, f64)> {
+        centers
+            .iter()
+            .map(|&c| (c, self.dist(j, c)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    }
+
+    /// k-median objective: sum over nodes of the distance to the closest center.
+    pub fn kmedian_cost(&self, centers: &[NodeId]) -> f64 {
+        (0..self.n())
+            .map(|j| self.closest_center(j, centers).expect("centers empty").1)
+            .sum()
+    }
+
+    /// k-means objective: sum over nodes of the **squared** distance to the closest
+    /// center.
+    pub fn kmeans_cost(&self, centers: &[NodeId]) -> f64 {
+        (0..self.n())
+            .map(|j| {
+                let d = self.closest_center(j, centers).expect("centers empty").1;
+                d * d
+            })
+            .sum()
+    }
+
+    /// k-center objective: maximum over nodes of the distance to the closest center.
+    pub fn kcenter_cost(&self, centers: &[NodeId]) -> f64 {
+        (0..self.n())
+            .map(|j| self.closest_center(j, centers).expect("centers empty").1)
+            .fold(0.0, f64::max)
+    }
+
+    /// Node-to-center assignment mapping each node to its closest center.
+    pub fn center_assignment(&self, centers: &[NodeId]) -> Vec<NodeId> {
+        (0..self.n())
+            .map(|j| self.closest_center(j, centers).expect("centers empty").0)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::DistanceKind;
+
+    fn tiny_fl() -> FlInstance {
+        // 3 clients, 2 facilities.
+        // d = [[1, 4], [2, 3], [5, 1]]
+        let dist = DistanceMatrix::from_rows(3, 2, vec![1.0, 4.0, 2.0, 3.0, 5.0, 1.0]);
+        FlInstance::new(vec![10.0, 20.0], dist)
+    }
+
+    #[test]
+    fn fl_dimensions_and_m() {
+        let inst = tiny_fl();
+        assert_eq!(inst.num_clients(), 3);
+        assert_eq!(inst.num_facilities(), 2);
+        assert_eq!(inst.m(), 6);
+    }
+
+    #[test]
+    fn fl_solution_costs() {
+        let inst = tiny_fl();
+        // Open only facility 0: cost 10 + 1 + 2 + 5 = 18
+        assert_eq!(inst.solution_cost(&[0]), 18.0);
+        // Open only facility 1: cost 20 + 4 + 3 + 1 = 28
+        assert_eq!(inst.solution_cost(&[1]), 28.0);
+        // Open both: 30 + 1 + 2 + 1 = 34
+        assert_eq!(inst.solution_cost(&[0, 1]), 34.0);
+        assert_eq!(inst.opening_cost(&[0, 1]), 30.0);
+        assert_eq!(inst.connection_cost(&[0, 1]), 4.0);
+    }
+
+    #[test]
+    fn fl_closest_assignment() {
+        let inst = tiny_fl();
+        assert_eq!(inst.closest_assignment(&[0, 1]), vec![0, 0, 1]);
+        assert_eq!(inst.closest_open(2, &[0, 1]), Some((1, 1.0)));
+        assert_eq!(inst.closest_open(0, &[]), None);
+    }
+
+    #[test]
+    fn fl_gamma_bounds() {
+        let inst = tiny_fl();
+        // gamma_j = min(f_i + d(j,i)): client0 min(11,24)=11, client1 min(12,23)=12,
+        // client2 min(15,21)=15
+        assert_eq!(inst.gamma_per_client(), vec![11.0, 12.0, 15.0]);
+        assert_eq!(inst.gamma(), 15.0);
+        assert_eq!(inst.gamma_sum(), 38.0);
+        // Equation (2): gamma <= opt <= gamma_sum
+        let opt = inst.solution_cost(&[0]).min(inst.solution_cost(&[1]));
+        assert!(inst.gamma() <= opt);
+        assert!(opt <= inst.gamma_sum());
+    }
+
+    #[test]
+    fn fl_from_points_matches_euclidean() {
+        let clients = vec![Point::xy(0.0, 0.0), Point::xy(1.0, 0.0)];
+        let facilities = vec![Point::xy(0.0, 3.0)];
+        let inst = FlInstance::from_points(vec![2.0], clients.clone(), facilities.clone());
+        assert_eq!(inst.dist(0, 0), 3.0);
+        assert!((inst.dist(1, 0) - (10.0_f64).sqrt()).abs() < 1e-12);
+        assert!(inst.client_points().is_some());
+        assert!(inst.facility_points().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "facility cost vector length")]
+    fn fl_bad_cost_length_panics() {
+        let dist = DistanceMatrix::filled(2, 2, 1.0);
+        let _ = FlInstance::new(vec![1.0], dist);
+    }
+
+    fn tiny_cluster() -> ClusterInstance {
+        // 4 points on a line: 0, 1, 5, 6
+        let pts = vec![
+            Point::scalar(0.0),
+            Point::scalar(1.0),
+            Point::scalar(5.0),
+            Point::scalar(6.0),
+        ];
+        ClusterInstance::from_points(pts)
+    }
+
+    #[test]
+    fn cluster_objectives() {
+        let inst = tiny_cluster();
+        assert_eq!(inst.n(), 4);
+        // centers {0, 3}: distances 0,1,1,0
+        assert_eq!(inst.kmedian_cost(&[0, 3]), 2.0);
+        assert_eq!(inst.kmeans_cost(&[0, 3]), 2.0);
+        assert_eq!(inst.kcenter_cost(&[0, 3]), 1.0);
+        // single center 1: distances 1,0,4,5
+        assert_eq!(inst.kmedian_cost(&[1]), 10.0);
+        assert_eq!(inst.kmeans_cost(&[1]), 42.0);
+        assert_eq!(inst.kcenter_cost(&[1]), 5.0);
+        assert_eq!(inst.center_assignment(&[0, 3]), vec![0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn cluster_from_matrix_requires_square() {
+        let m = DistanceMatrix::pairwise(
+            &[Point::scalar(0.0), Point::scalar(2.0)],
+            DistanceKind::Euclidean,
+        );
+        let inst = ClusterInstance::new(m);
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.dist(0, 1), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn cluster_non_square_panics() {
+        let _ = ClusterInstance::new(DistanceMatrix::filled(2, 3, 1.0));
+    }
+}

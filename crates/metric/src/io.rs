@@ -1,0 +1,183 @@
+//! Plain-text serialisation of instances.
+//!
+//! The format follows the spirit of the classical OR-Library "cap" facility-location
+//! format (counts on the first line, then facility costs, then the distance matrix row
+//! by row), so synthetic instances produced by this crate can be saved, diffed, and
+//! reloaded by the benchmark harness without any binary dependencies.
+//!
+//! ```text
+//! # parfaclo facility-location instance
+//! <num_facilities> <num_clients>
+//! <f_0> <f_1> ... <f_{nf-1}>
+//! <d(0,0)> <d(0,1)> ... <d(0,nf-1)>
+//! ...
+//! <d(nc-1,0)> ... <d(nc-1,nf-1)>
+//! ```
+
+use crate::distmat::DistanceMatrix;
+use crate::instance::{ClusterInstance, FlInstance};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// Errors produced while parsing an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header line was missing or malformed.
+    BadHeader(String),
+    /// A numeric token could not be parsed.
+    BadNumber(String),
+    /// The file ended before all expected values were read.
+    UnexpectedEof,
+    /// Too many values were present.
+    TrailingData,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader(s) => write!(f, "bad header line: {s:?}"),
+            ParseError::BadNumber(s) => write!(f, "bad numeric token: {s:?}"),
+            ParseError::UnexpectedEof => write!(f, "unexpected end of input"),
+            ParseError::TrailingData => write!(f, "trailing data after matrix"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn tokens(text: &str) -> impl Iterator<Item = &str> {
+    text.lines()
+        .filter(|l| !l.trim_start().starts_with('#'))
+        .flat_map(|l| l.split_whitespace())
+}
+
+fn parse_next<T: FromStr>(iter: &mut impl Iterator<Item = impl AsRef<str>>) -> Result<T, ParseError> {
+    let tok = iter.next().ok_or(ParseError::UnexpectedEof)?;
+    tok.as_ref()
+        .parse::<T>()
+        .map_err(|_| ParseError::BadNumber(tok.as_ref().to_string()))
+}
+
+/// Serialises a facility-location instance to the plain-text format.
+pub fn write_fl_instance(inst: &FlInstance) -> String {
+    let nf = inst.num_facilities();
+    let nc = inst.num_clients();
+    let mut out = String::new();
+    out.push_str("# parfaclo facility-location instance\n");
+    let _ = writeln!(out, "{nf} {nc}");
+    let costs: Vec<String> = inst.facility_costs().iter().map(|c| format!("{c}")).collect();
+    let _ = writeln!(out, "{}", costs.join(" "));
+    for j in 0..nc {
+        let row: Vec<String> = inst.client_row(j).iter().map(|d| format!("{d}")).collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+    out
+}
+
+/// Parses a facility-location instance from the plain-text format.
+pub fn read_fl_instance(text: &str) -> Result<FlInstance, ParseError> {
+    let mut it = tokens(text);
+    let nf: usize = parse_next(&mut it)?;
+    let nc: usize = parse_next(&mut it)?;
+    let mut costs = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        costs.push(parse_next::<f64>(&mut it)?);
+    }
+    let mut data = Vec::with_capacity(nc * nf);
+    for _ in 0..nc * nf {
+        data.push(parse_next::<f64>(&mut it)?);
+    }
+    if it.next().is_some() {
+        return Err(ParseError::TrailingData);
+    }
+    Ok(FlInstance::new(costs, DistanceMatrix::from_rows(nc, nf, data)))
+}
+
+/// Serialises a clustering instance (symmetric matrix) to the plain-text format.
+pub fn write_cluster_instance(inst: &ClusterInstance) -> String {
+    let n = inst.n();
+    let mut out = String::new();
+    out.push_str("# parfaclo clustering instance\n");
+    let _ = writeln!(out, "{n}");
+    for a in 0..n {
+        let row: Vec<String> = (0..n).map(|b| format!("{}", inst.dist(a, b))).collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+    out
+}
+
+/// Parses a clustering instance from the plain-text format.
+pub fn read_cluster_instance(text: &str) -> Result<ClusterInstance, ParseError> {
+    let mut it = tokens(text);
+    let n: usize = parse_next(&mut it)?;
+    let mut data = Vec::with_capacity(n * n);
+    for _ in 0..n * n {
+        data.push(parse_next::<f64>(&mut it)?);
+    }
+    if it.next().is_some() {
+        return Err(ParseError::TrailingData);
+    }
+    Ok(ClusterInstance::new(DistanceMatrix::from_rows(n, n, data)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{self, GenParams};
+
+    #[test]
+    fn fl_round_trip() {
+        let inst = gen::facility_location(GenParams::uniform_square(7, 4).with_seed(5));
+        let text = write_fl_instance(&inst);
+        let back = read_fl_instance(&text).expect("parse");
+        assert_eq!(back.num_clients(), 7);
+        assert_eq!(back.num_facilities(), 4);
+        for i in 0..4 {
+            assert!((back.facility_cost(i) - inst.facility_cost(i)).abs() < 1e-12);
+        }
+        for j in 0..7 {
+            for i in 0..4 {
+                assert!((back.dist(j, i) - inst.dist(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_round_trip() {
+        let inst = gen::clustering(GenParams::line(5, 5));
+        let text = write_cluster_instance(&inst);
+        let back = read_cluster_instance(&text).expect("parse");
+        assert_eq!(back.n(), 5);
+        for a in 0..5 {
+            for b in 0..5 {
+                assert!((back.dist(a, b) - inst.dist(a, b)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let text = "# hello\n2 1\n# costs\n3.0 4.0\n# row\n1.0 2.0\n";
+        let inst = read_fl_instance(text).expect("parse");
+        assert_eq!(inst.num_facilities(), 2);
+        assert_eq!(inst.num_clients(), 1);
+        assert_eq!(inst.facility_cost(1), 4.0);
+        assert_eq!(inst.dist(0, 1), 2.0);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            read_fl_instance(""),
+            Err(ParseError::UnexpectedEof)
+        ));
+        assert!(matches!(
+            read_fl_instance("2 1\nfoo 4.0\n1.0 2.0"),
+            Err(ParseError::BadNumber(_))
+        ));
+        assert!(matches!(
+            read_fl_instance("1 1\n1.0\n1.0 99.0"),
+            Err(ParseError::TrailingData)
+        ));
+    }
+}

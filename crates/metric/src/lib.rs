@@ -1,0 +1,99 @@
+//! # parfaclo-metric
+//!
+//! Metric-space substrate for the `parfaclo` workspace, the Rust reproduction of
+//! *Blelloch & Tangwongsan, "Parallel Approximation Algorithms for Facility-Location
+//! Problems", SPAA 2010*.
+//!
+//! The paper (Section 2) works over a metric space `(X, d)` containing a facility set `F`
+//! and a client set `C`, represented as a dense distance matrix; every algorithm in the
+//! paper consumes either
+//!
+//! * a **facility-location instance**: facility opening costs `f_i` plus the dense
+//!   `|C| x |F|` client-to-facility distance matrix ([`FlInstance`]), or
+//! * a **clustering instance**: a symmetric `n x n` distance matrix over a node set in
+//!   which every node is simultaneously a client and a potential center
+//!   ([`ClusterInstance`]).
+//!
+//! This crate provides those instance types, the geometric [`Point`] representation used
+//! to build them, a suite of synthetic [`gen`]erators standing in for the datasets the
+//! paper does not provide, metric-axiom [`validate`]-ion, simple text [`io`], and the
+//! elementary [`lower_bounds`] from Equation (2) of the paper that the experiment harness
+//! uses to certify approximation ratios.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use parfaclo_metric::gen::{InstanceGenerator, GenParams, FacilityCostModel};
+//!
+//! let params = GenParams::uniform_square(64, 64).with_seed(7);
+//! let inst = InstanceGenerator::new(params).facility_location();
+//! assert_eq!(inst.num_clients(), 64);
+//! assert_eq!(inst.num_facilities(), 64);
+//! // distances obey the triangle inequality (through the shared underlying point set)
+//! assert!(parfaclo_metric::validate::check_fl_metric(&inst, 1e-9).is_ok());
+//! # let _ = FacilityCostModel::Uniform(1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distmat;
+pub mod gen;
+pub mod instance;
+pub mod io;
+pub mod lower_bounds;
+pub mod point;
+pub mod validate;
+
+pub use distmat::DistanceMatrix;
+pub use instance::{ClusterInstance, FlInstance};
+pub use point::Point;
+
+/// Index of a facility within an [`FlInstance`] (column of the distance matrix).
+pub type FacilityId = usize;
+
+/// Index of a client within an [`FlInstance`] (row of the distance matrix).
+pub type ClientId = usize;
+
+/// Index of a node within a [`ClusterInstance`].
+pub type NodeId = usize;
+
+/// Numeric tolerance used throughout the workspace when comparing distances and costs.
+///
+/// All costs are non-negative `f64` values derived from Euclidean distances or explicit
+/// matrices; `EPSILON_COST` absorbs accumulated floating-point error in feasibility and
+/// invariant checks.
+pub const EPSILON_COST: f64 = 1e-7;
+
+/// Convenience: relative-error comparison `|a - b| <= tol * max(1, |a|, |b|)`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * 1.0_f64.max(a.abs()).max(b.abs())
+}
+
+/// Convenience: `a <= b` up to relative tolerance.
+#[inline]
+pub fn approx_le(a: f64, b: f64, tol: f64) -> bool {
+    a <= b + tol * 1.0_f64.max(a.abs()).max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+        assert!(approx_eq(0.0, 0.0, 1e-9));
+        assert!(approx_eq(1e12, 1e12 + 1.0, 1e-9));
+    }
+
+    #[test]
+    fn approx_le_basic() {
+        assert!(approx_le(1.0, 1.0, 1e-9));
+        assert!(approx_le(1.0, 2.0, 1e-9));
+        assert!(approx_le(1.0 + 1e-12, 1.0, 1e-9));
+        assert!(!approx_le(1.1, 1.0, 1e-9));
+    }
+}

@@ -1,0 +1,288 @@
+//! Elementary lower bounds and brute-force optima.
+//!
+//! The experiment harness certifies approximation ratios against *valid lower bounds* on
+//! the optimum rather than against heuristic solutions. This module provides
+//!
+//! * the `γ`-bounds of Equation (2) of the paper (`γ <= opt <= Σ_j γ_j`),
+//! * exact brute-force optima for tiny instances (exponential time; used in tests and in
+//!   the small-instance columns of the experiment tables), and
+//! * exact brute-force optima for tiny k-clustering instances.
+//!
+//! Stronger LP-based lower bounds live in `parfaclo-lp`.
+
+use crate::instance::{ClusterInstance, FlInstance};
+use crate::{FacilityId, NodeId};
+
+/// The pair of bounds from Equation (2): `gamma <= opt <= gamma_sum`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GammaBounds {
+    /// `γ = max_j min_i (f_i + d(j, i))`, a lower bound on the optimum.
+    pub lower: f64,
+    /// `Σ_j γ_j`, an upper bound on the optimum.
+    pub upper: f64,
+}
+
+/// Computes the γ-bounds of Equation (2).
+pub fn gamma_bounds(inst: &FlInstance) -> GammaBounds {
+    GammaBounds {
+        lower: inst.gamma(),
+        upper: inst.gamma_sum(),
+    }
+}
+
+/// Exact optimum of a facility-location instance by exhaustive search over all non-empty
+/// facility subsets.
+///
+/// Runs in `O(2^nf * nc * nf)` time; intended only for instances with at most ~20
+/// facilities (tests and certification of small experiment rows).
+///
+/// Returns the optimal open set and its cost.
+///
+/// # Panics
+/// Panics if the instance has no facilities or more than 25 facilities (to protect
+/// against accidental exponential blow-ups).
+pub fn brute_force_facility_location(inst: &FlInstance) -> (Vec<FacilityId>, f64) {
+    let nf = inst.num_facilities();
+    assert!(nf >= 1, "instance has no facilities");
+    assert!(nf <= 25, "brute force limited to 25 facilities (got {nf})");
+    let mut best_cost = f64::INFINITY;
+    let mut best_set: Vec<FacilityId> = Vec::new();
+    for mask in 1u64..(1u64 << nf) {
+        let open: Vec<FacilityId> = (0..nf).filter(|i| mask & (1 << i) != 0).collect();
+        let cost = inst.solution_cost(&open);
+        if cost < best_cost {
+            best_cost = cost;
+            best_set = open;
+        }
+    }
+    (best_set, best_cost)
+}
+
+/// Objective selector for brute-force k-clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterObjective {
+    /// Sum of distances (k-median).
+    KMedian,
+    /// Sum of squared distances (k-means).
+    KMeans,
+    /// Maximum distance (k-center).
+    KCenter,
+}
+
+/// Exact optimum of a k-clustering instance by exhaustive search over all
+/// `C(n, k)` center subsets.
+///
+/// Intended for tiny instances only (tests and certification); panics if
+/// `C(n, k)` would exceed ~2 million subsets.
+pub fn brute_force_kclustering(
+    inst: &ClusterInstance,
+    k: usize,
+    objective: ClusterObjective,
+) -> (Vec<NodeId>, f64) {
+    let n = inst.n();
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n (k={k}, n={n})");
+    let combinations = binomial(n, k);
+    assert!(
+        combinations <= 2_000_000,
+        "brute force limited to 2e6 subsets (C({n},{k}) = {combinations})"
+    );
+
+    let mut best_cost = f64::INFINITY;
+    let mut best: Vec<NodeId> = Vec::new();
+    let mut current: Vec<NodeId> = (0..k).collect();
+    loop {
+        let cost = match objective {
+            ClusterObjective::KMedian => inst.kmedian_cost(&current),
+            ClusterObjective::KMeans => inst.kmeans_cost(&current),
+            ClusterObjective::KCenter => inst.kcenter_cost(&current),
+        };
+        if cost < best_cost {
+            best_cost = cost;
+            best = current.clone();
+        }
+        // Advance to the next k-combination in lexicographic order.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return (best, best_cost);
+            }
+            i -= 1;
+            if current[i] != i + n - k {
+                current[i] += 1;
+                for j in (i + 1)..k {
+                    current[j] = current[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// A simple combinatorial lower bound for k-center: the `(k+1)`-st smallest pairwise
+/// "bottleneck" — specifically, for any set of `k+1` nodes, half the minimum pairwise
+/// distance among them is a lower bound on the optimal radius. We take a greedy
+/// farthest-point set of size `k+1` to make the bound as large as possible.
+///
+/// This is the classical certificate associated with Gonzalez's algorithm and is exactly
+/// the bound the 2-approximation guarantee of Theorem 6.1 is measured against in the
+/// experiments.
+pub fn kcenter_lower_bound(inst: &ClusterInstance, k: usize) -> f64 {
+    let n = inst.n();
+    if n <= k {
+        return 0.0;
+    }
+    // Greedy farthest-point traversal (Gonzalez) to pick k+1 spread-out nodes.
+    let mut chosen: Vec<NodeId> = vec![0];
+    let mut dist_to_chosen: Vec<f64> = (0..n).map(|j| inst.dist(j, 0)).collect();
+    while chosen.len() < k + 1 {
+        let (next, _) = dist_to_chosen
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        chosen.push(next);
+        for j in 0..n {
+            dist_to_chosen[j] = dist_to_chosen[j].min(inst.dist(j, next));
+        }
+    }
+    // Minimum pairwise distance among the k+1 chosen nodes; by pigeonhole two of them
+    // share a center in any k-center solution, so opt >= min_pair / 2.
+    let mut min_pair = f64::INFINITY;
+    for a in 0..chosen.len() {
+        for b in (a + 1)..chosen.len() {
+            min_pair = min_pair.min(inst.dist(chosen[a], chosen[b]));
+        }
+    }
+    min_pair / 2.0
+}
+
+/// A simple lower bound for k-median: sum over all nodes of the distance to their
+/// nearest *other* node, restricted to the `n - k` nodes with the largest such
+/// distances being free... in fact the simplest valid bound is: for each node `j`, if
+/// `j` is not a center it pays at least the distance to its nearest neighbour. At most
+/// `k` nodes are centers, so the optimum is at least the sum of the `n - k` smallest
+/// nearest-neighbour distances.
+pub fn kmedian_lower_bound(inst: &ClusterInstance, k: usize) -> f64 {
+    let n = inst.n();
+    if n <= k {
+        return 0.0;
+    }
+    let mut nn: Vec<f64> = (0..n)
+        .map(|j| {
+            (0..n)
+                .filter(|&o| o != j)
+                .map(|o| inst.dist(j, o))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+    nn.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    nn[..n - k].iter().sum()
+}
+
+fn binomial(n: usize, k: usize) -> u128 {
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result * (n - i) as u128 / (i + 1) as u128;
+        if result > u64::MAX as u128 {
+            return result;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distmat::DistanceMatrix;
+    use crate::gen::{self, GenParams};
+
+    #[test]
+    fn gamma_bounds_bracket_optimum() {
+        let inst = gen::facility_location(GenParams::uniform_square(8, 5).with_seed(7));
+        let bounds = gamma_bounds(&inst);
+        let (_, opt) = brute_force_facility_location(&inst);
+        assert!(bounds.lower <= opt + 1e-9);
+        assert!(opt <= bounds.upper + 1e-9);
+    }
+
+    #[test]
+    fn brute_force_tiny_instance_known_answer() {
+        // 3 clients, 2 facilities, costs chosen so opening facility 0 only is optimal.
+        let dist = DistanceMatrix::from_rows(3, 2, vec![1.0, 4.0, 2.0, 3.0, 5.0, 1.0]);
+        let inst = FlInstance::new(vec![1.0, 100.0], dist);
+        let (open, cost) = brute_force_facility_location(&inst);
+        assert_eq!(open, vec![0]);
+        assert_eq!(cost, 1.0 + 1.0 + 2.0 + 5.0);
+    }
+
+    #[test]
+    fn brute_force_opens_all_when_free() {
+        let inst = gen::facility_location(
+            GenParams::uniform_square(6, 4)
+                .with_seed(3)
+                .with_cost_model(crate::gen::FacilityCostModel::Zero),
+        );
+        let (open, cost) = brute_force_facility_location(&inst);
+        assert_eq!(open.len(), 4);
+        assert!((cost - inst.solution_cost(&[0, 1, 2, 3])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brute_force_kclustering_line() {
+        // Nodes at 0, 1, 10, 11: with k = 2 the optimal k-median centers split the pairs.
+        let inst = gen::clustering(GenParams::line(4, 4));
+        let (centers, cost) = brute_force_kclustering(&inst, 2, ClusterObjective::KMedian);
+        assert_eq!(cost, 2.0);
+        assert_eq!(centers.len(), 2);
+        let (_, kc) = brute_force_kclustering(&inst, 2, ClusterObjective::KCenter);
+        assert_eq!(kc, 1.0);
+        let (_, km) = brute_force_kclustering(&inst, 2, ClusterObjective::KMeans);
+        assert_eq!(km, 2.0);
+    }
+
+    #[test]
+    fn kcenter_lower_bound_is_valid() {
+        for seed in 0..5 {
+            let inst = gen::clustering(GenParams::uniform_square(12, 12).with_seed(seed));
+            for k in 1..4 {
+                let lb = kcenter_lower_bound(&inst, k);
+                let (_, opt) = brute_force_kclustering(&inst, k, ClusterObjective::KCenter);
+                assert!(
+                    lb <= opt + 1e-9,
+                    "seed {seed} k {k}: lower bound {lb} exceeds optimum {opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kmedian_lower_bound_is_valid() {
+        for seed in 0..5 {
+            let inst = gen::clustering(GenParams::uniform_square(10, 10).with_seed(seed));
+            for k in 1..4 {
+                let lb = kmedian_lower_bound(&inst, k);
+                let (_, opt) = brute_force_kclustering(&inst, k, ClusterObjective::KMedian);
+                assert!(
+                    lb <= opt + 1e-9,
+                    "seed {seed} k {k}: lower bound {lb} exceeds optimum {opt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bounds_zero_when_k_geq_n() {
+        let inst = gen::clustering(GenParams::uniform_square(4, 4).with_seed(1));
+        assert_eq!(kcenter_lower_bound(&inst, 4), 0.0);
+        assert_eq!(kmedian_lower_bound(&inst, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "25 facilities")]
+    fn brute_force_guards_against_blowup() {
+        let inst = gen::facility_location(GenParams::uniform_square(2, 30).with_seed(0));
+        let _ = brute_force_facility_location(&inst);
+    }
+}

@@ -1,0 +1,227 @@
+//! Geometric points in `R^d` and the distance functions used to build instances.
+//!
+//! The paper assumes an abstract metric; our synthetic generators produce points in
+//! low-dimensional Euclidean space (the most common setting for facility-location and
+//! clustering workloads) and then materialise dense distance matrices from them.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in `R^d`, stored as a dense coordinate vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    coords: Vec<f64>,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub fn new(coords: Vec<f64>) -> Self {
+        Point { coords }
+    }
+
+    /// Creates a 2-dimensional point.
+    pub fn xy(x: f64, y: f64) -> Self {
+        Point { coords: vec![x, y] }
+    }
+
+    /// Creates a 1-dimensional point (used by the adversarial line-metric generator).
+    pub fn scalar(x: f64) -> Self {
+        Point { coords: vec![x] }
+    }
+
+    /// The dimensionality of the point.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Immutable view of the coordinates.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Euclidean (L2) distance to another point.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn euclidean(&self, other: &Point) -> f64 {
+        self.squared_euclidean(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (the k-means objective uses squared distances).
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn squared_euclidean(&self, other: &Point) -> f64 {
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "points must have equal dimension ({} vs {})",
+            self.dim(),
+            other.dim()
+        );
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Manhattan (L1) distance to another point.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn manhattan(&self, other: &Point) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "points must have equal dimension");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum()
+    }
+
+    /// Chebyshev (L∞) distance to another point.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn chebyshev(&self, other: &Point) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "points must have equal dimension");
+        self.coords
+            .iter()
+            .zip(other.coords.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Distance under the given [`DistanceKind`].
+    pub fn distance(&self, other: &Point, kind: DistanceKind) -> f64 {
+        match kind {
+            DistanceKind::Euclidean => self.euclidean(other),
+            DistanceKind::SquaredEuclidean => self.squared_euclidean(other),
+            DistanceKind::Manhattan => self.manhattan(other),
+            DistanceKind::Chebyshev => self.chebyshev(other),
+        }
+    }
+
+    /// Coordinate-wise mean of a non-empty slice of points (the k-means centroid).
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or dimensions are inconsistent.
+    pub fn centroid(points: &[Point]) -> Point {
+        assert!(!points.is_empty(), "centroid of empty point set");
+        let dim = points[0].dim();
+        let mut acc = vec![0.0; dim];
+        for p in points {
+            assert_eq!(p.dim(), dim, "points must have equal dimension");
+            for (a, c) in acc.iter_mut().zip(p.coords.iter()) {
+                *a += c;
+            }
+        }
+        let n = points.len() as f64;
+        for a in acc.iter_mut() {
+            *a /= n;
+        }
+        Point::new(acc)
+    }
+}
+
+/// Which point-to-point distance function to use when materialising a distance matrix.
+///
+/// `Euclidean`, `Manhattan` and `Chebyshev` are metrics. `SquaredEuclidean` is **not** a
+/// metric (it violates the triangle inequality) but is provided because the k-means
+/// objective of the paper sums squared distances; the k-means algorithms treat it as a
+/// cost function, never as a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceKind {
+    /// Standard L2 distance.
+    Euclidean,
+    /// Squared L2 distance (k-means cost; not a metric).
+    SquaredEuclidean,
+    /// L1 distance.
+    Manhattan,
+    /// L-infinity distance.
+    Chebyshev,
+}
+
+impl Default for DistanceKind {
+    fn default() -> Self {
+        DistanceKind::Euclidean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_345() {
+        let a = Point::xy(0.0, 0.0);
+        let b = Point::xy(3.0, 4.0);
+        assert!((a.euclidean(&b) - 5.0).abs() < 1e-12);
+        assert!((a.squared_euclidean(&b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manhattan_and_chebyshev() {
+        let a = Point::xy(1.0, 2.0);
+        let b = Point::xy(4.0, -2.0);
+        assert!((a.manhattan(&b) - 7.0).abs() < 1e-12);
+        assert!((a.chebyshev(&b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_dispatch_matches_direct_calls() {
+        let a = Point::new(vec![1.0, 0.0, -1.0]);
+        let b = Point::new(vec![0.0, 2.0, 1.0]);
+        assert_eq!(a.distance(&b, DistanceKind::Euclidean), a.euclidean(&b));
+        assert_eq!(
+            a.distance(&b, DistanceKind::SquaredEuclidean),
+            a.squared_euclidean(&b)
+        );
+        assert_eq!(a.distance(&b, DistanceKind::Manhattan), a.manhattan(&b));
+        assert_eq!(a.distance(&b, DistanceKind::Chebyshev), a.chebyshev(&b));
+    }
+
+    #[test]
+    fn self_distance_is_zero() {
+        let p = Point::new(vec![2.5, -3.5, 7.0]);
+        assert_eq!(p.euclidean(&p), 0.0);
+        assert_eq!(p.manhattan(&p), 0.0);
+        assert_eq!(p.chebyshev(&p), 0.0);
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(2.0, 0.0),
+            Point::xy(2.0, 2.0),
+            Point::xy(0.0, 2.0),
+        ];
+        let c = Point::centroid(&pts);
+        assert_eq!(c.coords(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimension")]
+    fn mismatched_dimensions_panic() {
+        let a = Point::scalar(1.0);
+        let b = Point::xy(1.0, 2.0);
+        let _ = a.euclidean(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn centroid_empty_panics() {
+        let _ = Point::centroid(&[]);
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = Point::new(vec![1.0, 2.0, 3.0]);
+        let b = Point::new(vec![-4.0, 0.5, 9.0]);
+        assert_eq!(a.euclidean(&b), b.euclidean(&a));
+        assert_eq!(a.manhattan(&b), b.manhattan(&a));
+    }
+}

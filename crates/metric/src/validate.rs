@@ -1,0 +1,215 @@
+//! Metric-axiom validation.
+//!
+//! Every approximation guarantee in the paper relies on the distances forming a metric
+//! (symmetry and the triangle inequality; Section 2). These checks are used by the
+//! generator tests, property tests, and optionally by user-facing constructors to fail
+//! fast on malformed inputs.
+
+use crate::instance::{ClusterInstance, FlInstance};
+
+/// A violation of the metric axioms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricViolation {
+    /// A distance entry was negative (index pair and value).
+    Negative {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A pair of symmetric entries differ by more than the tolerance.
+    Asymmetric {
+        /// First node index.
+        a: usize,
+        /// Second node index.
+        b: usize,
+        /// `d(a, b)`.
+        forward: f64,
+        /// `d(b, a)`.
+        backward: f64,
+    },
+    /// A triangle-inequality violation `d(a, c) > d(a, b) + d(b, c) + tol`.
+    Triangle {
+        /// Endpoint `a`.
+        a: usize,
+        /// Midpoint `b`.
+        b: usize,
+        /// Endpoint `c`.
+        c: usize,
+        /// Amount by which the inequality is violated.
+        excess: f64,
+    },
+    /// A diagonal entry of a clustering instance was non-zero.
+    NonZeroDiagonal {
+        /// The node index.
+        node: usize,
+        /// The diagonal value.
+        value: f64,
+    },
+}
+
+/// Checks that a clustering instance's distance matrix is a metric: non-negative,
+/// zero diagonal, symmetric, and satisfying the triangle inequality (all up to `tol`).
+///
+/// Runs in `O(n^3)` time — intended for tests and small validation passes, not hot
+/// paths.
+pub fn check_cluster_metric(inst: &ClusterInstance, tol: f64) -> Result<(), MetricViolation> {
+    let n = inst.n();
+    for a in 0..n {
+        let daa = inst.dist(a, a);
+        if daa.abs() > tol {
+            return Err(MetricViolation::NonZeroDiagonal { node: a, value: daa });
+        }
+        for b in 0..n {
+            let d = inst.dist(a, b);
+            if d < -tol {
+                return Err(MetricViolation::Negative {
+                    row: a,
+                    col: b,
+                    value: d,
+                });
+            }
+            let back = inst.dist(b, a);
+            if (d - back).abs() > tol {
+                return Err(MetricViolation::Asymmetric {
+                    a,
+                    b,
+                    forward: d,
+                    backward: back,
+                });
+            }
+        }
+    }
+    for a in 0..n {
+        for b in 0..n {
+            for c in 0..n {
+                let excess = inst.dist(a, c) - inst.dist(a, b) - inst.dist(b, c);
+                if excess > tol {
+                    return Err(MetricViolation::Triangle { a, b, c, excess });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that a facility-location instance is consistent with *some* underlying metric
+/// by verifying the bipartite triangle inequality
+/// `d(j, i) <= d(j, i') + d(j', i') + d(j', i)` for all clients `j, j'` and facilities
+/// `i, i'` (this is the inequality every analysis in the paper actually uses), plus
+/// non-negativity.
+///
+/// Runs in `O(nc^2 * nf^2)` time — tests only.
+pub fn check_fl_metric(inst: &FlInstance, tol: f64) -> Result<(), MetricViolation> {
+    let nc = inst.num_clients();
+    let nf = inst.num_facilities();
+    for j in 0..nc {
+        for i in 0..nf {
+            let d = inst.dist(j, i);
+            if d < -tol {
+                return Err(MetricViolation::Negative {
+                    row: j,
+                    col: i,
+                    value: d,
+                });
+            }
+        }
+    }
+    for j in 0..nc {
+        for jp in 0..nc {
+            for i in 0..nf {
+                for ip in 0..nf {
+                    let excess =
+                        inst.dist(j, i) - inst.dist(j, ip) - inst.dist(jp, ip) - inst.dist(jp, i);
+                    if excess > tol {
+                        return Err(MetricViolation::Triangle {
+                            a: j,
+                            b: jp,
+                            c: i,
+                            excess,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distmat::DistanceMatrix;
+    use crate::gen::{self, GenParams};
+    use crate::point::Point;
+
+    #[test]
+    fn euclidean_cluster_instance_is_metric() {
+        let inst = gen::clustering(GenParams::uniform_square(15, 15).with_seed(2));
+        assert!(check_cluster_metric(&inst, 1e-7).is_ok());
+    }
+
+    #[test]
+    fn euclidean_fl_instance_is_metric() {
+        let inst = gen::facility_location(GenParams::gaussian_clusters(10, 6, 3).with_seed(2));
+        assert!(check_fl_metric(&inst, 1e-7).is_ok());
+    }
+
+    #[test]
+    fn asymmetric_matrix_is_rejected() {
+        let m = DistanceMatrix::from_rows(2, 2, vec![0.0, 1.0, 2.0, 0.0]);
+        let inst = ClusterInstance::new(m);
+        match check_cluster_metric(&inst, 1e-9) {
+            Err(MetricViolation::Asymmetric { .. }) => {}
+            other => panic!("expected asymmetry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn triangle_violation_is_detected() {
+        // d(0,2)=10 but d(0,1)+d(1,2)=2: violates the triangle inequality.
+        let m = DistanceMatrix::from_rows(
+            3,
+            3,
+            vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0],
+        );
+        let inst = ClusterInstance::new(m);
+        match check_cluster_metric(&inst, 1e-9) {
+            Err(MetricViolation::Triangle { .. }) => {}
+            other => panic!("expected triangle violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonzero_diagonal_is_detected() {
+        let m = DistanceMatrix::from_rows(2, 2, vec![0.5, 1.0, 1.0, 0.0]);
+        let inst = ClusterInstance::new(m);
+        match check_cluster_metric(&inst, 1e-9) {
+            Err(MetricViolation::NonZeroDiagonal { node: 0, .. }) => {}
+            other => panic!("expected non-zero diagonal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fl_bipartite_triangle_violation_is_detected() {
+        // Clients {0,1}, facilities {0,1}.
+        // d(0,0)=100, but d(0,1)=1, d(1,1)=1, d(1,0)=1 → 100 > 3.
+        let m = DistanceMatrix::from_rows(2, 2, vec![100.0, 1.0, 1.0, 1.0]);
+        let inst = FlInstance::new(vec![0.0, 0.0], m);
+        match check_fl_metric(&inst, 1e-9) {
+            Err(MetricViolation::Triangle { .. }) => {}
+            other => panic!("expected triangle violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn squared_euclidean_is_not_a_metric() {
+        // Three collinear points 0, 1, 2 under squared distance: d(0,2)=4 > 1+1.
+        let pts = vec![Point::scalar(0.0), Point::scalar(1.0), Point::scalar(2.0)];
+        let m = DistanceMatrix::pairwise(&pts, crate::point::DistanceKind::SquaredEuclidean);
+        let inst = ClusterInstance::new(m);
+        assert!(check_cluster_metric(&inst, 1e-9).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! The sequential greedy facility-location algorithm of Jain, Mahdian, Markakis, Saberi
+//! and Vazirani (JMS), described at the top of Section 4 of the paper:
+//!
+//! > Until no client remains, pick the cheapest star `(i, C')`, open the facility `i`,
+//! > set `f_i = 0`, remove all clients in `C'` from the instance, and repeat.
+//!
+//! The price of a star is `(f_i + Σ_{j∈C'} d(j,i)) / |C'|`, and for each facility the
+//! cheapest maximal star consists of its `κ` closest remaining clients for some `κ`
+//! (Fact 4.2), so each round only needs a prefix-sum over each facility's sorted
+//! remaining-client distances. The algorithm is a 1.861-approximation.
+
+use parfaclo_metric::{FacilityId, FlInstance};
+
+/// Result of the sequential greedy algorithm.
+#[derive(Debug, Clone)]
+pub struct JmsGreedyResult {
+    /// The facilities opened, in the order they were opened.
+    pub open: Vec<FacilityId>,
+    /// Total cost of the solution (Equation (1)).
+    pub cost: f64,
+    /// Number of greedy rounds (stars picked). Useful as the sequential-round baseline
+    /// for experiment E2.
+    pub rounds: usize,
+    /// The α values of the dual-fitting analysis: `α_j` is the price of the star that
+    /// removed client `j`.
+    pub alpha: Vec<f64>,
+}
+
+/// For one facility, finds the cheapest maximal star over the remaining clients.
+///
+/// `sorted_clients` lists the remaining clients by increasing distance from the
+/// facility. Returns `(price, number_of_clients_in_star)`, or `None` if no clients
+/// remain.
+fn cheapest_star(
+    inst: &FlInstance,
+    facility: FacilityId,
+    facility_cost: f64,
+    sorted_clients: &[usize],
+) -> Option<(f64, usize)> {
+    if sorted_clients.is_empty() {
+        return None;
+    }
+    let mut best_price = f64::INFINITY;
+    let mut best_k = 0usize;
+    let mut dist_sum = 0.0;
+    for (idx, &j) in sorted_clients.iter().enumerate() {
+        dist_sum += inst.dist(j, facility);
+        let k = idx + 1;
+        let price = (facility_cost + dist_sum) / k as f64;
+        if price < best_price {
+            best_price = price;
+            best_k = k;
+        }
+    }
+    Some((best_price, best_k))
+}
+
+/// Runs the JMS greedy algorithm on `inst`.
+///
+/// # Panics
+/// Panics if the instance has no facilities or no clients.
+pub fn jms_greedy(inst: &FlInstance) -> JmsGreedyResult {
+    let nc = inst.num_clients();
+    let nf = inst.num_facilities();
+    assert!(nf > 0 && nc > 0, "instance must have clients and facilities");
+
+    // Pre-sort each facility's clients by distance (reused every round with removed
+    // clients filtered out).
+    let sorted_by_facility: Vec<Vec<usize>> = (0..nf)
+        .map(|i| {
+            let mut order: Vec<usize> = (0..nc).collect();
+            order.sort_by(|&a, &b| {
+                inst.dist(a, i)
+                    .partial_cmp(&inst.dist(b, i))
+                    .unwrap()
+                    .then(a.cmp(&b))
+            });
+            order
+        })
+        .collect();
+
+    let mut remaining = vec![true; nc];
+    let mut remaining_count = nc;
+    let mut facility_cost: Vec<f64> = (0..nf).map(|i| inst.facility_cost(i)).collect();
+    let mut opened = vec![false; nf];
+    let mut open_order: Vec<FacilityId> = Vec::new();
+    let mut alpha = vec![0.0; nc];
+    let mut rounds = 0usize;
+
+    while remaining_count > 0 {
+        rounds += 1;
+        // Find the cheapest maximal star over all facilities.
+        let mut best: Option<(f64, FacilityId, usize)> = None; // (price, facility, k)
+        let mut per_facility_remaining: Vec<Vec<usize>> = Vec::with_capacity(nf);
+        for i in 0..nf {
+            let remaining_sorted: Vec<usize> = sorted_by_facility[i]
+                .iter()
+                .copied()
+                .filter(|&j| remaining[j])
+                .collect();
+            if let Some((price, k)) = cheapest_star(inst, i, facility_cost[i], &remaining_sorted) {
+                let better = match best {
+                    None => true,
+                    Some((bp, bi, _)) => price < bp || (price == bp && i < bi),
+                };
+                if better {
+                    best = Some((price, i, k));
+                }
+            }
+            per_facility_remaining.push(remaining_sorted);
+        }
+        let (price, fac, k) =
+            best.expect("at least one facility must yield a star while clients remain");
+
+        // Open the facility (if not already), zero its cost, remove the star's clients.
+        if !opened[fac] {
+            opened[fac] = true;
+            open_order.push(fac);
+        }
+        facility_cost[fac] = 0.0;
+        for &j in per_facility_remaining[fac].iter().take(k) {
+            remaining[j] = false;
+            remaining_count -= 1;
+            alpha[j] = price;
+        }
+    }
+
+    let cost = inst.solution_cost(&open_order);
+    JmsGreedyResult {
+        open: open_order,
+        cost,
+        rounds,
+        alpha,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfaclo_metric::gen::{self, FacilityCostModel, GenParams};
+    use parfaclo_metric::lower_bounds;
+    use parfaclo_metric::DistanceMatrix;
+
+    #[test]
+    fn single_facility_instance() {
+        let dist = DistanceMatrix::from_rows(3, 1, vec![1.0, 2.0, 3.0]);
+        let inst = FlInstance::new(vec![4.0], dist);
+        let r = jms_greedy(&inst);
+        assert_eq!(r.open, vec![0]);
+        assert_eq!(r.cost, 4.0 + 6.0);
+        assert_eq!(r.rounds, 1);
+        // Star price = (4 + 1 + 2 + 3) / 3.
+        for a in &r.alpha {
+            assert!((*a - 10.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefers_cheap_nearby_facility() {
+        // Facility 0 is free and at distance 0 from both clients; facility 1 is
+        // expensive and far. Greedy must open only facility 0.
+        let dist = DistanceMatrix::from_rows(2, 2, vec![0.0, 10.0, 0.0, 10.0]);
+        let inst = FlInstance::new(vec![0.5, 100.0], dist);
+        let r = jms_greedy(&inst);
+        assert_eq!(r.open, vec![0]);
+        assert!((r.cost - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cheapest_star_is_prefix_of_sorted_clients() {
+        let dist = DistanceMatrix::from_rows(4, 1, vec![1.0, 2.0, 100.0, 200.0]);
+        let inst = FlInstance::new(vec![3.0], dist);
+        // Star over clients {0,1}: price (3+3)/2 = 3; over {0}: 4; over {0,1,2}: 35.33.
+        let (price, k) = cheapest_star(&inst, 0, 3.0, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(k, 2);
+        assert!((price - 3.0).abs() < 1e-12);
+        assert!(cheapest_star(&inst, 0, 3.0, &[]).is_none());
+    }
+
+    #[test]
+    fn within_approximation_factor_on_small_instances() {
+        // JMS is a 1.861-approximation; verify ratio <= 1.861 (+ slack for fp error)
+        // against the brute-force optimum on a batch of small random instances.
+        for seed in 0..8 {
+            let inst = gen::facility_location(GenParams::uniform_square(10, 6).with_seed(seed));
+            let r = jms_greedy(&inst);
+            let (_, opt) = lower_bounds::brute_force_facility_location(&inst);
+            assert!(
+                r.cost <= 1.861 * opt + 1e-6,
+                "seed {seed}: greedy {} vs opt {opt}",
+                r.cost
+            );
+            assert!(r.cost >= opt - 1e-9, "cannot beat the optimum");
+        }
+    }
+
+    #[test]
+    fn zero_cost_facilities_open_nearest() {
+        let inst = gen::facility_location(
+            GenParams::uniform_square(8, 4)
+                .with_seed(4)
+                .with_cost_model(FacilityCostModel::Zero),
+        );
+        let r = jms_greedy(&inst);
+        // With free facilities the optimal cost is the sum of nearest-facility
+        // distances; greedy achieves at most 1.861 times that, but in practice it opens
+        // enough facilities that every client is served; just check validity and ratio.
+        let (_, opt) = lower_bounds::brute_force_facility_location(&inst);
+        assert!(r.cost <= 1.861 * opt + 1e-6);
+    }
+
+    #[test]
+    fn alpha_sums_to_cost_upper_bound() {
+        // In the JMS analysis Σ_j α_j equals the algorithm's total "payment", which is
+        // an upper bound on the solution cost it reports.
+        let inst = gen::facility_location(GenParams::gaussian_clusters(12, 5, 3).with_seed(2));
+        let r = jms_greedy(&inst);
+        let total: f64 = r.alpha.iter().sum();
+        assert!(r.cost <= total + 1e-6);
+    }
+
+    #[test]
+    fn every_client_served_and_rounds_bounded() {
+        let inst = gen::facility_location(GenParams::line(20, 10).with_seed(1));
+        let r = jms_greedy(&inst);
+        assert!(!r.open.is_empty());
+        assert!(r.rounds <= 20, "at most one round per client batch");
+        // Open set has no duplicates.
+        let mut sorted = r.open.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), r.open.len());
+    }
+}

@@ -1,0 +1,285 @@
+//! Sequential local search for k-median and k-means, plus Lloyd's heuristic.
+//!
+//! The single-swap local search of Arya et al. (SIAM J. Comput. 2004) starts from any
+//! set of `k` centers and repeatedly applies a swap `(drop i, add i')` while one exists
+//! that improves the objective; with the `(1 − ε/k)` improvement threshold used in
+//! Section 7 of the paper the number of iterations is `O(k log(cost(S_0)/opt) / ε)` and
+//! the result is a `(5 + ε)`-approximation for k-median (`81 + ε` for k-means, by the
+//! same argument applied to squared distances).
+//!
+//! [`lloyd_kmeans`] is the classical alternating-minimisation heuristic for geometric
+//! instances; it carries no approximation guarantee but is the de-facto practical
+//! baseline, so the k-means experiments report it alongside the local-search results.
+
+use parfaclo_metric::{ClusterInstance, NodeId, Point};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Which clustering objective local search optimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalSearchObjective {
+    /// Sum of distances.
+    KMedian,
+    /// Sum of squared distances.
+    KMeans,
+}
+
+/// Result of a sequential local-search run.
+#[derive(Debug, Clone)]
+pub struct LocalSearchResult {
+    /// Final centers (exactly `min(k, n)` of them).
+    pub centers: Vec<NodeId>,
+    /// Final objective value.
+    pub cost: f64,
+    /// Number of improving swaps applied.
+    pub swaps: usize,
+}
+
+fn objective(inst: &ClusterInstance, centers: &[NodeId], obj: LocalSearchObjective) -> f64 {
+    match obj {
+        LocalSearchObjective::KMedian => inst.kmedian_cost(centers),
+        LocalSearchObjective::KMeans => inst.kmeans_cost(centers),
+    }
+}
+
+/// Generic sequential single-swap local search with the `(1 − β/k)` improvement
+/// threshold, `β = ε / (1 + ε)`, starting from `initial` centers.
+pub fn local_search(
+    inst: &ClusterInstance,
+    k: usize,
+    epsilon: f64,
+    initial: &[NodeId],
+    obj: LocalSearchObjective,
+) -> LocalSearchResult {
+    let n = inst.n();
+    assert!(k >= 1, "k must be at least 1");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let k = k.min(n);
+    let mut centers: Vec<NodeId> = initial.to_vec();
+    centers.truncate(k);
+    assert_eq!(centers.len(), k, "initial solution must contain k centers");
+
+    let beta = epsilon / (1.0 + epsilon);
+    let threshold = 1.0 - beta / k as f64;
+    let mut cost = objective(inst, &centers, obj);
+    let mut swaps = 0usize;
+
+    loop {
+        let mut best: Option<(usize, NodeId, f64)> = None; // (position in centers, new center, new cost)
+        for pos in 0..centers.len() {
+            for cand in 0..n {
+                if centers.contains(&cand) {
+                    continue;
+                }
+                let mut trial = centers.clone();
+                trial[pos] = cand;
+                let c = objective(inst, &trial, obj);
+                if c < best.map_or(f64::INFINITY, |b| b.2) {
+                    best = Some((pos, cand, c));
+                }
+            }
+        }
+        match best {
+            Some((pos, cand, c)) if c < threshold * cost => {
+                centers[pos] = cand;
+                cost = c;
+                swaps += 1;
+            }
+            _ => break,
+        }
+    }
+
+    LocalSearchResult {
+        centers,
+        cost,
+        swaps,
+    }
+}
+
+/// Sequential local search for **k-median** starting from the first `k` nodes.
+pub fn local_search_kmedian(inst: &ClusterInstance, k: usize, epsilon: f64) -> LocalSearchResult {
+    let k = k.min(inst.n());
+    let initial: Vec<NodeId> = (0..k).collect();
+    local_search(inst, k, epsilon, &initial, LocalSearchObjective::KMedian)
+}
+
+/// Sequential local search for **k-means** starting from the first `k` nodes.
+pub fn local_search_kmeans(inst: &ClusterInstance, k: usize, epsilon: f64) -> LocalSearchResult {
+    let k = k.min(inst.n());
+    let initial: Vec<NodeId> = (0..k).collect();
+    local_search(inst, k, epsilon, &initial, LocalSearchObjective::KMeans)
+}
+
+/// Result of Lloyd's algorithm (geometric k-means).
+#[derive(Debug, Clone)]
+pub struct LloydResult {
+    /// Final centroids (arbitrary points, not necessarily input nodes).
+    pub centroids: Vec<Point>,
+    /// Sum of squared distances of every point to its closest centroid.
+    pub cost: f64,
+    /// Number of update iterations performed.
+    pub iterations: usize,
+}
+
+/// Lloyd's k-means heuristic on the instance's underlying points.
+///
+/// # Panics
+/// Panics if the instance carries no geometric points (it was built from a bare matrix)
+/// or `k == 0`.
+pub fn lloyd_kmeans(inst: &ClusterInstance, k: usize, max_iters: usize, seed: u64) -> LloydResult {
+    let points = inst
+        .points()
+        .expect("Lloyd's algorithm needs geometric points");
+    let n = points.len();
+    assert!(k >= 1, "k must be at least 1");
+    let k = k.min(n);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let mut centroids: Vec<Point> = indices[..k].iter().map(|&i| points[i].clone()).collect();
+
+    let assign = |centroids: &[Point]| -> Vec<usize> {
+        (0..n)
+            .map(|j| {
+                (0..centroids.len())
+                    .min_by(|&a, &b| {
+                        points[j]
+                            .squared_euclidean(&centroids[a])
+                            .partial_cmp(&points[j].squared_euclidean(&centroids[b]))
+                            .unwrap()
+                    })
+                    .unwrap()
+            })
+            .collect()
+    };
+
+    let mut assignment = assign(&centroids);
+    let mut iterations = 0usize;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Update step: move each centroid to the mean of its cluster.
+        let mut new_centroids = Vec::with_capacity(k);
+        for c in 0..k {
+            let members: Vec<Point> = (0..n)
+                .filter(|&j| assignment[j] == c)
+                .map(|j| points[j].clone())
+                .collect();
+            if members.is_empty() {
+                new_centroids.push(centroids[c].clone());
+            } else {
+                new_centroids.push(Point::centroid(&members));
+            }
+        }
+        let new_assignment = assign(&new_centroids);
+        let converged = new_assignment == assignment;
+        centroids = new_centroids;
+        assignment = new_assignment;
+        if converged {
+            break;
+        }
+    }
+
+    let cost: f64 = (0..n)
+        .map(|j| points[j].squared_euclidean(&centroids[assignment[j]]))
+        .sum();
+    LloydResult {
+        centroids,
+        cost,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfaclo_metric::gen::{self, GenParams};
+    use parfaclo_metric::lower_bounds::{self, ClusterObjective};
+
+    #[test]
+    fn kmedian_local_search_matches_guarantee_on_small_instances() {
+        for seed in 0..6 {
+            let inst = gen::clustering(GenParams::uniform_square(10, 10).with_seed(seed));
+            for k in 1..4 {
+                let r = local_search_kmedian(&inst, k, 0.1);
+                let (_, opt) =
+                    lower_bounds::brute_force_kclustering(&inst, k, ClusterObjective::KMedian);
+                assert!(
+                    r.cost <= (5.0 + 0.1) * opt + 1e-6,
+                    "seed {seed} k {k}: {} vs opt {opt}",
+                    r.cost
+                );
+                assert!(r.cost >= opt - 1e-9);
+                assert_eq!(r.centers.len(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_local_search_is_valid() {
+        for seed in 0..4 {
+            let inst = gen::clustering(GenParams::uniform_square(9, 9).with_seed(seed));
+            let r = local_search_kmeans(&inst, 2, 0.2);
+            let (_, opt) =
+                lower_bounds::brute_force_kclustering(&inst, 2, ClusterObjective::KMeans);
+            assert!(r.cost <= 81.2 * opt + 1e-6);
+            assert!(r.cost >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn local_search_on_planted_clusters_finds_good_solution() {
+        let inst = gen::clustering(GenParams::planted(30, 30, 3).with_seed(5));
+        let r = local_search_kmedian(&inst, 3, 0.1);
+        // Each blob has radius 1, so a perfect clustering costs at most n * 2.
+        assert!(r.cost <= 60.0, "cost {}", r.cost);
+    }
+
+    #[test]
+    fn swap_count_is_reported_and_progress_monotone() {
+        let inst = gen::clustering(GenParams::uniform_square(15, 15).with_seed(2));
+        let from_bad_start = local_search(
+            &inst,
+            3,
+            0.1,
+            &[0, 1, 2],
+            LocalSearchObjective::KMedian,
+        );
+        // Starting from an adversarial initial solution the search should improve it.
+        let initial_cost = inst.kmedian_cost(&[0, 1, 2]);
+        assert!(from_bad_start.cost <= initial_cost + 1e-9);
+        if from_bad_start.cost < initial_cost {
+            assert!(from_bad_start.swaps > 0);
+        }
+    }
+
+    #[test]
+    fn k_of_one_picks_best_single_center_within_factor() {
+        let inst = gen::clustering(GenParams::line(8, 8));
+        let r = local_search_kmedian(&inst, 1, 0.05);
+        let (_, opt) = lower_bounds::brute_force_kclustering(&inst, 1, ClusterObjective::KMedian);
+        assert!(r.cost <= 5.05 * opt + 1e-9);
+    }
+
+    #[test]
+    fn lloyd_reduces_cost_and_terminates() {
+        let inst = gen::clustering(GenParams::gaussian_clusters(60, 60, 4).with_seed(11));
+        let r = lloyd_kmeans(&inst, 4, 50, 7);
+        assert_eq!(r.centroids.len(), 4);
+        assert!(r.iterations >= 1 && r.iterations <= 50);
+        // Lloyd's cost should be no worse than putting a single centroid at the global
+        // mean.
+        let pts = inst.points().unwrap();
+        let global = Point::centroid(pts);
+        let single_cost: f64 = pts.iter().map(|p| p.squared_euclidean(&global)).sum();
+        assert!(r.cost <= single_cost + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric points")]
+    fn lloyd_requires_points() {
+        use parfaclo_metric::{ClusterInstance, DistanceMatrix};
+        let inst = ClusterInstance::new(DistanceMatrix::filled(3, 3, 0.0));
+        let _ = lloyd_kmeans(&inst, 1, 10, 0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Shared helpers for the `parfaclo` example binaries.
+//!
+//! The binaries in this package are small end-to-end programs that exercise the public
+//! API on realistic scenarios:
+//!
+//! * `quickstart` — the smallest possible useful program: generate an instance, run the
+//!   parallel primal-dual algorithm, print the solution and its certificate.
+//! * `warehouse_placement` — facility location proper: choose which candidate warehouse
+//!   sites to open to serve a set of stores, comparing all three parallel algorithms and
+//!   the sequential baselines.
+//! * `sensor_clustering` — k-center: place `k` gateways so the worst sensor-to-gateway
+//!   distance is minimised (the bottleneck objective).
+//! * `document_kmeans` — k-means / k-median: cluster feature vectors with the parallel
+//!   local search and compare against Lloyd's heuristic.
+//!
+//! Run any of them with `cargo run -p parfaclo-examples --bin <name> --release`.
+
+/// Formats a ratio ("x of lower bound") for display, treating a missing bound as "n/a".
+pub fn format_ratio(cost: f64, lower_bound: f64) -> String {
+    if lower_bound > 0.0 {
+        format!("{:.3}x of lower bound {:.2}", cost / lower_bound, lower_bound)
+    } else {
+        "n/a".to_string()
+    }
+}
+
+/// Prints a simple aligned table row (used by the example binaries for readable output).
+pub fn print_row(label: &str, cost: f64, detail: &str) {
+    println!("  {label:<28} {cost:>12.2}   {detail}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_ratio_handles_zero_bound() {
+        assert_eq!(format_ratio(10.0, 0.0), "n/a");
+        assert!(format_ratio(10.0, 5.0).starts_with("2.000x"));
+    }
+}

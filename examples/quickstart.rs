@@ -1,0 +1,41 @@
+//! Quickstart: generate a facility-location instance, solve it with the parallel
+//! primal-dual algorithm, and print the solution together with its certified
+//! approximation ratio.
+//!
+//! ```text
+//! cargo run -p parfaclo-examples --bin quickstart --release
+//! ```
+
+use parfaclo_core::{primal_dual, FlConfig};
+use parfaclo_examples::format_ratio;
+use parfaclo_metric::gen::{self, GenParams};
+
+fn main() {
+    // 1. Generate a synthetic instance: 200 clients, 50 candidate facilities, points
+    //    uniform in a square, facility costs proportional to the spatial spread.
+    let params = GenParams::uniform_square(200, 50).with_seed(42);
+    let inst = gen::facility_location(params);
+    println!(
+        "instance: {} clients x {} facilities (m = {})",
+        inst.num_clients(),
+        inst.num_facilities(),
+        inst.m()
+    );
+
+    // 2. Run the parallel primal-dual algorithm (Theorem 5.4: (3 + ε)-approximation).
+    let cfg = FlConfig::new(0.1).with_seed(7);
+    let sol = primal_dual::parallel_primal_dual(&inst, &cfg);
+
+    // 3. Inspect the result. `lower_bound` is the dual-feasible certificate Σ_j α_j,
+    //    so `cost / lower_bound` is a *certified* upper bound on the true ratio.
+    println!("opened {} facilities: {:?}", sol.open.len(), sol.open);
+    println!(
+        "cost = {:.2} (opening {:.2} + connection {:.2})",
+        sol.cost, sol.opening_cost, sol.connection_cost
+    );
+    println!("certified ratio: {}", format_ratio(sol.cost, sol.lower_bound));
+    println!(
+        "rounds = {}, basic matrix ops = {}, element ops = {}",
+        sol.rounds, sol.work.primitive_calls, sol.work.element_ops
+    );
+}

@@ -1,0 +1,13 @@
+//! Cross-crate integration tests for the `parfaclo` workspace.
+//!
+//! The actual tests live in the sibling `*.rs` files declared as `[[test]]` targets:
+//!
+//! * `pipeline_facility_location` — end-to-end pipelines: generate → solve with every
+//!   facility-location algorithm → verify structure and guarantees.
+//! * `pipeline_kclustering` — the same for k-center / k-median / k-means.
+//! * `cross_algorithm_consistency` — relationships that must hold *between* algorithms
+//!   (every cost ≥ every certified lower bound, parallel vs sequential factors, ...).
+//! * `determinism_and_seeds` — fixed seeds give identical output; execution policy
+//!   (sequential vs rayon) never changes results.
+//! * `lower_bound_certification` — property-based tests (proptest) asserting the
+//!   approximation guarantees against brute-force optima on random tiny instances.
