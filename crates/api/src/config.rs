@@ -1,0 +1,162 @@
+//! The unified run configuration.
+
+use parfaclo_matrixops::ExecPolicy;
+
+/// Configuration accepted by every registered solver.
+///
+/// `RunConfig` subsumes the per-family config structs (`FlConfig`,
+/// `LocalSearchConfig`, the loose `(k, seed, policy)` argument lists): each
+/// solver projects out the fields it understands and ignores the rest. The
+/// concrete crates provide `From<&RunConfig>` conversions into their native
+/// config types so existing entry points keep working.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// The slack parameter `ε > 0` of the paper: every round admits all
+    /// elements within a `(1 + ε)` factor of the cheapest.
+    pub epsilon: f64,
+    /// RNG seed; fixed seed ⇒ deterministic output for every solver.
+    pub seed: u64,
+    /// Whether primitives run sequentially or on the (virtual) pool.
+    pub policy: ExecPolicy,
+    /// Ablation knob: the `γ/m²` round-bounding preprocessing step
+    /// (facility-location solvers only).
+    pub preprocess: bool,
+    /// Ablation knob: the greedy subselection vote threshold
+    /// (facility-location greedy only).
+    pub subselection: bool,
+    /// Defensive cap on outer rounds.
+    pub max_rounds: usize,
+    /// Number of centers for the k-clustering and dominator solvers;
+    /// ignored by the facility-location solvers.
+    pub k: usize,
+    /// Distance threshold for the dominator-set solvers' threshold graph.
+    /// `None` derives a threshold from the instance (the median distinct
+    /// pairwise distance).
+    pub threshold: Option<f64>,
+}
+
+impl RunConfig {
+    /// Creates a configuration with the given `ε` and defaults for
+    /// everything else (seed 0, parallel policy, preprocessing and
+    /// subselection on, `k = 4`).
+    ///
+    /// # Panics
+    /// Panics if `epsilon <= 0`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        RunConfig {
+            epsilon,
+            seed: 0,
+            policy: ExecPolicy::Parallel,
+            preprocess: true,
+            subselection: true,
+            max_rounds: 100_000,
+            k: 4,
+            threshold: None,
+        }
+    }
+
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the execution policy.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables or disables the round-bounding preprocessing step (ablation).
+    pub fn with_preprocess(mut self, preprocess: bool) -> Self {
+        self.preprocess = preprocess;
+        self
+    }
+
+    /// Enables or disables the greedy subselection vote threshold (ablation).
+    pub fn with_subselection(mut self, subselection: bool) -> Self {
+        self.subselection = subselection;
+        self
+    }
+
+    /// Replaces the defensive round cap.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Replaces the number of centers `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        self.k = k;
+        self
+    }
+
+    /// Sets an explicit dominator-set distance threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::new(0.1)
+    }
+}
+
+impl From<&RunConfig> for RunConfig {
+    fn from(cfg: &RunConfig) -> Self {
+        cfg.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trip() {
+        let cfg = RunConfig::new(0.25)
+            .with_seed(9)
+            .with_policy(ExecPolicy::Sequential)
+            .with_preprocess(false)
+            .with_subselection(false)
+            .with_max_rounds(10)
+            .with_k(7)
+            .with_threshold(3.5);
+        assert_eq!(cfg.epsilon, 0.25);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.policy, ExecPolicy::Sequential);
+        assert!(!cfg.preprocess);
+        assert!(!cfg.subselection);
+        assert_eq!(cfg.max_rounds, 10);
+        assert_eq!(cfg.k, 7);
+        assert_eq!(cfg.threshold, Some(3.5));
+    }
+
+    #[test]
+    fn default_is_sane() {
+        let cfg = RunConfig::default();
+        assert!(cfg.epsilon > 0.0);
+        assert!(cfg.preprocess && cfg.subselection);
+        assert!(cfg.k >= 1);
+        assert!(cfg.threshold.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_epsilon_rejected() {
+        let _ = RunConfig::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_rejected() {
+        let _ = RunConfig::default().with_k(0);
+    }
+}

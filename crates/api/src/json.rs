@@ -1,0 +1,183 @@
+//! A minimal JSON writer.
+//!
+//! The run envelope needs a stable machine-readable output format and the
+//! build environment has no access to `serde`/`serde_json`, so this module
+//! provides the few pieces actually needed: escaping, and an object/array
+//! builder that preserves insertion order (important for byte-stable output
+//! used in determinism comparisons).
+
+use std::fmt::Write as _;
+
+/// A JSON value under construction.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Finite numbers are emitted via Rust's shortest-round-trip formatting;
+    /// non-finite values degrade to `null` (JSON has no NaN/∞).
+    Number(f64),
+    /// An unsigned integer, emitted without a decimal point.
+    UInt(u64),
+    /// A string (escaped on write).
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An insertion-ordered object.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl JsonValue {
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(x) => {
+                if x.is_finite() {
+                    // `{:?}` gives the shortest representation that round-trips.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (idx, item) in items.iter().enumerate() {
+                    if idx > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (idx, (key, value)) in fields.iter().enumerate() {
+                    if idx > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Convenience builder for an insertion-ordered JSON object.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> Self {
+        JsonObject::default()
+    }
+
+    /// Appends a field.
+    pub fn field(mut self, key: &str, value: JsonValue) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn string(self, key: &str, value: &str) -> Self {
+        self.field(key, JsonValue::String(value.to_string()))
+    }
+
+    /// Appends a float field.
+    pub fn number(self, key: &str, value: f64) -> Self {
+        self.field(key, JsonValue::Number(value))
+    }
+
+    /// Appends an unsigned-integer field.
+    pub fn uint(self, key: &str, value: u64) -> Self {
+        self.field(key, JsonValue::UInt(value))
+    }
+
+    /// Appends a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.field(key, JsonValue::Bool(value))
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> JsonValue {
+        JsonValue::Object(self.fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_and_nesting() {
+        let v = JsonObject::new()
+            .string("name", "a\"b\\c\nd")
+            .number("x", 1.5)
+            .uint("n", 42)
+            .bool("ok", true)
+            .field(
+                "arr",
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::UInt(1)]),
+            )
+            .build();
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"a\"b\\c\nd","x":1.5,"n":42,"ok":true,"arr":[null,1]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(JsonValue::Number(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::Number(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn numbers_round_trip_shortest() {
+        assert_eq!(JsonValue::Number(0.1).to_string(), "0.1");
+        assert_eq!(JsonValue::Number(3.0).to_string(), "3.0");
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let v = JsonValue::String("\u{1}".to_string());
+        assert_eq!(v.to_string(), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,70 @@
+//! # parfaclo-api
+//!
+//! The unified solver API of the `parfaclo` workspace.
+//!
+//! Every algorithm in the reproduction — the three parallel facility-location
+//! algorithms of *Blelloch & Tangwongsan (SPAA 2010)*, the k-clustering
+//! algorithms, the dominator-set routines and the sequential baselines — is
+//! exposed behind one seam:
+//!
+//! * [`Solver`] — the typed trait: an instance type, a config type, and
+//!   `solve(&inst, &cfg) -> Run`;
+//! * [`Run`] — the common result envelope (cost, certified lower bound,
+//!   rounds, work report, wall time, solver-specific extras) with a stable
+//!   JSON schema shared by every experiment;
+//! * [`RunConfig`] — the builder-style configuration that subsumes the
+//!   per-family config structs (ε, seed, execution policy, ablation knobs,
+//!   `k` for the clustering solvers);
+//! * [`Registry`] — a string-keyed collection of type-erased solvers so
+//!   benches, tests and the `parfaclo` CLI can enumerate and select solvers
+//!   by name.
+//!
+//! The concrete algorithm crates implement [`Solver`] and the
+//! `parfaclo-bench` crate assembles the full registry
+//! (`parfaclo_bench::registry::standard_registry`).
+//!
+//! ## Example
+//!
+//! ```
+//! use parfaclo_api::{ProblemKind, Registry, Run, RunConfig, Solver};
+//! use parfaclo_metric::FlInstance;
+//!
+//! /// A toy "solver" that opens every facility.
+//! struct OpenAll;
+//!
+//! impl Solver for OpenAll {
+//!     type Instance = FlInstance;
+//!     type Config = RunConfig;
+//!
+//!     fn name(&self) -> &str { "open-all" }
+//!     fn problem(&self) -> ProblemKind { ProblemKind::FacilityLocation }
+//!
+//!     fn solve(&self, inst: &FlInstance, cfg: &RunConfig) -> Run {
+//!         let open: Vec<usize> = (0..inst.num_facilities()).collect();
+//!         let cost = inst.opening_cost(&open) + inst.connection_cost(&open);
+//!         Run::new(self.name(), self.problem())
+//!             .with_instance_size(inst.num_clients(), inst.m())
+//!             .with_cost(cost)
+//!             .with_selected(open)
+//!             .with_config_echo(cfg)
+//!     }
+//! }
+//!
+//! let mut registry = Registry::new();
+//! registry.register(Box::new(OpenAll));
+//! assert_eq!(registry.names(), vec!["open-all"]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod json;
+pub mod registry;
+pub mod run;
+pub mod solver;
+
+pub use config::RunConfig;
+pub use registry::Registry;
+pub use run::{ProblemKind, Run, RUN_SCHEMA};
+pub use solver::{AnyInstance, DynSolver, FromAnyInstance, SolveError, Solver};

@@ -1,0 +1,361 @@
+//! The unified result envelope.
+
+use crate::config::RunConfig;
+use crate::json::{JsonObject, JsonValue};
+use parfaclo_matrixops::CostReport;
+
+/// Version tag emitted in every JSON run record; bump on schema changes.
+pub const RUN_SCHEMA: &str = "parfaclo.run.v1";
+
+/// The problem family a solver addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProblemKind {
+    /// Metric (uncapacitated) facility location — Sections 4–6.2.
+    FacilityLocation,
+    /// k-center / k-median / k-means over a symmetric metric — Sections 6.1, 7.
+    KClustering,
+    /// Dominator-set / MIS computations on a threshold graph — Section 3.
+    DominatorSet,
+}
+
+impl ProblemKind {
+    /// Stable string form used in JSON output and CLI tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProblemKind::FacilityLocation => "facility-location",
+            ProblemKind::KClustering => "k-clustering",
+            ProblemKind::DominatorSet => "dominator-set",
+        }
+    }
+}
+
+impl std::fmt::Display for ProblemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The result of one solver invocation, in the shape every experiment shares.
+///
+/// `Run` unifies `FlSolution`, the k-clustering solution types and the
+/// dominator results: objective cost, certified lower bound (0 when the
+/// algorithm provides no certificate), the selected facility/center/node
+/// set, round counts, the [`CostReport`] work accounting, and wall time.
+/// Solver-specific metrics that have no common slot (k-center radius
+/// threshold, local-search initial cost, …) ride in [`Run::extra`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Run {
+    /// Registry name of the solver that produced this run.
+    pub solver: String,
+    /// Problem family.
+    pub problem: ProblemKind,
+    /// Number of clients (facility location) or nodes (clustering).
+    pub n: usize,
+    /// Instance size `m` (entries of the distance matrix).
+    pub m: usize,
+    /// Objective value achieved (total cost / radius / selected-set size).
+    pub cost: f64,
+    /// Certified lower bound on the optimum; `0` when no certificate exists.
+    pub lower_bound: f64,
+    /// The approximation factor the algorithm promises (before `+ ε`);
+    /// `0` when no guarantee applies.
+    pub guarantee: f64,
+    /// Selected facilities / centers / dominator nodes, sorted ascending.
+    pub selected: Vec<usize>,
+    /// Client/node → selected-element assignment; may be empty when the
+    /// problem has no assignment semantics (dominator sets).
+    pub assignment: Vec<usize>,
+    /// Outer rounds executed.
+    pub rounds: usize,
+    /// Total inner (subselection / Luby / probe) iterations.
+    pub inner_rounds: usize,
+    /// Work / primitive-call / round counters accumulated during the run.
+    pub work: CostReport,
+    /// Wall-clock milliseconds; stamped by the registry wrapper, excluded
+    /// from [`Run::canonical_json`] so determinism comparisons stay exact.
+    pub wall_ms: f64,
+    /// The ε the run was configured with.
+    pub epsilon: f64,
+    /// The seed the run was configured with.
+    pub seed: u64,
+    /// Ordered solver-specific named metrics (radius, threshold, probes, …).
+    pub extra: Vec<(String, f64)>,
+}
+
+impl Run {
+    /// Starts an empty envelope for the given solver and problem family.
+    pub fn new(solver: &str, problem: ProblemKind) -> Self {
+        Run {
+            solver: solver.to_string(),
+            problem,
+            n: 0,
+            m: 0,
+            cost: 0.0,
+            lower_bound: 0.0,
+            guarantee: 0.0,
+            selected: Vec::new(),
+            assignment: Vec::new(),
+            rounds: 0,
+            inner_rounds: 0,
+            work: CostReport::default(),
+            wall_ms: 0.0,
+            epsilon: 0.0,
+            seed: 0,
+            extra: Vec::new(),
+        }
+    }
+
+    /// Records the instance dimensions.
+    pub fn with_instance_size(mut self, n: usize, m: usize) -> Self {
+        self.n = n;
+        self.m = m;
+        self
+    }
+
+    /// Records the objective value.
+    pub fn with_cost(mut self, cost: f64) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Records the certified lower bound.
+    pub fn with_lower_bound(mut self, lower_bound: f64) -> Self {
+        self.lower_bound = lower_bound;
+        self
+    }
+
+    /// Records the promised approximation factor.
+    pub fn with_guarantee(mut self, guarantee: f64) -> Self {
+        self.guarantee = guarantee;
+        self
+    }
+
+    /// Records the selected element set (sorted on insertion).
+    pub fn with_selected(mut self, mut selected: Vec<usize>) -> Self {
+        selected.sort_unstable();
+        self.selected = selected;
+        self
+    }
+
+    /// Records the assignment vector.
+    pub fn with_assignment(mut self, assignment: Vec<usize>) -> Self {
+        self.assignment = assignment;
+        self
+    }
+
+    /// Records round counts.
+    pub fn with_rounds(mut self, rounds: usize, inner_rounds: usize) -> Self {
+        self.rounds = rounds;
+        self.inner_rounds = inner_rounds;
+        self
+    }
+
+    /// Records the work report.
+    pub fn with_work(mut self, work: CostReport) -> Self {
+        self.work = work;
+        self
+    }
+
+    /// Echoes the ε and seed of the configuration into the envelope.
+    pub fn with_config_echo(mut self, cfg: &RunConfig) -> Self {
+        self.epsilon = cfg.epsilon;
+        self.seed = cfg.seed;
+        self
+    }
+
+    /// Appends one solver-specific metric.
+    pub fn with_extra(mut self, key: &str, value: f64) -> Self {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+
+    /// The approximation ratio relative to the run's own certified lower
+    /// bound, or `None` if the run produced no certificate.
+    pub fn certified_ratio(&self) -> Option<f64> {
+        if self.lower_bound > 0.0 {
+            Some(self.cost / self.lower_bound)
+        } else {
+            None
+        }
+    }
+
+    /// Structural validity: finite non-negative cost, a non-empty selection,
+    /// lower bound not exceeding cost (up to fp slack), in-range selections
+    /// and assignments. Used by the registry conformance tests and the CLI.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.cost.is_finite() || self.cost < 0.0 {
+            return Err(format!("cost {} is not finite and non-negative", self.cost));
+        }
+        if !self.lower_bound.is_finite() || self.lower_bound < 0.0 {
+            return Err(format!("lower bound {} invalid", self.lower_bound));
+        }
+        if self.lower_bound > self.cost * (1.0 + 1e-6) + 1e-6 {
+            return Err(format!(
+                "lower bound {} exceeds cost {}",
+                self.lower_bound, self.cost
+            ));
+        }
+        if self.selected.is_empty() {
+            return Err("selected set is empty".to_string());
+        }
+        if self.selected.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("selected set is not strictly sorted".to_string());
+        }
+        if !self.assignment.is_empty() {
+            if self.assignment.len() != self.n {
+                return Err(format!(
+                    "assignment covers {} of {} clients",
+                    self.assignment.len(),
+                    self.n
+                ));
+            }
+            // `selected` is strictly sorted (checked above), so binary search.
+            if let Some(&bad) = self
+                .assignment
+                .iter()
+                .find(|a| self.selected.binary_search(a).is_err())
+            {
+                return Err(format!("assignment targets unselected element {bad}"));
+            }
+        }
+        Ok(())
+    }
+
+    fn json_fields(&self, include_timing: bool) -> JsonValue {
+        let mut obj = JsonObject::new()
+            .string("schema", RUN_SCHEMA)
+            .string("solver", &self.solver)
+            .string("problem", self.problem.as_str())
+            .uint("n", self.n as u64)
+            .uint("m", self.m as u64)
+            .number("epsilon", self.epsilon)
+            .uint("seed", self.seed)
+            .number("cost", self.cost)
+            .number("lower_bound", self.lower_bound)
+            .number("guarantee", self.guarantee)
+            .field(
+                "certified_ratio",
+                match self.certified_ratio() {
+                    Some(r) => JsonValue::Number(r),
+                    None => JsonValue::Null,
+                },
+            )
+            .uint("rounds", self.rounds as u64)
+            .uint("inner_rounds", self.inner_rounds as u64)
+            .field(
+                "work",
+                JsonObject::new()
+                    .uint("element_ops", self.work.element_ops)
+                    .uint("primitive_calls", self.work.primitive_calls)
+                    .uint("sort_calls", self.work.sort_calls)
+                    .uint("rounds", self.work.rounds)
+                    .build(),
+            )
+            .field(
+                "selected",
+                JsonValue::Array(
+                    self.selected
+                        .iter()
+                        .map(|&i| JsonValue::UInt(i as u64))
+                        .collect(),
+                ),
+            )
+            .field(
+                "assignment",
+                JsonValue::Array(
+                    self.assignment
+                        .iter()
+                        .map(|&i| JsonValue::UInt(i as u64))
+                        .collect(),
+                ),
+            );
+        let extra = self
+            .extra
+            .iter()
+            .fold(JsonObject::new(), |o, (k, v)| o.number(k, *v))
+            .build();
+        obj = obj.field("extra", extra);
+        if include_timing {
+            obj = obj.number("wall_ms", self.wall_ms);
+        }
+        obj.build()
+    }
+
+    /// Full JSON record, including wall time — the schema every experiment
+    /// emits.
+    pub fn to_json(&self) -> String {
+        self.json_fields(true).to_string()
+    }
+
+    /// JSON record with timing omitted: byte-identical across repeat runs
+    /// with the same seed, which is what the determinism tests compare.
+    pub fn canonical_json(&self) -> String {
+        self.json_fields(false).to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Run {
+        Run::new("greedy", ProblemKind::FacilityLocation)
+            .with_instance_size(3, 6)
+            .with_cost(10.0)
+            .with_lower_bound(5.0)
+            .with_guarantee(3.722)
+            .with_selected(vec![2, 0])
+            .with_assignment(vec![0, 0, 2])
+            .with_rounds(4, 9)
+            .with_config_echo(&RunConfig::new(0.1).with_seed(7))
+            .with_extra("probes", 3.0)
+    }
+
+    #[test]
+    fn builder_fills_fields() {
+        let run = sample();
+        assert_eq!(run.selected, vec![0, 2]);
+        assert_eq!(run.certified_ratio(), Some(2.0));
+        assert_eq!(run.epsilon, 0.1);
+        assert_eq!(run.seed, 7);
+        run.validate().expect("structurally valid");
+    }
+
+    #[test]
+    fn canonical_json_excludes_timing() {
+        let mut a = sample();
+        let mut b = sample();
+        a.wall_ms = 1.0;
+        b.wall_ms = 99.0;
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        assert_ne!(a.to_json(), b.to_json());
+        assert!(a.to_json().contains("\"wall_ms\""));
+        assert!(a.to_json().contains(RUN_SCHEMA));
+    }
+
+    #[test]
+    fn validate_rejects_structural_problems() {
+        let mut run = sample();
+        run.cost = f64::NAN;
+        assert!(run.validate().is_err());
+
+        let mut run = sample();
+        run.lower_bound = 100.0;
+        assert!(run.validate().is_err());
+
+        let mut run = sample();
+        run.selected.clear();
+        assert!(run.validate().is_err());
+
+        let mut run = sample();
+        run.assignment = vec![1, 1, 1];
+        assert!(run.validate().is_err(), "assignment to unselected element");
+    }
+
+    #[test]
+    fn no_certificate_means_no_ratio() {
+        let run = Run::new("x", ProblemKind::KClustering).with_cost(3.0);
+        assert_eq!(run.certified_ratio(), None);
+        assert!(run.to_json().contains("\"certified_ratio\":null"));
+    }
+}

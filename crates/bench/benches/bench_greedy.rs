@@ -12,12 +12,16 @@ fn bench_greedy(c: &mut Criterion) {
     for &size in &[32usize, 64, 128] {
         let inst = gen::facility_location(GenParams::uniform_square(size, size).with_seed(1));
         let cfg = FlConfig::new(0.1).with_seed(1);
-        group.bench_with_input(BenchmarkId::new("parallel_alg41", size), &inst, |b, inst| {
-            b.iter(|| greedy::parallel_greedy(inst, &cfg))
-        });
-        group.bench_with_input(BenchmarkId::new("sequential_jms", size), &inst, |b, inst| {
-            b.iter(|| jms_greedy(inst))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("parallel_alg41", size),
+            &inst,
+            |b, inst| b.iter(|| greedy::parallel_greedy(inst, &cfg)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential_jms", size),
+            &inst,
+            |b, inst| b.iter(|| jms_greedy(inst)),
+        );
     }
     group.finish();
 }

@@ -28,7 +28,9 @@ fn bench_matrixops(c: &mut Criterion) {
     // Row sort: a 256x1024 matrix (the greedy presort shape).
     let rows = 256;
     let cols = 1024;
-    let data: Vec<f64> = (0..rows * cols).map(|x| ((x * 48271) % 7919) as f64).collect();
+    let data: Vec<f64> = (0..rows * cols)
+        .map(|x| ((x * 48271) % 7919) as f64)
+        .collect();
     let meter = CostMeter::new();
     for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
         group.bench_with_input(

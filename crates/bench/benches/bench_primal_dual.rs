@@ -12,14 +12,14 @@ fn bench_primal_dual(c: &mut Criterion) {
     for &size in &[32usize, 64, 128] {
         let inst = gen::facility_location(GenParams::uniform_square(size, size).with_seed(2));
         let cfg = FlConfig::new(0.1).with_seed(2);
-        group.bench_with_input(BenchmarkId::new("parallel_alg51", size), &inst, |b, inst| {
-            b.iter(|| primal_dual::parallel_primal_dual(inst, &cfg))
-        });
         group.bench_with_input(
-            BenchmarkId::new("sequential_jv", size),
+            BenchmarkId::new("parallel_alg51", size),
             &inst,
-            |b, inst| b.iter(|| jain_vazirani(inst)),
+            |b, inst| b.iter(|| primal_dual::parallel_primal_dual(inst, &cfg)),
         );
+        group.bench_with_input(BenchmarkId::new("sequential_jv", size), &inst, |b, inst| {
+            b.iter(|| jain_vazirani(inst))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,39 @@
+//! Registry-driven bench: every solver in the standard registry timed on the
+//! same pair of generated instances, demonstrating that the unified API is
+//! enough to drive a whole benchmark suite without naming any solver type.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parfaclo_api::{AnyInstance, ProblemKind, RunConfig};
+use parfaclo_bench::standard_registry;
+use parfaclo_metric::gen::{self, GenParams};
+
+fn bench_registry(c: &mut Criterion) {
+    let registry = standard_registry();
+    let fl = AnyInstance::Fl(gen::facility_location(
+        GenParams::uniform_square(48, 24).with_seed(5),
+    ));
+    let cluster = AnyInstance::Cluster(gen::clustering(
+        GenParams::uniform_square(48, 48).with_seed(5),
+    ));
+    let cfg = RunConfig::new(0.1).with_seed(5).with_k(4);
+
+    let mut group = c.benchmark_group("registry");
+    group.sample_size(10);
+    for solver in registry.iter() {
+        // lp-rounding solves a full LP; keep the bench interactive.
+        if solver.name() == "lp-rounding" {
+            continue;
+        }
+        let inst = match solver.problem() {
+            ProblemKind::FacilityLocation => &fl,
+            ProblemKind::KClustering | ProblemKind::DominatorSet => &cluster,
+        };
+        group.bench_with_input(BenchmarkId::new(solver.name(), 48), inst, |b, inst| {
+            b.iter(|| solver.run(inst, &cfg).expect("instance kind matches"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_registry);
+criterion_main!(benches);

@@ -1,0 +1,338 @@
+//! The unified `parfaclo` runner — one binary driving every solver in the
+//! workspace through the registry, replacing the ten ad-hoc `exp_e*`
+//! experiment binaries. Every subcommand emits the same JSON run schema
+//! ([`parfaclo_api::RUN_SCHEMA`]), so results are comparable across solvers
+//! and across invocations.
+//!
+//! ```text
+//! parfaclo list
+//! parfaclo run --solver greedy --gen uniform:n=2000,k=40 --eps 0.1 --seed 7 --json out.json
+//! parfaclo suite --solvers greedy,primal-dual,jms-greedy --size 64 --json suite.json
+//! parfaclo ablation --gen uniform:n=128,nf=64 --json ablation.json
+//! ```
+
+use parfaclo_api::{Registry, Run, RunConfig};
+use parfaclo_bench::runner::{
+    run_solver, run_solver_cached, runs_to_json, table_header, table_row, GenSpec, InstanceCache,
+};
+use parfaclo_bench::{reset_sigpipe, standard_registry, Table};
+use parfaclo_matrixops::ExecPolicy;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+parfaclo — unified runner for the Blelloch-Tangwongsan SPAA'10 reproduction
+
+USAGE:
+    parfaclo list
+        List every registered solver (name, problem, guarantee, paper ref).
+
+    parfaclo run --solver <name> [options]
+        Run one solver on a generated instance and print/emit its Run record.
+
+    parfaclo suite [--solvers a,b,c] [options]
+        Run a set of solvers (default: all) over the standard workload
+        suite. Always sweeps all five workloads; --gen contributes only
+        its dimensions (n, nf, c) and seed, not its workload name.
+
+    parfaclo ablation [options]
+        Run the greedy algorithm under every preprocess/subselection
+        combination and an epsilon sweep (the old E10 experiment).
+
+OPTIONS:
+    --gen <spec>        Generator spec, e.g. uniform:n=2000,k=40
+                        (workloads: uniform|clustered|grid|line|planted;
+                        keys: n, nf|k, c, seed)          [default: uniform:n=200]
+    --eps <f>           Slack parameter epsilon > 0      [default: 0.1]
+    --seed <n>          RNG seed                         [default: 0]
+    --k <n>             Centers for clustering solvers   [default: 8]
+    --threshold <f>     Dominator-set distance threshold [default: median]
+    --policy <p>        seq | par                        [default: par]
+    --no-preprocess     Disable round-bounding preprocessing (ablation)
+    --no-subselection   Disable greedy subselection vote (ablation)
+    --size <n>          Suite node count; overrides --gen's n,
+                        other --gen keys are kept        [default: 64]
+    --solvers <a,b,c>   Suite solver subset              [default: all]
+    --json <path>       Also write the run records as a JSON array
+    --quiet             Suppress the human-readable table
+";
+
+fn main() -> ExitCode {
+    reset_sigpipe();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed command-line options shared by the subcommands.
+struct Options {
+    gen: GenSpec,
+    /// Whether --gen was passed explicitly (suite honours its dimensions).
+    gen_given: bool,
+    cfg: RunConfig,
+    solver: Option<String>,
+    solvers: Option<Vec<String>>,
+    size: usize,
+    /// Whether --size was passed explicitly (overrides --gen's n in suite).
+    size_given: bool,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut gen = GenSpec::parse("uniform:n=200")?;
+    let mut gen_given = false;
+    let mut cfg = RunConfig::new(0.1).with_k(8);
+    let mut solver = None;
+    let mut solvers = None;
+    let mut size = 64usize;
+    let mut size_given = false;
+    let mut json = None;
+    let mut quiet = false;
+
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            iter.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--gen" => {
+                gen = GenSpec::parse(value("--gen")?)?;
+                gen_given = true;
+            }
+            "--eps" => {
+                let eps: f64 = value("--eps")?
+                    .parse()
+                    .map_err(|_| "invalid --eps".to_string())?;
+                if eps <= 0.0 {
+                    return Err("--eps must be positive".to_string());
+                }
+                cfg.epsilon = eps;
+            }
+            "--seed" => {
+                cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "invalid --seed".to_string())?
+            }
+            "--k" => {
+                let k: usize = value("--k")?
+                    .parse()
+                    .map_err(|_| "invalid --k".to_string())?;
+                if k == 0 {
+                    return Err("--k must be at least 1".to_string());
+                }
+                cfg.k = k;
+            }
+            "--threshold" => {
+                cfg.threshold = Some(
+                    value("--threshold")?
+                        .parse()
+                        .map_err(|_| "invalid --threshold".to_string())?,
+                )
+            }
+            "--policy" => {
+                cfg.policy = match value("--policy")?.as_str() {
+                    "seq" | "sequential" => ExecPolicy::Sequential,
+                    "par" | "parallel" => ExecPolicy::Parallel,
+                    other => return Err(format!("unknown policy '{other}' (seq|par)")),
+                }
+            }
+            "--no-preprocess" => cfg.preprocess = false,
+            "--no-subselection" => cfg.subselection = false,
+            "--solver" => solver = Some(value("--solver")?.clone()),
+            "--solvers" => {
+                solvers = Some(
+                    value("--solvers")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--size" => {
+                size = value("--size")?
+                    .parse()
+                    .map_err(|_| "invalid --size".to_string())?;
+                if size == 0 {
+                    return Err("--size must be at least 1".to_string());
+                }
+                size_given = true;
+            }
+            "--json" => json = Some(value("--json")?.clone()),
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok(Options {
+        gen,
+        gen_given,
+        cfg,
+        solver,
+        solvers,
+        size,
+        size_given,
+        json,
+        quiet,
+    })
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let registry = standard_registry();
+    match command.as_str() {
+        "list" => cmd_list(&registry),
+        "run" => cmd_run(&registry, parse_options(&args[1..])?),
+        "suite" => cmd_suite(&registry, parse_options(&args[1..])?),
+        "ablation" => cmd_ablation(&registry, parse_options(&args[1..])?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn cmd_list(registry: &Registry) -> Result<(), String> {
+    let table = Table::new(&["name", "problem", "guarantee", "paper"]);
+    for solver in registry.iter() {
+        table.row(&[
+            solver.name().to_string(),
+            solver.problem().to_string(),
+            solver.guarantee_label(),
+            solver.paper_ref().to_string(),
+        ]);
+    }
+    Ok(())
+}
+
+fn emit(runs: &[Run], json: Option<&str>, quiet: bool) -> Result<(), String> {
+    if !quiet {
+        let table = Table::new(&table_header());
+        for run in runs {
+            table.row(&table_row(run));
+        }
+    }
+    if let Some(path) = json {
+        let payload = runs_to_json(runs);
+        if path == "-" {
+            println!("{payload}");
+        } else {
+            std::fs::write(path, payload).map_err(|e| format!("writing {path}: {e}"))?;
+            if !quiet {
+                println!("\nwrote {} run record(s) to {path}", runs.len());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(registry: &Registry, opts: Options) -> Result<(), String> {
+    let solver = opts.solver.as_deref().ok_or_else(|| {
+        format!(
+            "run needs --solver <name>; available: {}",
+            registry.names().join(", ")
+        )
+    })?;
+    let run = run_solver(registry, solver, &opts.gen, &opts.cfg)?;
+    run.validate()
+        .map_err(|e| format!("solver '{solver}' produced a structurally invalid run: {e}"))?;
+    emit(std::slice::from_ref(&run), opts.json.as_deref(), opts.quiet)
+}
+
+fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
+    let names: Vec<String> = match &opts.solvers {
+        Some(list) => list.clone(),
+        None => registry.names().iter().map(|s| s.to_string()).collect(),
+    };
+    // lp-rounding solves a full LP per instance; keep it out of the default
+    // sweep above small sizes so `parfaclo suite` stays interactive. Never
+    // drop it silently: announce the exclusion and how to override it.
+    //
+    // Instance dimensions: --gen's n/nf/clusters are honoured; --size (when
+    // given explicitly) overrides the client/node count.
+    let n = if opts.size_given {
+        opts.size
+    } else if opts.gen_given {
+        opts.gen.n
+    } else {
+        opts.size
+    };
+    let nf = if opts.gen_given {
+        opts.gen.nf
+    } else {
+        (n / 2).max(1)
+    };
+    let before = names.len();
+    let names: Vec<String> = names
+        .into_iter()
+        .filter(|name| opts.solvers.is_some() || name != "lp-rounding" || n <= 32)
+        .collect();
+    if names.len() < before && !opts.quiet {
+        println!(
+            "note: lp-rounding excluded from the default sweep at n > 32 \
+             (pass --solvers ...,lp-rounding to force it)"
+        );
+    }
+    let workloads = ["uniform", "clustered", "grid", "line", "planted"];
+    let mut runs = Vec::new();
+    for workload in workloads {
+        let spec = GenSpec {
+            workload: workload.to_string(),
+            n,
+            nf,
+            clusters: opts.gen.clusters,
+            seed: opts.gen.seed,
+        };
+        let mut cache = InstanceCache::new(&spec, opts.cfg.seed);
+        for name in &names {
+            runs.push(run_solver_cached(registry, name, &mut cache, &opts.cfg)?);
+        }
+    }
+    if !opts.quiet {
+        println!(
+            "suite: {} solvers x {} workloads at n = {n}, nf = {nf}\n",
+            names.len(),
+            workloads.len(),
+        );
+    }
+    emit(&runs, opts.json.as_deref(), opts.quiet)
+}
+
+fn cmd_ablation(registry: &Registry, opts: Options) -> Result<(), String> {
+    let mut runs = Vec::new();
+    // One generated instance serves the whole grid (the knobs and ε vary,
+    // the workload and seed do not).
+    let mut cache = InstanceCache::new(&opts.gen, opts.cfg.seed);
+    // Knob grid: preprocessing and subselection on/off.
+    for &preprocess in &[true, false] {
+        for &subselection in &[true, false] {
+            let mut cfg = opts.cfg.clone();
+            cfg.preprocess = preprocess;
+            cfg.subselection = subselection;
+            runs.push(run_solver_cached(registry, "greedy", &mut cache, &cfg)?);
+        }
+    }
+    // Epsilon sweep with default knobs.
+    for &eps in &[0.01, 0.05, 0.1, 0.25, 0.5, 1.0] {
+        let mut cfg = opts.cfg.clone();
+        cfg.epsilon = eps;
+        runs.push(run_solver_cached(registry, "greedy", &mut cache, &cfg)?);
+        runs.push(run_solver_cached(
+            registry,
+            "primal-dual",
+            &mut cache,
+            &cfg,
+        )?);
+    }
+    if !opts.quiet {
+        println!("ablation: greedy knob grid (4 combos) + eps sweep (6 values x 2 solvers)\n");
+    }
+    emit(&runs, opts.json.as_deref(), opts.quiet)
+}

@@ -1,18 +1,50 @@
-//! Shared harness code for the `parfaclo` experiment binaries and Criterion benches.
+//! Harness for the unified `parfaclo` runner and the Criterion benches.
 //!
-//! Each experiment binary (`exp_e1_*` … `exp_e10_*`) regenerates one row-set of
-//! `EXPERIMENTS.md`: it sweeps the workloads/parameters listed in DESIGN.md's experiment
-//! index, runs the relevant algorithms, and prints an aligned plain-text table to
-//! stdout. The Criterion benches in `benches/` measure wall-clock time for the same
-//! code paths.
+//! This crate owns the pieces that need visibility over every algorithm
+//! crate at once:
 //!
-//! Everything here is deterministic given the seeds embedded in the binaries, so the
-//! tables in `EXPERIMENTS.md` can be reproduced exactly with
-//! `cargo run -p parfaclo-bench --release --bin <experiment>`.
+//! * [`registry`] — assembly of the full solver [`parfaclo_api::Registry`]
+//!   (`standard_registry()`), the entry point for the CLI, the benches and
+//!   the cross-crate conformance tests;
+//! * [`runner`] — the engine behind the `parfaclo` binary: `--gen` spec
+//!   parsing, instance construction, solver dispatch, JSON emission;
+//! * the `parfaclo` binary itself (`src/bin/parfaclo.rs`), which replaces
+//!   the ten historical `exp_e*` experiment binaries with one driver
+//!   (`run` / `suite` / `ablation` / `list`) emitting a single JSON run
+//!   schema for every experiment;
+//! * the [`Table`] plain-text printer and the SIGPIPE helper shared by
+//!   the binary and the examples.
+//!
+//! Everything is deterministic given the seeds passed on the command line,
+//! so any experiment table can be reproduced exactly from its JSON record's
+//! `seed`/`epsilon`/generator fields.
 
 #![warn(missing_docs)]
 
-use std::time::Instant;
+pub mod registry;
+pub mod runner;
+
+pub use registry::standard_registry;
+
+/// Restores the default SIGPIPE disposition so piping a binary into
+/// `head`/`grep` terminates it quietly instead of panicking on a
+/// broken-pipe write (Rust installs SIG_IGN before `main`). Call first
+/// thing in `main` of every CLI/example binary.
+#[cfg(unix)]
+pub fn reset_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+/// No-op on non-unix targets.
+#[cfg(not(unix))]
+pub fn reset_sigpipe() {}
 
 /// A fixed-width plain-text table printer used by every experiment binary.
 pub struct Table {
@@ -50,48 +82,5 @@ impl Table {
             .map(|(c, w)| format!("{c:>w$}"))
             .collect();
         println!("{}", cells.join("  "));
-    }
-}
-
-/// Formats a float with 3 decimal places.
-pub fn f3(x: f64) -> String {
-    format!("{x:.3}")
-}
-
-/// Formats a float with 1 decimal place.
-pub fn f1(x: f64) -> String {
-    format!("{x:.1}")
-}
-
-/// Times a closure, returning (result, milliseconds).
-pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let out = f();
-    (out, start.elapsed().as_secs_f64() * 1e3)
-}
-
-/// The standard square sizes (`nc = nf = s`) used by the size sweeps.
-pub fn size_sweep() -> Vec<usize> {
-    vec![16, 32, 64, 128]
-}
-
-/// `log_{1+eps}(x)`.
-pub fn log1p_eps(x: f64, eps: f64) -> f64 {
-    x.ln() / (1.0 + eps).ln()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn helpers() {
-        assert_eq!(f3(1.23456), "1.235");
-        assert_eq!(f1(1.26), "1.3");
-        assert!((log1p_eps(8.0, 1.0) - 3.0).abs() < 1e-12);
-        let (v, ms) = timed(|| 21 * 2);
-        assert_eq!(v, 42);
-        assert!(ms >= 0.0);
-        assert!(!size_sweep().is_empty());
     }
 }

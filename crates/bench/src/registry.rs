@@ -1,0 +1,87 @@
+//! Assembly of the full solver registry.
+//!
+//! `parfaclo-bench` is the one crate that depends on every algorithm crate,
+//! so it owns the wiring: [`standard_registry`] registers every solver in
+//! the workspace — the three parallel facility-location algorithms of the
+//! paper plus the local-search extension, the parallel k-clustering
+//! algorithms, the dominator-set routines, and the sequential baselines —
+//! under their stable names. The `parfaclo` CLI, the Criterion benches and
+//! the cross-crate conformance tests all start from here.
+
+use parfaclo_api::Registry;
+use parfaclo_core::solvers::{
+    FlLocalSearchSolver, GreedySolver, LpRoundingSolver, PrimalDualSolver,
+};
+use parfaclo_dominator::solvers::{MaxDomSolver, MisSolver};
+use parfaclo_kclustering::solvers::{
+    KCenterSolver, KMeansLocalSearchSolver, KMedianLocalSearchSolver,
+};
+use parfaclo_seq_baselines::solvers::{
+    GonzalezSolver, HochbaumShmoysSolver, JainVaziraniSolver, JmsGreedySolver, SeqKMedianSolver,
+};
+
+/// Every solver in the workspace, registered under its stable name.
+///
+/// Names (by family):
+///
+/// * facility location (parallel): `greedy`, `primal-dual`, `lp-rounding`,
+///   `local-search-fl`
+/// * facility location (sequential baselines): `jms-greedy`, `jain-vazirani`
+/// * k-clustering (parallel): `kcenter`, `kmedian-ls`, `kmeans-ls`
+/// * k-clustering (sequential baselines): `gonzalez`, `hs-kcenter`,
+///   `kmedian-seq`
+/// * dominator sets: `maxdom`, `mis`
+pub fn standard_registry() -> Registry {
+    let mut registry = Registry::new();
+    // Parallel facility location (the paper's core).
+    registry.register(Box::new(GreedySolver));
+    registry.register(Box::new(PrimalDualSolver));
+    registry.register(Box::new(LpRoundingSolver));
+    registry.register(Box::new(FlLocalSearchSolver));
+    // Sequential facility-location baselines.
+    registry.register(Box::new(JmsGreedySolver));
+    registry.register(Box::new(JainVaziraniSolver));
+    // Parallel k-clustering.
+    registry.register(Box::new(KCenterSolver));
+    registry.register(Box::new(KMedianLocalSearchSolver));
+    registry.register(Box::new(KMeansLocalSearchSolver));
+    // Sequential k-clustering baselines.
+    registry.register(Box::new(GonzalezSolver));
+    registry.register(Box::new(HochbaumShmoysSolver));
+    registry.register(Box::new(SeqKMedianSolver));
+    // Dominator sets.
+    registry.register(Box::new(MaxDomSolver));
+    registry.register(Box::new(MisSolver));
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acceptance_names_are_registered() {
+        let registry = standard_registry();
+        for name in [
+            "greedy",
+            "primal-dual",
+            "lp-rounding",
+            "kcenter",
+            "kmedian-ls",
+            "maxdom",
+        ] {
+            assert!(registry.get(name).is_some(), "solver '{name}' missing");
+        }
+        assert!(registry.len() >= 14);
+    }
+
+    #[test]
+    fn names_are_unique_and_sorted() {
+        let registry = standard_registry();
+        let names = registry.names();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted);
+    }
+}

@@ -1,0 +1,306 @@
+//! The engine behind the `parfaclo` CLI: generator-spec parsing, instance
+//! construction, solver dispatch and JSON emission.
+//!
+//! Kept in the library (rather than the binary) so the conformance tests can
+//! exercise exactly the code path the CLI runs.
+
+use parfaclo_api::{AnyInstance, ProblemKind, Registry, Run, RunConfig};
+use parfaclo_metric::gen::{self, GenParams};
+
+/// A parsed `--gen` specification, e.g. `uniform:n=2000,k=40`.
+///
+/// Grammar: `<workload>[:key=value[,key=value]*]` with workloads `uniform`,
+/// `clustered`, `grid`, `line`, `planted` and keys
+///
+/// * `n` — number of clients / nodes (default 200),
+/// * `nf` (alias `k`) — number of candidate facilities for facility-location
+///   instances; ignored by clustering instances (default `n / 2`),
+/// * `c` — number of blobs for `clustered` / `planted` (default 8),
+/// * `seed` — generator seed (defaults to the run seed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenSpec {
+    /// Workload name (one of the five spatial models).
+    pub workload: String,
+    /// Number of clients / nodes.
+    pub n: usize,
+    /// Number of candidate facilities (facility-location instances only).
+    pub nf: usize,
+    /// Number of blobs (clustered / planted workloads only).
+    pub clusters: usize,
+    /// Generator seed override; `None` follows the run seed.
+    pub seed: Option<u64>,
+}
+
+impl GenSpec {
+    /// Parses a `--gen` argument.
+    pub fn parse(spec: &str) -> Result<GenSpec, String> {
+        let (workload, rest) = match spec.split_once(':') {
+            Some((w, r)) => (w, r),
+            None => (spec, ""),
+        };
+        let workload = workload.trim().to_lowercase();
+        if !["uniform", "clustered", "grid", "line", "planted"].contains(&workload.as_str()) {
+            return Err(format!(
+                "unknown workload '{workload}' (expected uniform|clustered|grid|line|planted)"
+            ));
+        }
+        let mut out = GenSpec {
+            workload,
+            n: 200,
+            nf: 0,
+            clusters: 8,
+            seed: None,
+        };
+        for pair in rest.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair.split_once('=').ok_or_else(|| {
+                format!("malformed generator option '{pair}' (expected key=value)")
+            })?;
+            let value = value.trim();
+            match key.trim() {
+                "n" => out.n = parse_usize(value, "n")?,
+                "nf" | "k" => out.nf = parse_usize(value, "nf")?,
+                "c" | "clusters" => out.clusters = parse_usize(value, "c")?,
+                "seed" => {
+                    out.seed = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("invalid seed '{value}'"))?,
+                    )
+                }
+                other => return Err(format!("unknown generator option '{other}'")),
+            }
+        }
+        if out.n == 0 {
+            return Err("generator needs n >= 1".to_string());
+        }
+        if out.nf == 0 {
+            out.nf = (out.n / 2).max(1);
+        }
+        Ok(out)
+    }
+
+    /// Materialises the generator parameters, defaulting the seed to
+    /// `fallback_seed`.
+    pub fn params(&self, fallback_seed: u64) -> GenParams {
+        let base = match self.workload.as_str() {
+            "uniform" => GenParams::uniform_square(self.n, self.nf),
+            "clustered" => GenParams::gaussian_clusters(self.n, self.nf, self.clusters),
+            "grid" => GenParams::grid(self.n, self.nf),
+            "line" => GenParams::line(self.n, self.nf),
+            "planted" => GenParams::planted(self.n, self.nf, self.clusters),
+            other => unreachable!("workload '{other}' rejected at parse time"),
+        };
+        base.with_seed(self.seed.unwrap_or(fallback_seed))
+    }
+
+    /// Generates the instance variant the given problem family consumes.
+    pub fn instance(&self, problem: ProblemKind, fallback_seed: u64) -> AnyInstance {
+        let params = self.params(fallback_seed);
+        match problem {
+            ProblemKind::FacilityLocation => AnyInstance::Fl(gen::facility_location(params)),
+            ProblemKind::KClustering | ProblemKind::DominatorSet => {
+                AnyInstance::Cluster(gen::clustering(params))
+            }
+        }
+    }
+}
+
+fn parse_usize(value: &str, key: &str) -> Result<usize, String> {
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("invalid value '{value}' for generator option '{key}'"))
+}
+
+/// Lazily generated instance variants for one [`GenSpec`], so sweeps build
+/// each O(n²) distance matrix once per workload instead of once per solver.
+pub struct InstanceCache<'a> {
+    spec: &'a GenSpec,
+    fallback_seed: u64,
+    fl: Option<AnyInstance>,
+    cluster: Option<AnyInstance>,
+}
+
+impl<'a> InstanceCache<'a> {
+    /// Creates an empty cache for the given spec; nothing is generated yet.
+    pub fn new(spec: &'a GenSpec, fallback_seed: u64) -> Self {
+        InstanceCache {
+            spec,
+            fallback_seed,
+            fl: None,
+            cluster: None,
+        }
+    }
+
+    /// The instance variant the given problem family consumes, generated on
+    /// first use.
+    pub fn get(&mut self, problem: ProblemKind) -> &AnyInstance {
+        let slot = match problem {
+            ProblemKind::FacilityLocation => &mut self.fl,
+            ProblemKind::KClustering | ProblemKind::DominatorSet => &mut self.cluster,
+        };
+        slot.get_or_insert_with(|| self.spec.instance(problem, self.fallback_seed))
+    }
+}
+
+/// Runs one named solver on a freshly generated instance.
+pub fn run_solver(
+    registry: &Registry,
+    solver: &str,
+    spec: &GenSpec,
+    cfg: &RunConfig,
+) -> Result<Run, String> {
+    run_solver_cached(
+        registry,
+        solver,
+        &mut InstanceCache::new(spec, cfg.seed),
+        cfg,
+    )
+}
+
+/// Runs one named solver, reusing instances already generated in `cache`.
+pub fn run_solver_cached(
+    registry: &Registry,
+    solver: &str,
+    cache: &mut InstanceCache<'_>,
+    cfg: &RunConfig,
+) -> Result<Run, String> {
+    let entry = registry.get(solver).ok_or_else(|| {
+        format!(
+            "no solver named '{solver}'; available: {}",
+            registry.names().join(", ")
+        )
+    })?;
+    let inst = cache.get(entry.problem());
+    entry.run(inst, cfg).map_err(|e| e.to_string())
+}
+
+/// Serialises a batch of runs as a JSON array (one stable schema for all
+/// experiments; see [`parfaclo_api::RUN_SCHEMA`]).
+pub fn runs_to_json(runs: &[Run]) -> String {
+    let mut out = String::from("[");
+    for (idx, run) in runs.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        out.push_str(&run.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// One aligned table row summarising a run (pairs with [`table_header`]).
+pub fn table_row(run: &Run) -> Vec<String> {
+    vec![
+        run.solver.clone(),
+        run.problem.to_string(),
+        run.n.to_string(),
+        format!("{:.3}", run.cost),
+        format!("{:.3}", run.lower_bound),
+        run.certified_ratio()
+            .map_or_else(|| "-".to_string(), |r| format!("{r:.3}")),
+        run.rounds.to_string(),
+        run.work.element_ops.to_string(),
+        format!("{:.2}", run.wall_ms),
+    ]
+}
+
+/// Header matching [`table_row`].
+pub fn table_header() -> Vec<&'static str> {
+    vec![
+        "solver",
+        "problem",
+        "n",
+        "cost",
+        "lower_bnd",
+        "ratio",
+        "rounds",
+        "work",
+        "ms",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::standard_registry;
+
+    #[test]
+    fn gen_spec_parses_issue_example() {
+        let spec = GenSpec::parse("uniform:n=2000,k=40").unwrap();
+        assert_eq!(spec.workload, "uniform");
+        assert_eq!(spec.n, 2000);
+        assert_eq!(spec.nf, 40);
+        assert_eq!(spec.seed, None);
+    }
+
+    #[test]
+    fn gen_spec_defaults_and_errors() {
+        let spec = GenSpec::parse("planted").unwrap();
+        assert_eq!(spec.n, 200);
+        assert_eq!(spec.nf, 100);
+        assert_eq!(spec.clusters, 8);
+        assert!(GenSpec::parse("mystery").is_err());
+        assert!(GenSpec::parse("uniform:n=abc").is_err());
+        assert!(GenSpec::parse("uniform:n").is_err());
+        assert!(GenSpec::parse("uniform:n=0").is_err());
+        assert!(GenSpec::parse("uniform:zz=3").is_err());
+    }
+
+    #[test]
+    fn run_solver_routes_by_problem_kind() {
+        let registry = standard_registry();
+        let spec = GenSpec::parse("uniform:n=16,nf=8").unwrap();
+        let cfg = RunConfig::new(0.1).with_seed(3).with_k(3);
+        let fl = run_solver(&registry, "greedy", &spec, &cfg).unwrap();
+        assert_eq!(fl.problem, ProblemKind::FacilityLocation);
+        let kc = run_solver(&registry, "kcenter", &spec, &cfg).unwrap();
+        assert_eq!(kc.problem, ProblemKind::KClustering);
+        let dom = run_solver(&registry, "maxdom", &spec, &cfg).unwrap();
+        assert_eq!(dom.problem, ProblemKind::DominatorSet);
+        for run in [&fl, &kc, &dom] {
+            run.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", run.solver));
+        }
+    }
+
+    #[test]
+    fn unknown_solver_lists_alternatives() {
+        let registry = standard_registry();
+        let spec = GenSpec::parse("uniform:n=8").unwrap();
+        let err = run_solver(&registry, "ghost", &spec, &RunConfig::default()).unwrap_err();
+        assert!(err.contains("greedy"), "error should list names: {err}");
+    }
+
+    #[test]
+    fn json_batch_is_an_array_of_schema_records() {
+        let registry = standard_registry();
+        let spec = GenSpec::parse("uniform:n=10,nf=5").unwrap();
+        let cfg = RunConfig::new(0.1).with_seed(1);
+        let a = run_solver(&registry, "greedy", &spec, &cfg).unwrap();
+        let b = run_solver(&registry, "jms-greedy", &spec, &cfg).unwrap();
+        let json = runs_to_json(&[a, b]);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches(parfaclo_api::RUN_SCHEMA).count(), 2);
+    }
+
+    #[test]
+    fn cached_runs_match_uncached_runs() {
+        let registry = standard_registry();
+        let spec = GenSpec::parse("uniform:n=14,nf=7").unwrap();
+        let cfg = RunConfig::new(0.1).with_seed(9).with_k(3);
+        let mut cache = InstanceCache::new(&spec, cfg.seed);
+        for name in ["greedy", "kcenter", "maxdom"] {
+            let cached = run_solver_cached(&registry, name, &mut cache, &cfg).unwrap();
+            let fresh = run_solver(&registry, name, &spec, &cfg).unwrap();
+            assert_eq!(cached.canonical_json(), fresh.canonical_json(), "{name}");
+        }
+    }
+
+    #[test]
+    fn table_shapes_agree() {
+        let registry = standard_registry();
+        let spec = GenSpec::parse("uniform:n=10,nf=5").unwrap();
+        let run = run_solver(&registry, "greedy", &spec, &RunConfig::default()).unwrap();
+        assert_eq!(table_row(&run).len(), table_header().len());
+    }
+}

@@ -70,7 +70,10 @@ pub fn parallel_greedy(inst: &FlInstance, cfg: &FlConfig) -> FlSolution {
 pub fn parallel_greedy_detailed(inst: &FlInstance, cfg: &FlConfig) -> GreedyOutput {
     let nc = inst.num_clients();
     let nf = inst.num_facilities();
-    assert!(nc > 0 && nf > 0, "instance must have clients and facilities");
+    assert!(
+        nc > 0 && nf > 0,
+        "instance must have clients and facilities"
+    );
     let eps = cfg.epsilon;
     let slack = 1.0 + eps;
     let meter = CostMeter::new();
@@ -91,7 +94,8 @@ pub fn parallel_greedy_detailed(inst: &FlInstance, cfg: &FlConfig) -> GreedyOutp
     if cfg.preprocess {
         let gamma = inst.gamma();
         let threshold = gamma / (inst.m() as f64 * inst.m() as f64);
-        let stars = stars::all_cheapest_stars(inst, &fcost, &orders, &remaining, cfg.policy, &meter);
+        let stars =
+            stars::all_cheapest_stars(inst, &fcost, &orders, &remaining, cfg.policy, &meter);
         for star in stars.into_iter().flatten() {
             if star.price <= threshold && remaining_count > 0 {
                 let i = star.facility;
@@ -122,7 +126,8 @@ pub fn parallel_greedy_detailed(inst: &FlInstance, cfg: &FlConfig) -> GreedyOutp
         );
 
         // Step 1: cheapest maximal star per facility.
-        let stars = stars::all_cheapest_stars(inst, &fcost, &orders, &remaining, cfg.policy, &meter);
+        let stars =
+            stars::all_cheapest_stars(inst, &fcost, &orders, &remaining, cfg.policy, &meter);
 
         // Step 2: τ and the candidate set I.
         let tau = stars
@@ -270,8 +275,7 @@ pub fn parallel_greedy_detailed(inst: &FlInstance, cfg: &FlConfig) -> GreedyOutp
                 .iter()
                 .zip(adj.iter())
                 .map(|(&i, a)| {
-                    let live: Vec<ClientId> =
-                        a.iter().copied().filter(|&j| remaining[j]).collect();
+                    let live: Vec<ClientId> = a.iter().copied().filter(|&j| remaining[j]).collect();
                     if live.is_empty() {
                         return true;
                     }
@@ -476,9 +480,9 @@ mod tests {
         let inst = gen::facility_location(GenParams::uniform_square(15, 8).with_seed(6));
         let sol = parallel_greedy(&inst, &FlConfig::new(0.1).with_preprocess(false));
         let with = parallel_greedy(&inst, &FlConfig::new(0.1));
-        let (_, opt) = lower_bounds::brute_force_facility_location(
-            &gen::facility_location(GenParams::uniform_square(15, 8).with_seed(6)),
-        );
+        let (_, opt) = lower_bounds::brute_force_facility_location(&gen::facility_location(
+            GenParams::uniform_square(15, 8).with_seed(6),
+        ));
         assert!(sol.cost <= (3.722 + 0.1) * opt + 1e-6);
         assert!(with.cost <= (3.722 + 0.1) * opt + 1e-6);
     }

@@ -6,13 +6,21 @@
 //!
 //! Three algorithms are implemented, each with the preprocessing steps the paper uses to
 //! bound its round count and each instrumented with the work/round accounting of
-//! [`parfaclo_matrixops::CostMeter`]:
+//! [`parfaclo_matrixops::CostMeter`]; a fourth (the Section 7 local-search extension)
+//! rides along. Every algorithm is exposed twice:
 //!
-//! | Module | Paper | Guarantee | Work bound |
-//! |--------|-------|-----------|-----------|
-//! | [`greedy`] | Algorithm 4.1, Theorem 4.9 | `3.722 + ε` (factor-revealing LP analysis; `6 + ε` by the self-contained analysis) | `O(m log²_{1+ε} m)` |
-//! | [`primal_dual`] | Algorithm 5.1, Theorem 5.4 | `3 + ε` | `O(m log_{1+ε} m)` |
-//! | [`lp_rounding`] | Section 6.2, Theorem 6.5 | `4 + ε` given an optimal LP solution | `O(m log m log_{1+ε} m)` |
+//! * as a free function (`greedy::parallel_greedy(&inst, &cfg)`, …) returning the rich
+//!   [`FlSolution`] record — the historical entry points, kept stable;
+//! * as a [`parfaclo_api::Solver`] implementation ([`solvers::GreedySolver`], …)
+//!   returning the unified [`parfaclo_api::Run`] envelope, which is what the solver
+//!   registry, the `parfaclo` CLI and the cross-solver tests consume.
+//!
+//! | Module | Solver name | Paper | Guarantee | Work bound |
+//! |--------|-------------|-------|-----------|-----------|
+//! | [`greedy`] | `greedy` | Algorithm 4.1, Theorem 4.9 | `3.722 + ε` (factor-revealing LP analysis; `6 + ε` by the self-contained analysis) | `O(m log²_{1+ε} m)` |
+//! | [`primal_dual`] | `primal-dual` | Algorithm 5.1, Theorem 5.4 | `3 + ε` | `O(m log_{1+ε} m)` |
+//! | [`lp_rounding`] | `lp-rounding` | Section 6.2, Theorem 6.5 | `4 + ε` given an optimal LP solution | `O(m log m log_{1+ε} m)` |
+//! | [`local_search_fl`] | `local-search-fl` | Section 7 (closing remark) | `3 + ε` (rounds unbounded by theory) | — |
 //!
 //! The common pattern — and the paper's central idea — is to replace the sequential
 //! "pick the single cheapest element" step with "pick **everything within a `(1 + ε)`
@@ -20,7 +28,27 @@
 //! subselection for greedy, `MaxUDom` for primal-dual and rounding) so the accounting
 //! arguments still go through.
 //!
-//! ## Quick example
+//! ## Quick example — unified API
+//!
+//! ```
+//! use parfaclo_api::{RunConfig, Solver};
+//! use parfaclo_core::solvers::{GreedySolver, PrimalDualSolver};
+//! use parfaclo_core::FlConfig;
+//! use parfaclo_metric::gen::{self, GenParams};
+//!
+//! let inst = gen::facility_location(GenParams::uniform_square(40, 20).with_seed(1));
+//! let cfg = FlConfig::from(&RunConfig::new(0.1).with_seed(7));
+//!
+//! let g = GreedySolver.solve(&inst, &cfg);
+//! let pd = PrimalDualSolver.solve(&inst, &cfg);
+//!
+//! // Both produce valid Run envelopes with certified lower bounds.
+//! g.validate().unwrap();
+//! assert!(g.cost >= pd.lower_bound - 1e-9);
+//! assert!(pd.cost <= (3.0 + 0.1 + 0.2) * pd.lower_bound + 1e-9);
+//! ```
+//!
+//! ## Quick example — historical free functions
 //!
 //! ```
 //! use parfaclo_metric::gen::{self, GenParams};
@@ -32,9 +60,7 @@
 //! let g = greedy::parallel_greedy(&inst, &cfg);
 //! let pd = primal_dual::parallel_primal_dual(&inst, &cfg);
 //!
-//! // Both produce valid solutions with certified lower bounds.
 //! assert!(g.cost >= pd.lower_bound - 1e-9);
-//! assert!(pd.cost <= (3.0 + 0.1 + 0.2) * pd.lower_bound + 1e-9);
 //! ```
 
 #![warn(missing_docs)]
@@ -46,8 +72,34 @@ pub mod local_search_fl;
 pub mod lp_rounding;
 pub mod primal_dual;
 pub mod solution;
+pub mod solvers;
 pub mod stars;
 pub mod verify;
 
 pub use config::FlConfig;
 pub use solution::FlSolution;
+pub use solvers::{FlLocalSearchSolver, GreedySolver, LpRoundingSolver, PrimalDualSolver};
+
+/// Deprecated re-exports of the pre-registry entry points. The free
+/// functions themselves remain fully supported (the solver adapters call
+/// them); these aliases exist to steer new code toward [`solvers`] / the
+/// registry in `parfaclo-bench`.
+pub mod compat {
+    use super::*;
+    use parfaclo_metric::FlInstance;
+
+    /// Delegates to [`greedy::parallel_greedy`].
+    #[deprecated(since = "0.1.0", note = "use `solvers::GreedySolver` via the registry")]
+    pub fn parallel_greedy(inst: &FlInstance, cfg: &FlConfig) -> FlSolution {
+        greedy::parallel_greedy(inst, cfg)
+    }
+
+    /// Delegates to [`primal_dual::parallel_primal_dual`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `solvers::PrimalDualSolver` via the registry"
+    )]
+    pub fn parallel_primal_dual(inst: &FlInstance, cfg: &FlConfig) -> FlSolution {
+        primal_dual::parallel_primal_dual(inst, cfg)
+    }
+}

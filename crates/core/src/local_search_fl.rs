@@ -48,9 +48,7 @@ fn move_cost(
     let nc = inst.num_clients();
     match mv {
         Move::Add(a) => {
-            let conn: f64 = (0..nc)
-                .map(|j| best[j].1.min(inst.dist(j, a)))
-                .sum();
+            let conn: f64 = (0..nc).map(|j| best[j].1.min(inst.dist(j, a))).sum();
             opening_cost + inst.facility_cost(a) + conn
         }
         Move::Drop(d) => {
@@ -62,7 +60,11 @@ fn move_cost(
         Move::Swap { drop, add } => {
             let conn: f64 = (0..nc)
                 .map(|j| {
-                    let keep = if best[j].0 == drop { best[j].2 } else { best[j].1 };
+                    let keep = if best[j].0 == drop {
+                        best[j].2
+                    } else {
+                        best[j].1
+                    };
                     keep.min(inst.dist(j, add))
                 })
                 .sum();
@@ -83,7 +85,10 @@ fn move_cost(
 pub fn parallel_local_search_fl(inst: &FlInstance, cfg: &FlConfig) -> FlSolution {
     let nc = inst.num_clients();
     let nf = inst.num_facilities();
-    assert!(nc > 0 && nf > 0, "instance must have clients and facilities");
+    assert!(
+        nc > 0 && nf > 0,
+        "instance must have clients and facilities"
+    );
     let meter = CostMeter::new();
 
     // Initial solution: the best single facility.
@@ -98,9 +103,7 @@ pub fn parallel_local_search_fl(inst: &FlInstance, cfg: &FlConfig) -> FlSolution
     open[best_single] = true;
     meter.add_primitive(inst.m() as u64);
 
-    let open_set = |open: &[bool]| -> Vec<FacilityId> {
-        (0..nf).filter(|&i| open[i]).collect()
-    };
+    let open_set = |open: &[bool]| -> Vec<FacilityId> { (0..nf).filter(|&i| open[i]).collect() };
     let mut cost = inst.solution_cost(&open_set(&open));
     let beta = cfg.epsilon / (4.0 * (1.0 + cfg.epsilon));
     let threshold = 1.0 - beta;
@@ -136,8 +139,8 @@ pub fn parallel_local_search_fl(inst: &FlInstance, cfg: &FlConfig) -> FlSolution
 
         // Enumerate all candidate moves.
         let mut moves: Vec<Move> = Vec::new();
-        for i in 0..nf {
-            if !open[i] {
+        for (i, &is_open) in open.iter().enumerate() {
+            if !is_open {
                 moves.push(Move::Add(i));
                 for &d in &opened {
                     moves.push(Move::Swap { drop: d, add: i });
@@ -226,10 +229,8 @@ mod tests {
             &inst,
             &FlConfig::new(0.1).with_policy(ExecPolicy::Sequential),
         );
-        let b = parallel_local_search_fl(
-            &inst,
-            &FlConfig::new(0.1).with_policy(ExecPolicy::Parallel),
-        );
+        let b =
+            parallel_local_search_fl(&inst, &FlConfig::new(0.1).with_policy(ExecPolicy::Parallel));
         assert_eq!(a.open, b.open);
         assert_eq!(a.cost, b.cost);
     }

@@ -41,11 +41,7 @@ pub struct RoundingOutput {
 
 /// Runs the parallel rounding with the default filter parameter `α = 1/3` (the value
 /// that balances facility and connection blow-ups into the `4 + ε` guarantee).
-pub fn parallel_lp_rounding(
-    inst: &FlInstance,
-    lp: &FlLpSolution,
-    cfg: &FlConfig,
-) -> FlSolution {
+pub fn parallel_lp_rounding(inst: &FlInstance, lp: &FlLpSolution, cfg: &FlConfig) -> FlSolution {
     parallel_lp_rounding_detailed(inst, lp, cfg, 1.0 / 3.0).solution
 }
 
@@ -62,9 +58,16 @@ pub fn parallel_lp_rounding_detailed(
 ) -> RoundingOutput {
     let nc = inst.num_clients();
     let nf = inst.num_facilities();
-    assert!(nc > 0 && nf > 0, "instance must have clients and facilities");
+    assert!(
+        nc > 0 && nf > 0,
+        "instance must have clients and facilities"
+    );
     assert_eq!(lp.num_clients(), nc, "LP solution has wrong client count");
-    assert_eq!(lp.num_facilities(), nf, "LP solution has wrong facility count");
+    assert_eq!(
+        lp.num_facilities(),
+        nf,
+        "LP solution has wrong facility count"
+    );
     assert!(
         filter_alpha > 0.0 && filter_alpha < 1.0,
         "filter parameter must lie in (0, 1)"
@@ -176,7 +179,9 @@ pub fn parallel_lp_rounding_detailed(
             }
             // Same-round blocker: a selected client sharing a surviving ball facility.
             let blocker = selected.iter().copied().find(|&j2| {
-                balls[j].iter().any(|&i| facility_alive[i] && balls[j2].contains(&i))
+                balls[j]
+                    .iter()
+                    .any(|&i| facility_alive[i] && balls[j2].contains(&i))
             });
             // Earlier-round blocker: some facility of the ball is already dead; charge
             // to the facility that the analysis says killed it — the cheapest open
@@ -188,9 +193,7 @@ pub fn parallel_lp_rounding_detailed(
                     in_ball_open.unwrap_or_else(|| {
                         (0..nf)
                             .filter(|&i| open[i])
-                            .min_by(|&a, &b| {
-                                inst.dist(j, a).partial_cmp(&inst.dist(j, b)).unwrap()
-                            })
+                            .min_by(|&a, &b| inst.dist(j, a).partial_cmp(&inst.dist(j, b)).unwrap())
                             .expect("at least one facility is open by now")
                     })
                 }
@@ -219,7 +222,10 @@ pub fn parallel_lp_rounding_detailed(
     RoundingOutput {
         solution,
         filter_alpha,
-        pi: pi.into_iter().map(|p| p.expect("every client assigned")).collect(),
+        pi: pi
+            .into_iter()
+            .map(|p| p.expect("every client assigned"))
+            .collect(),
         clients_per_round,
     }
 }

@@ -52,7 +52,10 @@ pub fn parallel_primal_dual(inst: &FlInstance, cfg: &FlConfig) -> FlSolution {
 pub fn parallel_primal_dual_detailed(inst: &FlInstance, cfg: &FlConfig) -> PrimalDualOutput {
     let nc = inst.num_clients();
     let nf = inst.num_facilities();
-    assert!(nc > 0 && nf > 0, "instance must have clients and facilities");
+    assert!(
+        nc > 0 && nf > 0,
+        "instance must have clients and facilities"
+    );
     let eps = cfg.epsilon;
     let slack = 1.0 + eps;
     let meter = CostMeter::new();
@@ -195,9 +198,8 @@ pub fn parallel_primal_dual_detailed(inst: &FlInstance, cfg: &FlConfig) -> Prima
     // ---- Post-processing: MaxUDom over the tight-edge graph ----------------------------
     // H = (F_T, C, E) with ij ∈ E iff (1+ε)·α_j > d(j, i).
     let ft: Vec<FacilityId> = temporarily_open.clone();
-    let h = BipartiteGraph::from_predicate(ft.len(), nc, |u, j| {
-        slack * alpha[j] > inst.dist(j, ft[u])
-    });
+    let h =
+        BipartiteGraph::from_predicate(ft.len(), nc, |u, j| slack * alpha[j] > inst.dist(j, ft[u]));
     meter.add_primitive((ft.len() * nc) as u64);
     let dom = if ft.is_empty() {
         parfaclo_dominator::DominatorResult {

@@ -39,7 +39,10 @@ impl FlSolution {
     /// # Panics
     /// Panics if `open` is empty.
     pub fn from_open_set(inst: &FlInstance, mut open: Vec<FacilityId>) -> Self {
-        assert!(!open.is_empty(), "a solution must open at least one facility");
+        assert!(
+            !open.is_empty(),
+            "a solution must open at least one facility"
+        );
         open.sort_unstable();
         open.dedup();
         let opening_cost = inst.opening_cost(&open);

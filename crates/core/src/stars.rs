@@ -216,14 +216,9 @@ mod tests {
         let orders = FacilityOrders::presort(&inst, ExecPolicy::Sequential, &meter);
         let remaining = vec![true; 15];
         for i in 0..4 {
-            let star = cheapest_maximal_star(
-                &inst,
-                i,
-                inst.facility_cost(i),
-                orders.order(i),
-                &remaining,
-            )
-            .unwrap();
+            let star =
+                cheapest_maximal_star(&inst, i, inst.facility_cost(i), orders.order(i), &remaining)
+                    .unwrap();
             let lhs: f64 = (0..15)
                 .map(|j| (star.price - inst.dist(j, i)).max(0.0))
                 .sum();

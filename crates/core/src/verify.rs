@@ -99,11 +99,7 @@ pub fn instance_lower_bound(inst: &FlInstance, lp_size_limit: usize) -> Instance
 
 /// Checks a solution's α certificate (if present) and returns the certified ratio
 /// `cost / max(dual value, instance lower bound)`.
-pub fn certified_ratio(
-    inst: &FlInstance,
-    sol: &FlSolution,
-    extra_lower_bound: f64,
-) -> Option<f64> {
+pub fn certified_ratio(inst: &FlInstance, sol: &FlSolution, extra_lower_bound: f64) -> Option<f64> {
     let mut bound = extra_lower_bound.max(sol.lower_bound);
     if !sol.alpha.is_empty() && dual::check_alpha_feasible(inst, &sol.alpha, 1e-6).is_ok() {
         bound = bound.max(dual::dual_value(&sol.alpha));

@@ -40,11 +40,13 @@ pub mod graph;
 pub mod luby;
 pub mod maxdom;
 pub mod maxudom;
+pub mod solvers;
 
 pub use graph::{BipartiteGraph, DenseGraph};
 pub use luby::maximal_independent_set;
 pub use maxdom::max_dom;
 pub use maxudom::max_u_dom;
+pub use solvers::{MaxDomSolver, MisSolver};
 
 /// Result of a dominator-set (or MIS) computation.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -141,12 +141,7 @@ pub fn is_maximal_dominator_set(g: &DenseGraph, set: &[usize]) -> bool {
         }
         v
     };
-    (0..g.n()).all(|i| {
-        in_set[i]
-            || set
-                .iter()
-                .any(|&s| g.adjacent_in_square(i, s))
-    })
+    (0..g.n()).all(|i| in_set[i] || set.iter().any(|&s| g.adjacent_in_square(i, s)))
 }
 
 /// Builds `G²` explicitly (quadratic work per node pair). Only used by tests to compare
@@ -260,11 +255,7 @@ mod tests {
         let g = DenseGraph::from_edges(n, &edges);
         let r = max_dom(&g, 1, ExecPolicy::Parallel, &meter());
         assert_eq!(r.selected.len(), 200, "one endpoint of each isolated edge");
-        assert!(
-            r.rounds <= 20,
-            "expected O(log n) rounds, got {}",
-            r.rounds
-        );
+        assert!(r.rounds <= 20, "expected O(log n) rounds, got {}", r.rounds);
     }
 
     #[test]

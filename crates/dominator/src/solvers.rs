@@ -1,0 +1,155 @@
+//! [`Solver`] adapters for the dominator-set routines.
+//!
+//! The dominator-set algorithms operate on graphs, while the unified runner
+//! deals in metric instances; following the way the paper's own callers use
+//! them (k-center's feasibility probe, primal-dual's conflict resolution),
+//! these adapters *threshold* a [`ClusterInstance`] into a [`DenseGraph`]
+//! (nodes adjacent when within distance `t`) and run the set computation on
+//! that. The threshold comes from [`RunConfig::threshold`], defaulting to
+//! the median distinct pairwise distance, and the reported "cost" is the
+//! selected-set size (the natural objective for maximal-set outputs).
+
+use crate::graph::DenseGraph;
+use crate::luby::maximal_independent_set;
+use crate::maxdom::max_dom;
+use crate::DominatorResult;
+use parfaclo_api::{ProblemKind, Run, RunConfig, Solver};
+use parfaclo_matrixops::{CostMeter, ExecPolicy};
+use parfaclo_metric::ClusterInstance;
+
+/// The distance threshold used to build the graph: explicit if configured,
+/// otherwise the median of the distinct pairwise distances (deterministic,
+/// and dense enough to make the set computation non-trivial).
+fn resolve_threshold(inst: &ClusterInstance, cfg: &RunConfig) -> f64 {
+    cfg.threshold.unwrap_or_else(|| {
+        let distances = inst.distances().sorted_distinct_values();
+        distances[distances.len() / 2]
+    })
+}
+
+fn threshold_graph(inst: &ClusterInstance, threshold: f64) -> DenseGraph {
+    DenseGraph::from_distance_threshold(inst.distances().as_slice(), inst.n(), threshold)
+}
+
+/// Shared envelope for the set computations: threshold the instance into a
+/// graph, run `algorithm`, report the selected-set size as the cost.
+fn dominator_run(
+    solver: &(impl Solver + ?Sized),
+    inst: &ClusterInstance,
+    cfg: &RunConfig,
+    algorithm: impl Fn(&DenseGraph, u64, ExecPolicy, &CostMeter) -> DominatorResult,
+) -> Run {
+    let threshold = resolve_threshold(inst, cfg);
+    let g = threshold_graph(inst, threshold);
+    let meter = CostMeter::new();
+    let result = algorithm(&g, cfg.seed, cfg.policy, &meter);
+    Run::new(Solver::name(solver), ProblemKind::DominatorSet)
+        .with_guarantee(Solver::guarantee(solver))
+        .with_instance_size(inst.n(), inst.n() * inst.n())
+        .with_cost(result.selected.len() as f64)
+        .with_selected(result.selected)
+        .with_rounds(result.rounds, 0)
+        .with_work(meter.report())
+        .with_extra("threshold", threshold)
+        .with_extra("graph_edges", g.num_edges() as f64)
+        .with_config_echo(cfg)
+}
+
+/// `MaxDom` (Section 3) on the threshold graph of a metric instance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxDomSolver;
+
+impl Solver for MaxDomSolver {
+    type Instance = ClusterInstance;
+    type Config = RunConfig;
+
+    fn name(&self) -> &str {
+        "maxdom"
+    }
+
+    fn problem(&self) -> ProblemKind {
+        ProblemKind::DominatorSet
+    }
+
+    fn paper_ref(&self) -> &str {
+        "Section 3, Lemma 3.1"
+    }
+
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
+        dominator_run(self, inst, cfg, max_dom)
+    }
+}
+
+/// Luby's maximal independent set on the threshold graph of a metric
+/// instance (the reference algorithm the dominator variants simulate).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MisSolver;
+
+impl Solver for MisSolver {
+    type Instance = ClusterInstance;
+    type Config = RunConfig;
+
+    fn name(&self) -> &str {
+        "mis"
+    }
+
+    fn problem(&self) -> ProblemKind {
+        ProblemKind::DominatorSet
+    }
+
+    fn paper_ref(&self) -> &str {
+        "Algorithm 3.1 (Luby)"
+    }
+
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
+        dominator_run(self, inst, cfg, maximal_independent_set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxdom::is_maximal_dominator_set;
+    use parfaclo_metric::gen::{self, GenParams};
+
+    fn tiny() -> ClusterInstance {
+        gen::clustering(GenParams::uniform_square(20, 20).with_seed(8))
+    }
+
+    #[test]
+    fn maxdom_run_is_a_valid_dominator_set() {
+        let inst = tiny();
+        let cfg = RunConfig::new(0.1).with_seed(4);
+        let run = MaxDomSolver.solve(&inst, &cfg);
+        run.validate().expect("valid envelope");
+        let threshold = resolve_threshold(&inst, &cfg);
+        let g = threshold_graph(&inst, threshold);
+        assert!(is_maximal_dominator_set(&g, &run.selected));
+        assert_eq!(run.cost, run.selected.len() as f64);
+    }
+
+    #[test]
+    fn explicit_threshold_is_respected() {
+        let inst = tiny();
+        let cfg = RunConfig::new(0.1).with_threshold(5.0);
+        let run = MaxDomSolver.solve(&inst, &cfg);
+        assert_eq!(
+            run.extra.iter().find(|(k, _)| k == "threshold").unwrap().1,
+            5.0
+        );
+    }
+
+    #[test]
+    fn mis_is_independent_in_threshold_graph() {
+        let inst = tiny();
+        let cfg = RunConfig::new(0.1).with_seed(2);
+        let run = MisSolver.solve(&inst, &cfg);
+        run.validate().expect("valid envelope");
+        let g = threshold_graph(&inst, resolve_threshold(&inst, &cfg));
+        for (idx, &a) in run.selected.iter().enumerate() {
+            for &b in &run.selected[idx + 1..] {
+                assert!(!g.has_edge(a, b), "selected nodes {a},{b} adjacent");
+            }
+        }
+    }
+}

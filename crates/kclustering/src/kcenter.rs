@@ -71,13 +71,14 @@ pub fn parallel_kcenter(
     while lo <= hi {
         let mid = (lo + hi) / 2;
         probes += 1;
-        let g = DenseGraph::from_distance_threshold(
-            inst.distances().as_slice(),
-            n,
-            distances[mid],
-        );
+        let g = DenseGraph::from_distance_threshold(inst.distances().as_slice(), n, distances[mid]);
         meter.add_primitive((n * n) as u64);
-        let dom = max_dom(&g, seed ^ (mid as u64).wrapping_mul(0x9E37_79B9), policy, &meter);
+        let dom = max_dom(
+            &g,
+            seed ^ (mid as u64).wrapping_mul(0x9E37_79B9),
+            policy,
+            &meter,
+        );
         luby_rounds += dom.rounds;
         if dom.selected.len() <= k {
             best = Some((mid, dom.selected));

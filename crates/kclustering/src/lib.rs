@@ -20,8 +20,10 @@
 
 pub mod kcenter;
 pub mod local_search;
+pub mod solvers;
 
 pub use kcenter::{parallel_kcenter, KCenterSolution};
 pub use local_search::{
     parallel_kmeans, parallel_kmedian, ClusterObjective, KClusterSolution, LocalSearchConfig,
 };
+pub use solvers::{KCenterSolver, KMeansLocalSearchSolver, KMedianLocalSearchSolver};

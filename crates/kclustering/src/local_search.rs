@@ -196,7 +196,7 @@ pub fn parallel_local_search(
         let nearest = closest_two(inst, &centers, cfg.policy);
 
         // Evaluate every swap (drop centers[pos], add candidate) in parallel.
-        meter.add_primitive((k * n * n) as u64 / 1.max(1));
+        meter.add_primitive((k * n * n) as u64);
         let in_centers: Vec<bool> = {
             let mut v = vec![false; n];
             for &c in &centers {

@@ -1,0 +1,205 @@
+//! [`Solver`] adapters for the parallel k-clustering algorithms.
+//!
+//! As in `parfaclo-core`, the free functions remain the implementations;
+//! these types project the unified [`RunConfig`] (which carries `k`) into
+//! the native argument lists and repackage the solutions into [`Run`]
+//! envelopes.
+
+use crate::kcenter::parallel_kcenter;
+use crate::local_search::{parallel_local_search, ClusterObjective, LocalSearchConfig};
+use parfaclo_api::{ProblemKind, Run, RunConfig, Solver};
+use parfaclo_metric::ClusterInstance;
+
+impl From<&RunConfig> for LocalSearchConfig {
+    fn from(cfg: &RunConfig) -> Self {
+        LocalSearchConfig {
+            epsilon: cfg.epsilon,
+            seed: cfg.seed,
+            policy: cfg.policy,
+            max_rounds: cfg.max_rounds,
+        }
+    }
+}
+
+/// The parallel Hochbaum–Shmoys k-center algorithm (Section 6.1) behind the
+/// unified API.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KCenterSolver;
+
+impl Solver for KCenterSolver {
+    type Instance = ClusterInstance;
+    type Config = RunConfig;
+
+    fn name(&self) -> &str {
+        "kcenter"
+    }
+
+    fn problem(&self) -> ProblemKind {
+        ProblemKind::KClustering
+    }
+
+    fn guarantee(&self) -> f64 {
+        2.0
+    }
+
+    fn guarantee_is_exact(&self) -> bool {
+        // Theorem 6.1 is a plain 2-approximation: the binary search runs
+        // over the exact distance set, no ε slack is paid.
+        true
+    }
+
+    fn paper_ref(&self) -> &str {
+        "Section 6.1, Theorem 6.1"
+    }
+
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
+        let sol = parallel_kcenter(inst, cfg.k, cfg.seed, cfg.policy);
+        let assignment = inst.center_assignment(&sol.centers);
+        Run::new(Solver::name(self), ProblemKind::KClustering)
+            .with_guarantee(Solver::guarantee(self))
+            .with_instance_size(inst.n(), inst.n() * inst.n())
+            .with_cost(sol.radius)
+            // The binary-search threshold is itself a lower bound on the
+            // optimal radius (see `KCenterSolution::threshold`).
+            .with_lower_bound(sol.threshold)
+            .with_selected(sol.centers)
+            .with_assignment(assignment)
+            .with_rounds(sol.probes, sol.luby_rounds)
+            .with_work(sol.work)
+            .with_extra("threshold", sol.threshold)
+            .with_extra("probes", sol.probes as f64)
+            .with_extra("k", cfg.k as f64)
+            .with_config_echo(cfg)
+    }
+}
+
+/// Shared adapter for the swap-based local search under either objective.
+fn local_search_run(
+    solver: &(impl Solver + ?Sized),
+    objective: ClusterObjective,
+    inst: &ClusterInstance,
+    cfg: &RunConfig,
+) -> Run {
+    let ls_cfg = LocalSearchConfig::from(cfg);
+    let sol = parallel_local_search(inst, cfg.k, objective, &ls_cfg);
+    let assignment = inst.center_assignment(&sol.centers);
+    Run::new(Solver::name(solver), ProblemKind::KClustering)
+        .with_guarantee(Solver::guarantee(solver))
+        .with_instance_size(inst.n(), inst.n() * inst.n())
+        .with_cost(sol.cost)
+        .with_selected(sol.centers)
+        .with_assignment(assignment)
+        .with_rounds(sol.rounds, 0)
+        .with_work(sol.work)
+        .with_extra("initial_cost", sol.initial_cost)
+        .with_extra("k", cfg.k as f64)
+        .with_config_echo(cfg)
+}
+
+/// The parallel swap-based local search for k-median (Section 7) behind the
+/// unified API.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KMedianLocalSearchSolver;
+
+impl Solver for KMedianLocalSearchSolver {
+    type Instance = ClusterInstance;
+    type Config = RunConfig;
+
+    fn name(&self) -> &str {
+        "kmedian-ls"
+    }
+
+    fn problem(&self) -> ProblemKind {
+        ProblemKind::KClustering
+    }
+
+    fn guarantee(&self) -> f64 {
+        5.0
+    }
+
+    fn paper_ref(&self) -> &str {
+        "Section 7, Theorem 7.1"
+    }
+
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
+        local_search_run(self, ClusterObjective::KMedian, inst, cfg)
+    }
+}
+
+/// The parallel swap-based local search for k-means (Section 7) behind the
+/// unified API.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KMeansLocalSearchSolver;
+
+impl Solver for KMeansLocalSearchSolver {
+    type Instance = ClusterInstance;
+    type Config = RunConfig;
+
+    fn name(&self) -> &str {
+        "kmeans-ls"
+    }
+
+    fn problem(&self) -> ProblemKind {
+        ProblemKind::KClustering
+    }
+
+    fn guarantee(&self) -> f64 {
+        81.0
+    }
+
+    fn paper_ref(&self) -> &str {
+        "Section 7, Theorem 7.1"
+    }
+
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
+        local_search_run(self, ClusterObjective::KMeans, inst, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parfaclo_metric::gen::{self, GenParams};
+
+    fn tiny() -> ClusterInstance {
+        gen::clustering(GenParams::planted(24, 24, 4).with_seed(2))
+    }
+
+    #[test]
+    fn kcenter_adapter_matches_free_function() {
+        let inst = tiny();
+        let cfg = RunConfig::new(0.1).with_seed(6).with_k(4);
+        let direct = parallel_kcenter(&inst, 4, 6, cfg.policy);
+        let run = KCenterSolver.solve(&inst, &cfg);
+        assert_eq!(run.cost, direct.radius);
+        assert_eq!(run.selected, direct.centers);
+        assert_eq!(run.lower_bound, direct.threshold);
+        run.validate().expect("valid envelope");
+    }
+
+    #[test]
+    fn clustering_adapters_produce_valid_runs() {
+        let inst = tiny();
+        let cfg = RunConfig::new(0.2).with_seed(1).with_k(3);
+        for run in [
+            KCenterSolver.solve(&inst, &cfg),
+            KMedianLocalSearchSolver.solve(&inst, &cfg),
+            KMeansLocalSearchSolver.solve(&inst, &cfg),
+        ] {
+            run.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", run.solver));
+            assert_eq!(run.problem, ProblemKind::KClustering);
+            assert!(run.selected.len() <= 3);
+            assert_eq!(run.assignment.len(), inst.n());
+        }
+    }
+
+    #[test]
+    fn local_search_config_projection() {
+        let rc = RunConfig::new(0.4).with_seed(11).with_max_rounds(77);
+        let ls = LocalSearchConfig::from(&rc);
+        assert_eq!(ls.epsilon, 0.4);
+        assert_eq!(ls.seed, 11);
+        assert_eq!(ls.max_rounds, 77);
+    }
+}

@@ -155,7 +155,8 @@ mod tests {
     fn weak_duality_against_lp() {
         use crate::faclp::solve_facility_lp;
         for seed in 0..3 {
-            let inst = gen::facility_location(GenParams::gaussian_clusters(6, 4, 2).with_seed(seed));
+            let inst =
+                gen::facility_location(GenParams::gaussian_clusters(6, 4, 2).with_seed(seed));
             let lp = solve_facility_lp(&inst).expect("lp");
             // Any feasible dual value is at most the LP optimum.
             let alpha: Vec<f64> = inst.gamma_per_client();

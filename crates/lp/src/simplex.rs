@@ -72,7 +72,10 @@ impl LinearProgram {
     /// Adds a constraint.
     pub fn add_constraint(&mut self, c: Constraint) {
         for &(v, _) in &c.coeffs {
-            assert!(v < self.num_vars, "constraint references unknown variable {v}");
+            assert!(
+                v < self.num_vars,
+                "constraint references unknown variable {v}"
+            );
         }
         self.constraints.push(c);
     }
@@ -190,8 +193,7 @@ impl Tableau {
                         None => best = Some((r, ratio)),
                         Some((br, bratio)) => {
                             if ratio < bratio - TOL
-                                || ((ratio - bratio).abs() <= TOL
-                                    && self.basis[r] < self.basis[br])
+                                || ((ratio - bratio).abs() <= TOL && self.basis[r] < self.basis[br])
                             {
                                 best = Some((r, ratio));
                             }
@@ -207,13 +209,17 @@ impl Tableau {
     }
 }
 
+/// A constraint normalised to a non-negative right-hand side:
+/// `(coefficients, operator, rhs)`.
+type NormalisedRow = (Vec<(usize, f64)>, ConstraintOp, f64);
+
 /// Solves the program with the two-phase primal simplex method.
 pub fn solve(lp: &LinearProgram) -> SimplexSolution {
     let n = lp.num_vars;
     let m = lp.constraints.len();
 
     // Normalise constraints so every right-hand side is non-negative.
-    let mut rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)> = Vec::with_capacity(m);
+    let mut rows: Vec<NormalisedRow> = Vec::with_capacity(m);
     for c in &lp.constraints {
         if c.rhs < 0.0 {
             let flipped: Vec<(usize, f64)> = c.coeffs.iter().map(|&(v, a)| (v, -a)).collect();
@@ -294,8 +300,8 @@ pub fn solve(lp: &LinearProgram) -> SimplexSolution {
         }
         for r in 0..m {
             if artificial_cols.contains(&tab.basis[r]) {
-                for c in 0..cols {
-                    obj[c] -= tab.at(r, c);
+                for (c, o) in obj.iter_mut().enumerate() {
+                    *o -= tab.at(r, c);
                 }
             }
         }
@@ -330,15 +336,13 @@ pub fn solve(lp: &LinearProgram) -> SimplexSolution {
 
     // Phase 2: original objective expressed over the current basis.
     let mut obj = vec![0.0; cols];
-    for v in 0..n {
-        obj[v] = lp.objective[v];
-    }
+    obj[..n].copy_from_slice(&lp.objective[..n]);
     for r in 0..m {
         let b = tab.basis[r];
         let cb = if b < n { lp.objective[b] } else { 0.0 };
         if cb.abs() > 0.0 {
-            for c in 0..cols {
-                obj[c] -= cb * tab.at(r, c);
+            for (c, o) in obj.iter_mut().enumerate() {
+                *o -= cb * tab.at(r, c);
             }
         }
     }
@@ -362,12 +366,7 @@ pub fn solve(lp: &LinearProgram) -> SimplexSolution {
             x[b] = tab.at(r, rhs_col);
         }
     }
-    let value: f64 = lp
-        .objective
-        .iter()
-        .zip(x.iter())
-        .map(|(c, v)| c * v)
-        .sum();
+    let value: f64 = lp.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
     SimplexSolution {
         outcome: SimplexOutcome::Optimal,
         value,

@@ -56,7 +56,9 @@ pub fn reduce(data: &[f64], op: AssocOp, policy: ExecPolicy, meter: &CostMeter) 
             .copied()
             .reduce(|| op.identity(), |a, b| op.apply(a, b))
     } else {
-        data.iter().copied().fold(op.identity(), |a, b| op.apply(a, b))
+        data.iter()
+            .copied()
+            .fold(op.identity(), |a, b| op.apply(a, b))
     }
 }
 
@@ -208,31 +210,28 @@ pub fn distribute_rows(
     if policy.run_parallel(rows * cols) {
         values
             .par_iter()
-            .flat_map_iter(|&v| std::iter::repeat(v).take(cols))
+            .flat_map_iter(|&v| std::iter::repeat_n(v, cols))
             .collect()
     } else {
         values
             .iter()
-            .flat_map(|&v| std::iter::repeat(v).take(cols))
+            .flat_map(|&v| std::iter::repeat_n(v, cols))
             .collect()
     }
 }
 
 /// Combines two equally-shaped matrices (or vectors) element-wise.
-pub fn zip_with<F>(
-    a: &[f64],
-    b: &[f64],
-    f: F,
-    policy: ExecPolicy,
-    meter: &CostMeter,
-) -> Vec<f64>
+pub fn zip_with<F>(a: &[f64], b: &[f64], f: F, policy: ExecPolicy, meter: &CostMeter) -> Vec<f64>
 where
     F: Fn(f64, f64) -> f64 + Sync + Send,
 {
     assert_eq!(a.len(), b.len(), "zip_with requires equal lengths");
     meter.add_primitive(a.len() as u64);
     if policy.run_parallel(a.len()) {
-        a.par_iter().zip(b.par_iter()).map(|(&x, &y)| f(x, y)).collect()
+        a.par_iter()
+            .zip(b.par_iter())
+            .map(|(&x, &y)| f(x, y))
+            .collect()
     } else {
         a.iter().zip(b.iter()).map(|(&x, &y)| f(x, y)).collect()
     }
@@ -324,7 +323,10 @@ mod tests {
         // Large input to exercise the parallel path.
         let mut big = vec![10.0; 5000];
         big[3777] = -1.0;
-        assert_eq!(argmin(&big, ExecPolicy::Parallel, &meter), Some((3777, -1.0)));
+        assert_eq!(
+            argmin(&big, ExecPolicy::Parallel, &meter),
+            Some((3777, -1.0))
+        );
     }
 
     #[test]
@@ -346,12 +348,18 @@ mod tests {
         // 2x3 matrix [[1,2,3],[4,5,6]]
         let data = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         for p in both_policies() {
-            assert_eq!(row_reduce(&data, 2, 3, AssocOp::Add, p, &meter), vec![6.0, 15.0]);
+            assert_eq!(
+                row_reduce(&data, 2, 3, AssocOp::Add, p, &meter),
+                vec![6.0, 15.0]
+            );
             assert_eq!(
                 col_reduce(&data, 2, 3, AssocOp::Add, p, &meter),
                 vec![5.0, 7.0, 9.0]
             );
-            assert_eq!(row_reduce(&data, 2, 3, AssocOp::Min, p, &meter), vec![1.0, 4.0]);
+            assert_eq!(
+                row_reduce(&data, 2, 3, AssocOp::Min, p, &meter),
+                vec![1.0, 4.0]
+            );
             assert_eq!(
                 col_reduce(&data, 2, 3, AssocOp::Max, p, &meter),
                 vec![4.0, 5.0, 6.0]
@@ -364,10 +372,7 @@ mod tests {
         let meter = CostMeter::new();
         let data = vec![2.0, 1.0, 1.0, 7.0, 7.0, 7.0];
         for p in both_policies() {
-            assert_eq!(
-                row_argmin(&data, 2, 3, p, &meter),
-                vec![(1, 1.0), (0, 7.0)]
-            );
+            assert_eq!(row_argmin(&data, 2, 3, p, &meter), vec![(1, 1.0), (0, 7.0)]);
         }
     }
 
@@ -413,7 +418,9 @@ mod tests {
         let meter = CostMeter::new();
         let rows = 64;
         let cols = 97;
-        let data: Vec<f64> = (0..rows * cols).map(|x| ((x * 31 + 7) % 101) as f64).collect();
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|x| ((x * 31 + 7) % 101) as f64)
+            .collect();
         for op in [AssocOp::Add, AssocOp::Min, AssocOp::Max] {
             assert_eq!(
                 row_reduce(&data, rows, cols, op, ExecPolicy::Sequential, &meter),
@@ -434,7 +441,14 @@ mod tests {
     #[should_panic(expected = "does not match")]
     fn dimension_mismatch_panics() {
         let meter = CostMeter::new();
-        let _ = row_reduce(&[1.0, 2.0, 3.0], 2, 2, AssocOp::Add, ExecPolicy::Sequential, &meter);
+        let _ = row_reduce(
+            &[1.0, 2.0, 3.0],
+            2,
+            2,
+            AssocOp::Add,
+            ExecPolicy::Sequential,
+            &meter,
+        );
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //! measure self-relative speedup, and the property tests assert the equivalence.
 
 /// Whether a primitive should run sequentially or on the rayon thread pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecPolicy {
     /// Plain sequential loops. Used as the reference implementation and for tiny inputs
     /// where parallel overhead dominates.
     Sequential,
     /// Data-parallel execution via rayon's work-stealing pool.
+    #[default]
     Parallel,
 }
 
@@ -26,12 +27,6 @@ impl ExecPolicy {
     #[inline]
     pub fn run_parallel(self, len: usize) -> bool {
         matches!(self, ExecPolicy::Parallel) && len >= Self::PAR_THRESHOLD
-    }
-}
-
-impl Default for ExecPolicy {
-    fn default() -> Self {
-        ExecPolicy::Parallel
     }
 }
 

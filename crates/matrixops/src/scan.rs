@@ -56,9 +56,8 @@ pub fn row_inclusive_scan(
 ) -> Vec<f64> {
     assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
     meter.add_primitive(data.len() as u64);
-    let scan_row = |r: usize| -> Vec<f64> {
-        sequential_scan(&data[r * cols..(r + 1) * cols], op, true)
-    };
+    let scan_row =
+        |r: usize| -> Vec<f64> { sequential_scan(&data[r * cols..(r + 1) * cols], op, true) };
     if policy.run_parallel(data.len()) {
         (0..rows).into_par_iter().flat_map_iter(scan_row).collect()
     } else {

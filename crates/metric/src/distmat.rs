@@ -6,7 +6,6 @@
 
 use crate::point::{DistanceKind, Point};
 use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// A dense row-major matrix of pairwise distances (or, more generally, non-negative
 /// costs) with `rows x cols` entries.
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// **rows = clients, columns = facilities**, i.e. `get(j, i) = d(client j, facility i)`,
 /// matching the paper's `d(j, i)` notation. For clustering instances the matrix is
 /// square and symmetric.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DistanceMatrix {
     rows: usize,
     cols: usize,

@@ -23,10 +23,9 @@ use crate::instance::{ClusterInstance, FlInstance};
 use crate::point::{DistanceKind, Point};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use serde::{Deserialize, Serialize};
 
 /// How client / facility / node positions are laid out in space.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SpatialModel {
     /// Points drawn uniformly at random from an axis-aligned square `[0, side]^2`.
     UniformSquare {
@@ -71,7 +70,7 @@ pub enum SpatialModel {
 }
 
 /// How facility opening costs are generated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FacilityCostModel {
     /// Every facility costs the same fixed amount.
     Uniform(f64),
@@ -92,7 +91,7 @@ pub enum FacilityCostModel {
 }
 
 /// Full parameter set for the generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GenParams {
     /// Number of clients (or nodes, for clustering instances).
     pub num_clients: usize,
@@ -117,7 +116,7 @@ impl GenParams {
             spatial: SpatialModel::UniformSquare { side: 100.0 },
             cost_model: FacilityCostModel::ProportionalToSpread(0.25),
             distance: DistanceKind::Euclidean,
-            seed: 0xFAC1_10C,
+            seed: 0x0FAC_110C,
         }
     }
 
@@ -278,9 +277,9 @@ impl InstanceGenerator {
                     Point::xy(x, y)
                 })
                 .collect(),
-            SpatialModel::Line { spacing } => {
-                (0..count).map(|idx| Point::scalar(idx as f64 * spacing)).collect()
-            }
+            SpatialModel::Line { spacing } => (0..count)
+                .map(|idx| Point::scalar(idx as f64 * spacing))
+                .collect(),
             SpatialModel::PlantedClusters {
                 clusters,
                 radius,
@@ -289,8 +288,9 @@ impl InstanceGenerator {
                 let clusters = clusters.max(1);
                 // Place blob centres on a coarse line so mutual distances are exactly
                 // multiples of `separation`.
-                let centers: Vec<(f64, f64)> =
-                    (0..clusters).map(|c| (c as f64 * separation, 0.0)).collect();
+                let centers: Vec<(f64, f64)> = (0..clusters)
+                    .map(|c| (c as f64 * separation, 0.0))
+                    .collect();
                 (0..count)
                     .map(|idx| {
                         let (cx, cy) = centers[idx % clusters];
@@ -391,8 +391,7 @@ mod tests {
     #[test]
     fn cost_models() {
         let base = GenParams::uniform_square(8, 8).with_seed(3);
-        let uniform =
-            facility_location(base.with_cost_model(FacilityCostModel::Uniform(7.0)));
+        let uniform = facility_location(base.with_cost_model(FacilityCostModel::Uniform(7.0)));
         assert!(uniform.facility_costs().iter().all(|&c| c == 7.0));
 
         let zero = facility_location(base.with_cost_model(FacilityCostModel::Zero));
@@ -446,6 +445,9 @@ mod tests {
     fn standard_suite_has_expected_workloads() {
         let suite = standard_suite(10, 10, 1);
         let names: Vec<_> = suite.iter().map(|w| w.name).collect();
-        assert_eq!(names, vec!["uniform", "clustered", "grid", "line", "planted"]);
+        assert_eq!(
+            names,
+            vec!["uniform", "clustered", "grid", "line", "planted"]
+        );
     }
 }

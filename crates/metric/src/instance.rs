@@ -3,7 +3,6 @@
 use crate::distmat::DistanceMatrix;
 use crate::point::Point;
 use crate::{ClientId, FacilityId, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// An instance of (metric, uncapacitated) facility location.
 ///
@@ -15,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// Instances built by the generators also carry the underlying [`Point`]s, which is
 /// convenient for examples and for validating the metric axioms; instances built
 /// directly from a matrix may omit them.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlInstance {
     facility_costs: Vec<f64>,
     dist: DistanceMatrix,
@@ -216,7 +215,7 @@ impl FlInstance {
 ///
 /// Every node is simultaneously a client and a potential center, as in Section 2 of the
 /// paper; distances form a symmetric `n x n` matrix.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterInstance {
     dist: DistanceMatrix,
     points: Option<Vec<Point>>,

@@ -51,7 +51,9 @@ fn tokens(text: &str) -> impl Iterator<Item = &str> {
         .flat_map(|l| l.split_whitespace())
 }
 
-fn parse_next<T: FromStr>(iter: &mut impl Iterator<Item = impl AsRef<str>>) -> Result<T, ParseError> {
+fn parse_next<T: FromStr>(
+    iter: &mut impl Iterator<Item = impl AsRef<str>>,
+) -> Result<T, ParseError> {
     let tok = iter.next().ok_or(ParseError::UnexpectedEof)?;
     tok.as_ref()
         .parse::<T>()
@@ -65,7 +67,11 @@ pub fn write_fl_instance(inst: &FlInstance) -> String {
     let mut out = String::new();
     out.push_str("# parfaclo facility-location instance\n");
     let _ = writeln!(out, "{nf} {nc}");
-    let costs: Vec<String> = inst.facility_costs().iter().map(|c| format!("{c}")).collect();
+    let costs: Vec<String> = inst
+        .facility_costs()
+        .iter()
+        .map(|c| format!("{c}"))
+        .collect();
     let _ = writeln!(out, "{}", costs.join(" "));
     for j in 0..nc {
         let row: Vec<String> = inst.client_row(j).iter().map(|d| format!("{d}")).collect();
@@ -90,7 +96,10 @@ pub fn read_fl_instance(text: &str) -> Result<FlInstance, ParseError> {
     if it.next().is_some() {
         return Err(ParseError::TrailingData);
     }
-    Ok(FlInstance::new(costs, DistanceMatrix::from_rows(nc, nf, data)))
+    Ok(FlInstance::new(
+        costs,
+        DistanceMatrix::from_rows(nc, nf, data),
+    ))
 }
 
 /// Serialises a clustering instance (symmetric matrix) to the plain-text format.

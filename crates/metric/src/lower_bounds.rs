@@ -142,8 +142,8 @@ pub fn kcenter_lower_bound(inst: &ClusterInstance, k: usize) -> f64 {
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .unwrap();
         chosen.push(next);
-        for j in 0..n {
-            dist_to_chosen[j] = dist_to_chosen[j].min(inst.dist(j, next));
+        for (j, d) in dist_to_chosen.iter_mut().enumerate() {
+            *d = d.min(inst.dist(j, next));
         }
     }
     // Minimum pairwise distance among the k+1 chosen nodes; by pigeonhole two of them

@@ -4,10 +4,8 @@
 //! low-dimensional Euclidean space (the most common setting for facility-location and
 //! clustering workloads) and then materialise dense distance matrices from them.
 
-use serde::{Deserialize, Serialize};
-
 /// A point in `R^d`, stored as a dense coordinate vector.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Point {
     coords: Vec<f64>,
 }
@@ -132,9 +130,10 @@ impl Point {
 /// metric (it violates the triangle inequality) but is provided because the k-means
 /// objective of the paper sums squared distances; the k-means algorithms treat it as a
 /// cost function, never as a metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DistanceKind {
     /// Standard L2 distance.
+    #[default]
     Euclidean,
     /// Squared L2 distance (k-means cost; not a metric).
     SquaredEuclidean,
@@ -142,12 +141,6 @@ pub enum DistanceKind {
     Manhattan,
     /// L-infinity distance.
     Chebyshev,
-}
-
-impl Default for DistanceKind {
-    fn default() -> Self {
-        DistanceKind::Euclidean
-    }
 }
 
 #[cfg(test)]

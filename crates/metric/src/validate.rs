@@ -60,7 +60,10 @@ pub fn check_cluster_metric(inst: &ClusterInstance, tol: f64) -> Result<(), Metr
     for a in 0..n {
         let daa = inst.dist(a, a);
         if daa.abs() > tol {
-            return Err(MetricViolation::NonZeroDiagonal { node: a, value: daa });
+            return Err(MetricViolation::NonZeroDiagonal {
+                node: a,
+                value: daa,
+            });
         }
         for b in 0..n {
             let d = inst.dist(a, b);
@@ -170,11 +173,8 @@ mod tests {
     #[test]
     fn triangle_violation_is_detected() {
         // d(0,2)=10 but d(0,1)+d(1,2)=2: violates the triangle inequality.
-        let m = DistanceMatrix::from_rows(
-            3,
-            3,
-            vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0],
-        );
+        let m =
+            DistanceMatrix::from_rows(3, 3, vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0]);
         let inst = ClusterInstance::new(m);
         match check_cluster_metric(&inst, 1e-9) {
             Err(MetricViolation::Triangle { .. }) => {}

@@ -40,7 +40,10 @@ const EPS: f64 = 1e-9;
 pub fn jain_vazirani(inst: &FlInstance) -> JainVaziraniResult {
     let nc = inst.num_clients();
     let nf = inst.num_facilities();
-    assert!(nf > 0 && nc > 0, "instance must have clients and facilities");
+    assert!(
+        nf > 0 && nc > 0,
+        "instance must have clients and facilities"
+    );
 
     let mut t = 0.0_f64;
     let mut active: Vec<bool> = vec![true; nc];
@@ -67,9 +70,9 @@ pub fn jain_vazirani(inst: &FlInstance) -> JainVaziraniResult {
                   opened: &mut Vec<bool>,
                   open_order: &mut Vec<FacilityId>| {
         let mut changes = 0usize;
-        for i in 0..nf {
-            if !opened[i] && payment(i, t, alpha, active) >= inst.facility_cost(i) - EPS {
-                opened[i] = true;
+        for (i, is_open) in opened.iter_mut().enumerate() {
+            if !*is_open && payment(i, t, alpha, active) >= inst.facility_cost(i) - EPS {
+                *is_open = true;
                 open_order.push(i);
                 changes += 1;
             }
@@ -94,38 +97,25 @@ pub fn jain_vazirani(inst: &FlInstance) -> JainVaziraniResult {
         // Next event time.
         let mut next = f64::INFINITY;
         // (a) An active client reaches an already-open facility.
-        for j in 0..nc {
-            if !active[j] {
-                continue;
-            }
-            for i in 0..nf {
-                if opened[i] {
-                    let d = inst.dist(j, i);
-                    if d > t + EPS {
-                        next = next.min(d);
-                    }
+        for (j, _) in active.iter().enumerate().filter(|&(_, &a)| a) {
+            for (i, _) in opened.iter().enumerate().filter(|&(_, &o)| o) {
+                let d = inst.dist(j, i);
+                if d > t + EPS {
+                    next = next.min(d);
                 }
             }
         }
         // (b) An edge to an unopened facility goes tight (slope change).
-        for j in 0..nc {
-            if !active[j] {
-                continue;
-            }
-            for i in 0..nf {
-                if !opened[i] {
-                    let d = inst.dist(j, i);
-                    if d > t + EPS {
-                        next = next.min(d);
-                    }
+        for (j, _) in active.iter().enumerate().filter(|&(_, &a)| a) {
+            for (i, _) in opened.iter().enumerate().filter(|&(_, &o)| !o) {
+                let d = inst.dist(j, i);
+                if d > t + EPS {
+                    next = next.min(d);
                 }
             }
         }
         // (c) An unopened facility becomes fully paid under the current slope.
-        for i in 0..nf {
-            if opened[i] {
-                continue;
-            }
+        for (i, _) in opened.iter().enumerate().filter(|&(_, &o)| !o) {
             let p = payment(i, t, &alpha, &active);
             let slope = (0..nc)
                 .filter(|&j| active[j] && inst.dist(j, i) <= t + EPS)

@@ -62,7 +62,10 @@ fn cheapest_star(
 pub fn jms_greedy(inst: &FlInstance) -> JmsGreedyResult {
     let nc = inst.num_clients();
     let nf = inst.num_facilities();
-    assert!(nf > 0 && nc > 0, "instance must have clients and facilities");
+    assert!(
+        nf > 0 && nc > 0,
+        "instance must have clients and facilities"
+    );
 
     // Pre-sort each facility's clients by distance (reused every round with removed
     // clients filtered out).

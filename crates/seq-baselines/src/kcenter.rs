@@ -48,8 +48,8 @@ pub fn gonzalez_kcenter(inst: &ClusterInstance, k: usize) -> KCenterResult {
             break; // all remaining nodes coincide with a center
         }
         centers.push(next);
-        for j in 0..n {
-            dist_to_centers[j] = dist_to_centers[j].min(inst.dist(j, next));
+        for (j, d) in dist_to_centers.iter_mut().enumerate() {
+            *d = d.min(inst.dist(j, next));
         }
     }
     let radius = inst.kcenter_cost(&centers);

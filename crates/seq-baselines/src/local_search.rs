@@ -160,13 +160,13 @@ pub fn lloyd_kmeans(inst: &ClusterInstance, k: usize, max_iters: usize, seed: u6
         iterations += 1;
         // Update step: move each centroid to the mean of its cluster.
         let mut new_centroids = Vec::with_capacity(k);
-        for c in 0..k {
+        for (c, centroid) in centroids.iter().enumerate().take(k) {
             let members: Vec<Point> = (0..n)
                 .filter(|&j| assignment[j] == c)
                 .map(|j| points[j].clone())
                 .collect();
             if members.is_empty() {
-                new_centroids.push(centroids[c].clone());
+                new_centroids.push(centroid.clone());
             } else {
                 new_centroids.push(Point::centroid(&members));
             }
@@ -238,13 +238,7 @@ mod tests {
     #[test]
     fn swap_count_is_reported_and_progress_monotone() {
         let inst = gen::clustering(GenParams::uniform_square(15, 15).with_seed(2));
-        let from_bad_start = local_search(
-            &inst,
-            3,
-            0.1,
-            &[0, 1, 2],
-            LocalSearchObjective::KMedian,
-        );
+        let from_bad_start = local_search(&inst, 3, 0.1, &[0, 1, 2], LocalSearchObjective::KMedian);
         // Starting from an adversarial initial solution the search should improve it.
         let initial_cost = inst.kmedian_cost(&[0, 1, 2]);
         assert!(from_bad_start.cost <= initial_cost + 1e-9);

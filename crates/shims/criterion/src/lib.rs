@@ -1,0 +1,220 @@
+//! # criterion (offline shim)
+//!
+//! A minimal stand-in for the parts of the Criterion.rs benchmarking API the
+//! workspace's `benches/` use (`criterion_group!`/`criterion_main!`,
+//! benchmark groups, `bench_with_input`, `Bencher::iter`). The build
+//! environment has no network access to crates.io, so the real harness
+//! cannot be vendored.
+//!
+//! Instead of statistical sampling it runs each benchmark for a small fixed
+//! number of warm-up plus timed iterations and prints a one-line
+//! median/min/max summary. That keeps `cargo bench` usable for coarse
+//! regression spotting while the real dependency is unavailable; the API is
+//! signature-compatible so swapping the real crate back needs only the root
+//! manifest change.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure taking only the bencher.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (separator line only in the shim).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Identifier for one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter value, e.g. `parallel/128`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of iterations (after one
+    /// warm-up call), recording per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples_ns.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples_ns: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    let mut s = bencher.samples_ns;
+    if s.is_empty() {
+        println!("  {label:<40} (no samples)");
+        return;
+    }
+    s.sort_unstable();
+    let fmt = |ns: u128| -> String {
+        if ns >= 1_000_000_000 {
+            format!("{:.3} s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.3} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.3} µs", ns as f64 / 1e3)
+        }
+    };
+    println!(
+        "  {label:<40} median {:>12}   min {:>12}   max {:>12}   ({} iters)",
+        fmt(s[s.len() / 2]),
+        fmt(s[0]),
+        fmt(*s.last().unwrap()),
+        s.len()
+    );
+}
+
+/// Mirror of `criterion::criterion_group!`: bundles benchmark functions into
+/// one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: generates `main` running the
+/// given groups. Command-line arguments are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Swallow harness flags (`--bench`, filters) passed by cargo.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("square", 4), &4u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_without_panicking() {
+        benches();
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,428 @@
+//! # rayon (offline shim)
+//!
+//! A minimal, **sequential** drop-in replacement for the parts of the `rayon`
+//! API this workspace uses. The build environment has no network access to
+//! crates.io, so the real work-stealing pool cannot be vendored; this shim
+//! preserves the API surface (parallel iterators, `par_sort_*`, `scope`,
+//! `ThreadPoolBuilder`) while executing everything on the calling thread.
+//!
+//! Correctness is unaffected by design: every algorithm in the workspace is
+//! required to produce **identical results** under `ExecPolicy::Sequential`
+//! and `ExecPolicy::Parallel` (the property tests assert it), so collapsing
+//! the parallel path onto the sequential one changes wall-clock behaviour
+//! only. Swapping the real `rayon` back in is a one-line change in the root
+//! `Cargo.toml` once a registry is reachable.
+//!
+//! Implementation note: `into_par_iter()` and friends return a [`ParIter`]
+//! wrapper that implements [`Iterator`] (so the whole std adapter surface
+//! keeps working) and additionally provides *inherent* methods for the
+//! adapters whose rayon signatures differ from std (`reduce` with an identity
+//! closure, `flat_map_iter`, …). Inherent methods win method resolution, so
+//! call sites written against real rayon compile unchanged.
+
+use std::marker::PhantomData;
+
+/// Re-exports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Sequential stand-in for rayon's parallel iterator.
+///
+/// Wraps any [`Iterator`]; the rayon-specific adapters are inherent methods
+/// so they shadow the std ones where the signatures differ.
+#[derive(Debug, Clone)]
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each element (rayon: `ParallelIterator::map`).
+    #[inline]
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keeps elements matching the predicate.
+    #[inline]
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Filter-and-map in one pass.
+    #[inline]
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Maps each element to an iterator and flattens.
+    #[inline]
+    pub fn flat_map<B: IntoIterator, F: FnMut(I::Item) -> B>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, B, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// rayon's `flat_map_iter` (sequential flattening of per-element iterators).
+    #[inline]
+    pub fn flat_map_iter<B: IntoIterator, F: FnMut(I::Item) -> B>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, B, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Pairs elements with their index.
+    #[inline]
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Zips with another (parallel or plain) iterator.
+    #[inline]
+    pub fn zip<O: IntoIterator>(self, other: O) -> ParIter<std::iter::Zip<I, O::IntoIter>> {
+        ParIter(self.0.zip(other))
+    }
+
+    /// Takes the first `n` elements.
+    #[inline]
+    pub fn take(self, n: usize) -> ParIter<std::iter::Take<I>> {
+        ParIter(self.0.take(n))
+    }
+
+    /// Hint accepted for API compatibility; a no-op sequentially.
+    #[inline]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Consumes the iterator, calling `f` on each element.
+    #[inline]
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// rayon's `reduce`: folds with an identity-producing closure.
+    ///
+    /// Sequentially this is simply `fold(identity(), op)`.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Collects into any `FromIterator` collection.
+    #[inline]
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+}
+
+impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> ParIter<I> {
+    /// Copies referenced elements (rayon: `ParallelIterator::copied`).
+    #[inline]
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+}
+
+impl<'a, T: 'a + Clone, I: Iterator<Item = &'a T>> ParIter<I> {
+    /// Clones referenced elements (rayon: `ParallelIterator::cloned`).
+    #[inline]
+    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
+        ParIter(self.0.cloned())
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Converts `self` into a (sequentially executed) parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Mirror of `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator {
+    /// Iterates `&self` as a (sequentially executed) parallel iterator.
+    fn par_iter<'a>(&'a self) -> ParIter<<&'a Self as IntoIterator>::IntoIter>
+    where
+        &'a Self: IntoIterator;
+}
+
+impl<T: ?Sized> IntoParallelRefIterator for T {
+    fn par_iter<'a>(&'a self) -> ParIter<<&'a T as IntoIterator>::IntoIter>
+    where
+        &'a T: IntoIterator,
+    {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Mirror of `rayon::iter::IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator {
+    /// Iterates `&mut self` as a (sequentially executed) parallel iterator.
+    fn par_iter_mut<'a>(&'a mut self) -> ParIter<<&'a mut Self as IntoIterator>::IntoIter>
+    where
+        &'a mut Self: IntoIterator;
+}
+
+impl<T: ?Sized> IntoParallelRefMutIterator for T {
+    fn par_iter_mut<'a>(&'a mut self) -> ParIter<<&'a mut T as IntoIterator>::IntoIter>
+    where
+        &'a mut T: IntoIterator,
+    {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Mirror of `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T> {
+    /// Chunked view of the slice.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    /// Windowed view of the slice.
+    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+
+    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>> {
+        ParIter(self.windows(window_size))
+    }
+}
+
+/// Mirror of `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T> {
+    /// Mutable chunked view of the slice.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Stable sort by comparator.
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    /// Unstable sort by comparator.
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    /// Stable natural-order sort.
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    /// Unstable natural-order sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_by(compare)
+    }
+
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_unstable_by(compare)
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort()
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable()
+    }
+}
+
+/// Number of threads the (virtual) pool runs on — always 1 in the shim.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Scoped task region; `spawn`ed closures run immediately on this thread.
+pub struct Scope<'scope>(PhantomData<&'scope ()>);
+
+impl<'scope> Scope<'scope> {
+    /// Runs `body` immediately (rayon runs it on the pool).
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + 'scope,
+    {
+        body(self)
+    }
+}
+
+/// Mirror of `rayon::scope`: creates a scope and runs `op` in it.
+pub fn scope<'scope, F, R>(op: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    op(&Scope(PhantomData))
+}
+
+/// Runs two closures (sequentially here; in parallel under real rayon).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`; thread count is recorded but
+/// the shim always executes on the calling thread.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Records the requested thread count (informational only in the shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the (virtual) pool; infallible in practice.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                1
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A virtual thread pool: `install` simply runs the closure on this thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` "inside" the pool (directly, in the shim).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// The nominal pool size requested at build time.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_iter_chains_match_sequential() {
+        let v: Vec<i64> = (0..100).collect();
+        let a: Vec<i64> = v
+            .par_iter()
+            .map(|&x| x * 2)
+            .filter(|x| x % 3 == 0)
+            .collect();
+        let b: Vec<i64> = v.iter().map(|&x| x * 2).filter(|x| x % 3 == 0).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let v: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let s = v.par_iter().copied().reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(s, 55.0);
+        let max = v.par_iter().copied().enumerate().reduce(
+            || (usize::MAX, f64::NEG_INFINITY),
+            |a, b| if b.1 > a.1 { b } else { a },
+        );
+        assert_eq!(max, (9, 10.0));
+    }
+
+    #[test]
+    fn chunks_zip_for_each() {
+        let data = [1.0f64; 10];
+        let mut out = [0.0f64; 10];
+        out.par_chunks_mut(3)
+            .zip(data.par_chunks(3))
+            .for_each(|(o, i)| {
+                for (a, b) in o.iter_mut().zip(i) {
+                    *a = *b + 1.0;
+                }
+            });
+        assert!(out.iter().all(|&x| x == 2.0));
+    }
+
+    #[test]
+    fn sorts_and_pool() {
+        let mut v = vec![3.0, 1.0, 2.0];
+        v.par_sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(v, vec![1.0, 2.0, 3.0]);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+        assert_eq!(current_num_threads(), 1);
+    }
+
+    #[test]
+    fn scope_spawns_run() {
+        let mut hits = 0;
+        scope(|s| {
+            s.spawn(|_| {});
+            hits += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+}

@@ -1,75 +1,80 @@
 //! Document / feature-vector clustering — the k-median & k-means scenario.
 //!
 //! 300 items with 2-D feature embeddings (generated as Gaussian topic clusters) are
-//! grouped into `k = 6` clusters. The program runs the parallel local search of
-//! Section 7 for both the k-median and the k-means objective, and compares the k-means
-//! result against Lloyd's heuristic — the classical practical baseline that carries no
-//! worst-case guarantee.
+//! grouped into `k = 6` clusters. The program runs the registered local-search solvers
+//! (parallel Section 7 for both objectives, plus the sequential k-median baseline)
+//! through the unified registry, and compares the k-means result against Lloyd's
+//! heuristic — the classical practical baseline that carries no worst-case guarantee
+//! and places centroids anywhere in space, so it stays a direct call rather than a
+//! registered solver.
 //!
 //! ```text
 //! cargo run -p parfaclo-examples --bin document_kmeans --release
 //! ```
 
+use parfaclo_api::{AnyInstance, RunConfig};
+use parfaclo_bench::standard_registry;
 use parfaclo_examples::print_row;
-use parfaclo_kclustering::{parallel_kmeans, parallel_kmedian, LocalSearchConfig};
 use parfaclo_metric::gen::{self, GenParams};
-use parfaclo_seq_baselines::{lloyd_kmeans, local_search_kmedian};
+use parfaclo_seq_baselines::lloyd_kmeans;
 
 fn main() {
+    parfaclo_bench::reset_sigpipe();
     let k = 6;
-    let inst = gen::clustering(GenParams::gaussian_clusters(300, 300, k).with_seed(7));
-    println!("document clustering: {} items, k = {k}", inst.n());
+    let cluster_inst = gen::clustering(GenParams::gaussian_clusters(300, 300, k).with_seed(7));
+    println!("document clustering: {} items, k = {k}", cluster_inst.n());
     println!();
-    println!("  {:<28} {:>12}   {}", "method", "cost", "notes");
+    println!("  {:<28} {:>12}   notes", "method", "cost");
 
-    let cfg = LocalSearchConfig::new(0.1).with_seed(5);
+    let registry = standard_registry();
+    let cfg = RunConfig::new(0.1).with_seed(5).with_k(k);
+    let inst = AnyInstance::Cluster(cluster_inst.clone());
 
-    // k-median (sum of distances).
-    let kmed = parallel_kmedian(&inst, k, &cfg);
-    print_row(
-        "parallel k-median (Thm 7.1)",
-        kmed.cost,
-        &format!(
-            "{} swap rounds, init {:.1} -> {:.1}",
-            kmed.rounds, kmed.initial_cost, kmed.cost
-        ),
-    );
-    let seq_kmed = local_search_kmedian(&inst, k, 0.1);
-    print_row(
-        "sequential k-median",
-        seq_kmed.cost,
-        &format!("{} swaps", seq_kmed.swaps),
-    );
-
-    // k-means (sum of squared distances), centers restricted to input points.
-    let kmeans = parallel_kmeans(&inst, k, &cfg);
-    print_row(
-        "parallel k-means (81+eps)",
-        kmeans.cost,
-        &format!("{} swap rounds", kmeans.rounds),
-    );
+    let mut kmedian_run = None;
+    for (name, label) in [
+        ("kmedian-ls", "parallel k-median (Thm 7.1)"),
+        ("kmedian-seq", "sequential k-median"),
+        ("kmeans-ls", "parallel k-means (81+eps)"),
+    ] {
+        let run = registry
+            .run(name, &inst, &cfg)
+            .expect("clustering instance");
+        let initial = run
+            .extra
+            .iter()
+            .find(|(key, _)| key == "initial_cost")
+            .map(|(_, v)| format!(", init {v:.1}"))
+            .unwrap_or_default();
+        print_row(
+            label,
+            run.cost,
+            &format!("{} swap rounds{initial}", run.rounds),
+        );
+        if name == "kmedian-ls" {
+            kmedian_run = Some(run);
+        }
+    }
 
     // Lloyd's heuristic places centroids anywhere in space, so its cost can be lower;
     // it is the practical baseline the paper's guarantees are traded against.
-    let lloyd = lloyd_kmeans(&inst, k, 100, 11);
+    let lloyd = lloyd_kmeans(&cluster_inst, k, 100, 11);
     print_row(
         "Lloyd's heuristic",
         lloyd.cost,
         &format!("{} iterations, unconstrained centroids", lloyd.iterations),
     );
 
+    let kmedian_run = kmedian_run.expect("kmedian-ls ran");
     println!();
     println!(
         "cluster sizes (parallel k-median): {:?}",
-        cluster_sizes(&inst, &kmed.centers)
+        cluster_sizes(&kmedian_run.selected, &kmedian_run.assignment)
     );
 }
 
-fn cluster_sizes(
-    inst: &parfaclo_metric::ClusterInstance,
-    centers: &[usize],
-) -> Vec<usize> {
-    let assignment = inst.center_assignment(centers);
+/// Number of items assigned to each selected center, straight from the Run
+/// envelope's assignment vector.
+fn cluster_sizes(centers: &[usize], assignment: &[usize]) -> Vec<usize> {
     centers
         .iter()
         .map(|&c| assignment.iter().filter(|&&a| a == c).count())

@@ -18,7 +18,11 @@
 /// Formats a ratio ("x of lower bound") for display, treating a missing bound as "n/a".
 pub fn format_ratio(cost: f64, lower_bound: f64) -> String {
     if lower_bound > 0.0 {
-        format!("{:.3}x of lower bound {:.2}", cost / lower_bound, lower_bound)
+        format!(
+            "{:.3}x of lower bound {:.2}",
+            cost / lower_bound,
+            lower_bound
+        )
     } else {
         "n/a".to_string()
     }

@@ -1,41 +1,51 @@
-//! Quickstart: generate a facility-location instance, solve it with the parallel
-//! primal-dual algorithm, and print the solution together with its certified
-//! approximation ratio.
+//! Quickstart: generate a facility-location instance, solve it through the
+//! unified solver registry, and print the solution together with its
+//! certified approximation ratio.
 //!
 //! ```text
 //! cargo run -p parfaclo-examples --bin quickstart --release
 //! ```
 
-use parfaclo_core::{primal_dual, FlConfig};
+use parfaclo_api::{AnyInstance, RunConfig};
+use parfaclo_bench::standard_registry;
 use parfaclo_examples::format_ratio;
 use parfaclo_metric::gen::{self, GenParams};
 
 fn main() {
+    parfaclo_bench::reset_sigpipe();
     // 1. Generate a synthetic instance: 200 clients, 50 candidate facilities, points
     //    uniform in a square, facility costs proportional to the spatial spread.
     let params = GenParams::uniform_square(200, 50).with_seed(42);
-    let inst = gen::facility_location(params);
+    let inst = AnyInstance::Fl(gen::facility_location(params));
+    println!("instance: {} clients (m = {})", inst.n(), inst.m());
+
+    // 2. Run the parallel primal-dual algorithm (Theorem 5.4: (3 + ε)-approximation)
+    //    by name through the registry — the same way the `parfaclo` CLI would with
+    //    `parfaclo run --solver primal-dual`.
+    let registry = standard_registry();
+    let cfg = RunConfig::new(0.1).with_seed(7);
+    let run = registry
+        .run("primal-dual", &inst, &cfg)
+        .expect("primal-dual accepts facility-location instances");
+
+    // 3. Inspect the unified Run envelope. `lower_bound` is the dual-feasible
+    //    certificate Σ_j α_j, so `cost / lower_bound` is a *certified* upper bound
+    //    on the true ratio.
     println!(
-        "instance: {} clients x {} facilities (m = {})",
-        inst.num_clients(),
-        inst.num_facilities(),
-        inst.m()
+        "opened {} facilities: {:?}",
+        run.selected.len(),
+        run.selected
+    );
+    println!("cost = {:.2}", run.cost);
+    println!(
+        "certified ratio: {}",
+        format_ratio(run.cost, run.lower_bound)
+    );
+    println!(
+        "rounds = {}, basic matrix ops = {}, element ops = {}, wall = {:.1} ms",
+        run.rounds, run.work.primitive_calls, run.work.element_ops, run.wall_ms
     );
 
-    // 2. Run the parallel primal-dual algorithm (Theorem 5.4: (3 + ε)-approximation).
-    let cfg = FlConfig::new(0.1).with_seed(7);
-    let sol = primal_dual::parallel_primal_dual(&inst, &cfg);
-
-    // 3. Inspect the result. `lower_bound` is the dual-feasible certificate Σ_j α_j,
-    //    so `cost / lower_bound` is a *certified* upper bound on the true ratio.
-    println!("opened {} facilities: {:?}", sol.open.len(), sol.open);
-    println!(
-        "cost = {:.2} (opening {:.2} + connection {:.2})",
-        sol.cost, sol.opening_cost, sol.connection_cost
-    );
-    println!("certified ratio: {}", format_ratio(sol.cost, sol.lower_bound));
-    println!(
-        "rounds = {}, basic matrix ops = {}, element ops = {}",
-        sol.rounds, sol.work.primitive_calls, sol.work.element_ops
-    );
+    // 4. The same record serialises to the JSON schema every experiment shares.
+    println!("\nas JSON: {}", run.to_json());
 }

@@ -3,45 +3,59 @@
 //! A field deployment has 600 sensors; `k = 8` gateways must be placed *at sensor
 //! locations* so that the worst-case sensor-to-gateway distance (which determines the
 //! radio power budget) is minimised. This is exactly metric k-center. The program runs
-//! the parallel Hochbaum–Shmoys algorithm of Section 6.1 and compares it with the
-//! sequential Gonzalez and Hochbaum–Shmoys baselines and with the combinatorial lower
-//! bound, demonstrating the 2-approximation in practice.
+//! every registered k-center solver — the parallel Hochbaum–Shmoys algorithm of
+//! Section 6.1 and the sequential Gonzalez / Hochbaum–Shmoys baselines — through the
+//! unified registry and compares them with the combinatorial lower bound,
+//! demonstrating the 2-approximation in practice.
 //!
 //! ```text
 //! cargo run -p parfaclo-examples --bin sensor_clustering --release
 //! ```
 
-use parfaclo_kclustering::parallel_kcenter;
-use parfaclo_matrixops::ExecPolicy;
+use parfaclo_api::{AnyInstance, RunConfig};
+use parfaclo_bench::standard_registry;
 use parfaclo_metric::gen::{self, GenParams};
 use parfaclo_metric::lower_bounds::kcenter_lower_bound;
-use parfaclo_seq_baselines::{gonzalez_kcenter, hochbaum_shmoys_kcenter};
 
 fn main() {
+    parfaclo_bench::reset_sigpipe();
     let k = 8;
-    let inst = gen::clustering(GenParams::gaussian_clusters(600, 600, 10).with_seed(99));
-    println!("sensor clustering: {} sensors, k = {k} gateways", inst.n());
+    let cluster_inst = gen::clustering(GenParams::gaussian_clusters(600, 600, 10).with_seed(99));
+    println!(
+        "sensor clustering: {} sensors, k = {k} gateways",
+        cluster_inst.n()
+    );
 
-    let lb = kcenter_lower_bound(&inst, k);
+    let lb = kcenter_lower_bound(&cluster_inst, k);
     println!("combinatorial lower bound on the optimal radius: {lb:.3}");
     println!();
 
-    let par = parallel_kcenter(&inst, k, 3, ExecPolicy::Parallel);
-    println!(
-        "parallel Hochbaum-Shmoys (Thm 6.1): radius {:.3}  (threshold {:.3}, {} probes, {} Luby rounds)",
-        par.radius, par.threshold, par.probes, par.luby_rounds
-    );
-    println!(
-        "  certified ratio vs lower bound: {:.3} (guarantee: 2.0)",
-        par.radius / lb.max(f64::MIN_POSITIVE)
-    );
+    let inst = AnyInstance::Cluster(cluster_inst);
+    let registry = standard_registry();
+    let cfg = RunConfig::new(0.1).with_seed(3).with_k(k);
 
-    let gonz = gonzalez_kcenter(&inst, k);
-    println!("Gonzalez farthest-point (sequential): radius {:.3}", gonz.radius);
-
-    let hs = hochbaum_shmoys_kcenter(&inst, k);
-    println!("Hochbaum-Shmoys (sequential): radius {:.3}", hs.radius);
+    let mut parallel_centers = Vec::new();
+    for name in ["kcenter", "gonzalez", "hs-kcenter"] {
+        let run = registry
+            .run(name, &inst, &cfg)
+            .expect("clustering instance");
+        let detail = if name == "kcenter" {
+            parallel_centers = run.selected.clone();
+            let threshold = run.lower_bound;
+            format!(
+                "(threshold {threshold:.3}, {} probes, {} Luby rounds)",
+                run.rounds, run.inner_rounds
+            )
+        } else {
+            String::new()
+        };
+        println!("{name}: radius {:.3}  {detail}", run.cost);
+        println!(
+            "  ratio vs combinatorial lower bound: {:.3} (guarantee: 2.0)",
+            run.cost / lb.max(f64::MIN_POSITIVE)
+        );
+    }
 
     println!();
-    println!("gateways chosen by the parallel algorithm: {:?}", par.centers);
+    println!("gateways chosen by the parallel algorithm: {parallel_centers:?}");
 }

@@ -31,8 +31,12 @@ fn policy_does_not_change_results_anywhere() {
     let inst = gen::facility_location(GenParams::uniform_square(40, 20).with_seed(17));
     let cinst = gen::clustering(GenParams::uniform_square(30, 30).with_seed(17));
 
-    let cfg_s = FlConfig::new(0.1).with_seed(4).with_policy(ExecPolicy::Sequential);
-    let cfg_p = FlConfig::new(0.1).with_seed(4).with_policy(ExecPolicy::Parallel);
+    let cfg_s = FlConfig::new(0.1)
+        .with_seed(4)
+        .with_policy(ExecPolicy::Sequential);
+    let cfg_p = FlConfig::new(0.1)
+        .with_seed(4)
+        .with_policy(ExecPolicy::Parallel);
     assert_eq!(
         greedy::parallel_greedy(&inst, &cfg_s).open,
         greedy::parallel_greedy(&inst, &cfg_p).open
@@ -49,12 +53,16 @@ fn policy_does_not_change_results_anywhere() {
     let km_s = parallel_kmedian(
         &cinst,
         4,
-        &LocalSearchConfig::new(0.1).with_seed(8).with_policy(ExecPolicy::Sequential),
+        &LocalSearchConfig::new(0.1)
+            .with_seed(8)
+            .with_policy(ExecPolicy::Sequential),
     );
     let km_p = parallel_kmedian(
         &cinst,
         4,
-        &LocalSearchConfig::new(0.1).with_seed(8).with_policy(ExecPolicy::Parallel),
+        &LocalSearchConfig::new(0.1)
+            .with_seed(8)
+            .with_policy(ExecPolicy::Parallel),
     );
     assert_eq!(km_s.centers, km_p.centers);
 
@@ -85,7 +93,10 @@ fn different_seeds_stay_within_guarantees() {
     let max = costs.iter().cloned().fold(0.0, f64::max);
     // Randomness may change the solution, but not wildly: all runs are within the
     // worst-case factor of each other.
-    assert!(max <= 3.722 * 1.44 * min + 1e-6, "spread too large: {costs:?}");
+    assert!(
+        max <= 3.722 * 1.44 * min + 1e-6,
+        "spread too large: {costs:?}"
+    );
 }
 
 #[test]
@@ -111,4 +122,127 @@ fn generator_reproducibility_is_end_to_end() {
         primal_dual::parallel_primal_dual(&a, &cfg).open,
         primal_dual::parallel_primal_dual(&b, &cfg).open
     );
+}
+
+// ---------------------------------------------------------------------------
+// Registry-wide conformance: the same guarantees, stated once for *every*
+// registered solver through the unified API rather than per-algorithm.
+// ---------------------------------------------------------------------------
+
+mod registry_conformance {
+    use parfaclo_api::{ProblemKind, RunConfig};
+    use parfaclo_bench::runner::{run_solver, GenSpec};
+    use parfaclo_bench::standard_registry;
+
+    /// A workload small enough that even `lp-rounding` (which solves the full
+    /// LP relaxation) stays fast.
+    fn tiny_spec() -> GenSpec {
+        GenSpec::parse("uniform:n=14,nf=7").expect("valid spec")
+    }
+
+    fn tiny_cfg() -> RunConfig {
+        RunConfig::new(0.1).with_seed(7).with_k(3)
+    }
+
+    /// Every registered solver runs on a tiny generated instance and returns
+    /// a structurally valid `Run` envelope.
+    #[test]
+    fn every_registered_solver_produces_a_valid_run() {
+        let registry = standard_registry();
+        let spec = tiny_spec();
+        let cfg = tiny_cfg();
+        assert!(registry.len() >= 14, "registry unexpectedly small");
+        for name in registry.names() {
+            let run = run_solver(&registry, name, &spec, &cfg)
+                .unwrap_or_else(|e| panic!("solver '{name}' failed: {e}"));
+            run.validate()
+                .unwrap_or_else(|e| panic!("solver '{name}' invalid run: {e}"));
+            assert_eq!(run.solver, name, "solver name echo mismatch");
+            assert_eq!(run.seed, 7, "seed echo mismatch for '{name}'");
+            let declared = registry.get(name).unwrap().guarantee();
+            assert_eq!(
+                run.guarantee, declared,
+                "adapter for '{name}' did not stamp its declared guarantee"
+            );
+            assert!(run.wall_ms >= 0.0);
+            // The JSON emission must succeed and carry the shared schema tag.
+            assert!(run.to_json().contains(parfaclo_api::RUN_SCHEMA));
+        }
+    }
+
+    /// Two runs of the same solver with the same seed produce byte-identical
+    /// canonical JSON (the full record minus wall time).
+    #[test]
+    fn every_registered_solver_is_byte_deterministic_per_seed() {
+        let registry = standard_registry();
+        let spec = tiny_spec();
+        let cfg = tiny_cfg();
+        for name in registry.names() {
+            let a = run_solver(&registry, name, &spec, &cfg).expect(name);
+            let b = run_solver(&registry, name, &spec, &cfg).expect(name);
+            assert_eq!(
+                a.canonical_json(),
+                b.canonical_json(),
+                "solver '{name}' is not deterministic for a fixed seed"
+            );
+        }
+    }
+
+    /// The execution policy must never change any solver's output.
+    #[test]
+    fn every_registered_solver_is_policy_invariant() {
+        use parfaclo_matrixops::ExecPolicy;
+        let registry = standard_registry();
+        let spec = tiny_spec();
+        for name in registry.names() {
+            let seq = run_solver(
+                &registry,
+                name,
+                &spec,
+                &tiny_cfg().with_policy(ExecPolicy::Sequential),
+            )
+            .expect(name);
+            let par = run_solver(
+                &registry,
+                name,
+                &spec,
+                &tiny_cfg().with_policy(ExecPolicy::Parallel),
+            )
+            .expect(name);
+            assert_eq!(
+                seq.selected, par.selected,
+                "solver '{name}' policy-sensitive"
+            );
+            assert_eq!(seq.cost, par.cost, "solver '{name}' policy-sensitive cost");
+        }
+    }
+
+    /// Certified lower bounds really are lower bounds: for every pair of
+    /// facility-location solvers, each solver's cost dominates every other
+    /// solver's certificate on the same instance.
+    #[test]
+    fn certificates_are_mutually_consistent_across_solvers() {
+        let registry = standard_registry();
+        let spec = tiny_spec();
+        let cfg = tiny_cfg();
+        let runs: Vec<_> = registry
+            .names()
+            .iter()
+            .filter(|name| registry.get(name).unwrap().problem() == ProblemKind::FacilityLocation)
+            .map(|name| run_solver(&registry, name, &spec, &cfg).expect(name))
+            .collect();
+        assert!(runs.len() >= 5);
+        for a in &runs {
+            for b in &runs {
+                assert!(
+                    a.cost >= b.lower_bound - 1e-6,
+                    "{} cost {} below {}'s certificate {}",
+                    a.solver,
+                    a.cost,
+                    b.solver,
+                    b.lower_bound
+                );
+            }
+        }
+    }
 }

@@ -1,6 +1,8 @@
 //! End-to-end k-clustering pipelines across the whole workspace.
 
-use parfaclo_kclustering::{parallel_kcenter, parallel_kmeans, parallel_kmedian, LocalSearchConfig};
+use parfaclo_kclustering::{
+    parallel_kcenter, parallel_kmeans, parallel_kmedian, LocalSearchConfig,
+};
 use parfaclo_matrixops::ExecPolicy;
 use parfaclo_metric::gen::{self, standard_suite, GenParams};
 use parfaclo_metric::lower_bounds::{kcenter_lower_bound, kmedian_lower_bound};
