@@ -16,8 +16,15 @@ pub struct RunConfig {
     pub epsilon: f64,
     /// RNG seed; fixed seed ⇒ deterministic output for every solver.
     pub seed: u64,
-    /// Whether primitives run sequentially or on the (virtual) pool.
+    /// Whether primitives run sequentially or on the fork-join pool.
     pub policy: ExecPolicy,
+    /// Number of worker threads for the run: `Some(n)` installs an
+    /// `n`-thread pool around the solve, `None` inherits the ambient pool
+    /// (the process default, `RAYON_NUM_THREADS`, or an enclosing
+    /// `install`). Thread count never changes results — the runtime
+    /// guarantees byte-identical output at any pool size — so this is a
+    /// performance knob, not a semantic one.
+    pub threads: Option<usize>,
     /// Ablation knob: the `γ/m²` round-bounding preprocessing step
     /// (facility-location solvers only).
     pub preprocess: bool,
@@ -48,6 +55,7 @@ impl RunConfig {
             epsilon,
             seed: 0,
             policy: ExecPolicy::Parallel,
+            threads: None,
             preprocess: true,
             subselection: true,
             max_rounds: 100_000,
@@ -65,6 +73,23 @@ impl RunConfig {
     /// Replaces the execution policy.
     pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Pins the run to an `n`-thread pool.
+    ///
+    /// # Panics
+    /// Panics if `threads == 0` (use [`RunConfig::with_ambient_threads`] to
+    /// inherit the surrounding pool).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "threads must be at least 1");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Clears the thread pin so the run inherits the ambient pool.
+    pub fn with_ambient_threads(mut self) -> Self {
+        self.threads = None;
         self
     }
 
@@ -124,6 +149,7 @@ mod tests {
         let cfg = RunConfig::new(0.25)
             .with_seed(9)
             .with_policy(ExecPolicy::Sequential)
+            .with_threads(2)
             .with_preprocess(false)
             .with_subselection(false)
             .with_max_rounds(10)
@@ -132,6 +158,8 @@ mod tests {
         assert_eq!(cfg.epsilon, 0.25);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.policy, ExecPolicy::Sequential);
+        assert_eq!(cfg.threads, Some(2));
+        assert_eq!(cfg.clone().with_ambient_threads().threads, None);
         assert!(!cfg.preprocess);
         assert!(!cfg.subselection);
         assert_eq!(cfg.max_rounds, 10);
@@ -146,6 +174,13 @@ mod tests {
         assert!(cfg.preprocess && cfg.subselection);
         assert!(cfg.k >= 1);
         assert!(cfg.threshold.is_none());
+        assert!(cfg.threads.is_none(), "default inherits the ambient pool");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_rejected() {
+        let _ = RunConfig::default().with_threads(0);
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub struct Run {
     /// Wall-clock milliseconds; stamped by the registry wrapper, excluded
     /// from [`Run::canonical_json`] so determinism comparisons stay exact.
     pub wall_ms: f64,
+    /// Worker threads the run executed on; stamped by the registry wrapper.
+    /// Like `wall_ms` it is excluded from [`Run::canonical_json`]: thread
+    /// count affects timing, never results, and the determinism tests
+    /// compare runs across thread counts byte-for-byte.
+    pub threads: usize,
     /// The ε the run was configured with.
     pub epsilon: f64,
     /// The seed the run was configured with.
@@ -99,6 +104,7 @@ impl Run {
             inner_rounds: 0,
             work: CostReport::default(),
             wall_ms: 0.0,
+            threads: 0,
             epsilon: 0.0,
             seed: 0,
             extra: Vec::new(),
@@ -276,7 +282,9 @@ impl Run {
             .build();
         obj = obj.field("extra", extra);
         if include_timing {
-            obj = obj.number("wall_ms", self.wall_ms);
+            obj = obj
+                .number("wall_ms", self.wall_ms)
+                .uint("threads", self.threads as u64);
         }
         obj.build()
     }
@@ -327,9 +335,17 @@ mod tests {
         let mut b = sample();
         a.wall_ms = 1.0;
         b.wall_ms = 99.0;
-        assert_eq!(a.canonical_json(), b.canonical_json());
+        a.threads = 1;
+        b.threads = 8;
+        assert_eq!(
+            a.canonical_json(),
+            b.canonical_json(),
+            "wall_ms and threads are timing metadata, not results"
+        );
         assert_ne!(a.to_json(), b.to_json());
         assert!(a.to_json().contains("\"wall_ms\""));
+        assert!(a.to_json().contains("\"threads\":1"));
+        assert!(!a.canonical_json().contains("\"threads\""));
         assert!(a.to_json().contains(RUN_SCHEMA));
     }
 

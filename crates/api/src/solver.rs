@@ -193,9 +193,26 @@ where
             got: inst.describes(),
         })?;
         let native_cfg = S::Config::from(cfg);
+        // `Some(n)` pins the solve to an n-thread pool; `None` inherits the
+        // ambient pool (process default / RAYON_NUM_THREADS / an enclosing
+        // `install`). Either way the actual count is stamped into the
+        // envelope's timing metadata.
         let start = Instant::now();
-        let mut run = self.solve(typed, &native_cfg);
+        let (mut run, threads) = match cfg.threads {
+            Some(n) => {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build()
+                    .expect("thread pool construction is infallible");
+                (
+                    pool.install(|| self.solve(typed, &native_cfg)),
+                    pool.current_num_threads(),
+                )
+            }
+            None => (self.solve(typed, &native_cfg), rayon::current_num_threads()),
+        };
         run.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        run.threads = threads;
         Ok(run)
     }
 }

@@ -13,7 +13,8 @@
 
 use parfaclo_api::{Registry, Run, RunConfig};
 use parfaclo_bench::runner::{
-    run_solver, run_solver_cached, runs_to_json, table_header, table_row, GenSpec, InstanceCache,
+    measure_speedup, run_solver, run_solver_cached, runs_to_json, speedup_to_json, table_header,
+    table_row, GenSpec, InstanceCache, SpeedupRecord,
 };
 use parfaclo_bench::{reset_sigpipe, standard_registry, Table};
 use parfaclo_matrixops::ExecPolicy;
@@ -33,6 +34,10 @@ USAGE:
         Run a set of solvers (default: all) over the standard workload
         suite. Always sweeps all five workloads; --gen contributes only
         its dimensions (n, nf, c) and seed, not its workload name.
+        With --emit-bench <path>, every solver/workload pair is run at
+        threads=1 and threads=N (N from --threads, default: all cores)
+        and a parfaclo.bench.v1 speedup artifact is written to <path>;
+        the two runs are also checked for byte-identical canonical JSON.
 
     parfaclo ablation [options]
         Run the greedy algorithm under every preprocess/subselection
@@ -46,13 +51,17 @@ OPTIONS:
     --seed <n>          RNG seed                         [default: 0]
     --k <n>             Centers for clustering solvers   [default: 8]
     --threshold <f>     Dominator-set distance threshold [default: median]
-    --policy <p>        seq | par                        [default: par]
+    --policy <p>        seq | par | tuned:<grain>        [default: par]
+    --threads <n>       Worker threads for the run (pool size);
+                        results are identical at any count   [default: ambient]
     --no-preprocess     Disable round-bounding preprocessing (ablation)
     --no-subselection   Disable greedy subselection vote (ablation)
     --size <n>          Suite node count; overrides --gen's n,
                         other --gen keys are kept        [default: 64]
     --solvers <a,b,c>   Suite solver subset              [default: all]
     --json <path>       Also write the run records as a JSON array
+    --emit-bench <path> (suite only) Write the threads=1 vs threads=N
+                        speedup artifact (BENCH_speedup.json)
     --quiet             Suppress the human-readable table
 ";
 
@@ -80,6 +89,7 @@ struct Options {
     /// Whether --size was passed explicitly (overrides --gen's n in suite).
     size_given: bool,
     json: Option<String>,
+    emit_bench: Option<String>,
     quiet: bool,
 }
 
@@ -92,6 +102,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut size = 64usize;
     let mut size_given = false;
     let mut json = None;
+    let mut emit_bench = None;
     let mut quiet = false;
 
     let mut iter = args.iter();
@@ -138,8 +149,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 cfg.policy = match value("--policy")?.as_str() {
                     "seq" | "sequential" => ExecPolicy::Sequential,
                     "par" | "parallel" => ExecPolicy::Parallel,
-                    other => return Err(format!("unknown policy '{other}' (seq|par)")),
+                    other => match other.strip_prefix("tuned:").map(str::parse::<usize>) {
+                        Some(Ok(grain)) if grain >= 1 => ExecPolicy::Tuned { grain },
+                        _ => {
+                            return Err(format!("unknown policy '{other}' (seq|par|tuned:<grain>)"))
+                        }
+                    },
                 }
+            }
+            "--threads" => {
+                let threads: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads".to_string())?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                cfg.threads = Some(threads);
             }
             "--no-preprocess" => cfg.preprocess = false,
             "--no-subselection" => cfg.subselection = false,
@@ -163,6 +188,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 size_given = true;
             }
             "--json" => json = Some(value("--json")?.clone()),
+            "--emit-bench" => emit_bench = Some(value("--emit-bench")?.clone()),
             "--quiet" => quiet = true,
             other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
         }
@@ -176,6 +202,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         size,
         size_given,
         json,
+        emit_bench,
         quiet,
     })
 }
@@ -281,7 +308,12 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
         );
     }
     let workloads = ["uniform", "clustered", "grid", "line", "planted"];
+    let bench_threads = opts
+        .cfg
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
     let mut runs = Vec::new();
+    let mut records: Vec<SpeedupRecord> = Vec::new();
     for workload in workloads {
         let spec = GenSpec {
             workload: workload.to_string(),
@@ -292,7 +324,14 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
         };
         let mut cache = InstanceCache::new(&spec, opts.cfg.seed);
         for name in &names {
-            runs.push(run_solver_cached(registry, name, &mut cache, &opts.cfg)?);
+            if opts.emit_bench.is_some() {
+                let (run, record) =
+                    measure_speedup(registry, name, &spec, &mut cache, &opts.cfg, bench_threads)?;
+                runs.push(run);
+                records.push(record);
+            } else {
+                runs.push(run_solver_cached(registry, name, &mut cache, &opts.cfg)?);
+            }
         }
     }
     if !opts.quiet {
@@ -301,6 +340,26 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
             names.len(),
             workloads.len(),
         );
+    }
+    if let Some(path) = &opts.emit_bench {
+        if let Some(bad) = records.iter().find(|r| !r.deterministic) {
+            return Err(format!(
+                "solver '{}' on workload '{}' produced different results at \
+                 threads=1 and threads={} — determinism contract violated",
+                bad.solver, bad.workload, bad.threads
+            ));
+        }
+        std::fs::write(path, speedup_to_json(&records))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        if !opts.quiet {
+            let mean_speedup = records.iter().map(SpeedupRecord::speedup).sum::<f64>()
+                / records.len().max(1) as f64;
+            println!(
+                "wrote {} speedup record(s) to {path} (threads = {bench_threads}, \
+                 mean self-relative speedup {mean_speedup:.2}x, all byte-deterministic)\n",
+                records.len(),
+            );
+        }
     }
     emit(&runs, opts.json.as_deref(), opts.quiet)
 }

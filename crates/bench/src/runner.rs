@@ -4,6 +4,7 @@
 //! Kept in the library (rather than the binary) so the conformance tests can
 //! exercise exactly the code path the CLI runs.
 
+use parfaclo_api::json::{JsonObject, JsonValue};
 use parfaclo_api::{AnyInstance, ProblemKind, Registry, Run, RunConfig};
 use parfaclo_metric::gen::{self, GenParams};
 
@@ -200,6 +201,7 @@ pub fn table_row(run: &Run) -> Vec<String> {
             .map_or_else(|| "-".to_string(), |r| format!("{r:.3}")),
         run.rounds.to_string(),
         run.work.element_ops.to_string(),
+        run.threads.to_string(),
         format!("{:.2}", run.wall_ms),
     ]
 }
@@ -215,8 +217,98 @@ pub fn table_header() -> Vec<&'static str> {
         "ratio",
         "rounds",
         "work",
+        "thr",
         "ms",
     ]
+}
+
+/// Schema tag for the speedup artifact (`BENCH_speedup.json`); bump on
+/// shape changes.
+pub const BENCH_SCHEMA: &str = "parfaclo.bench.v1";
+
+/// One threads=1 vs threads=N wall-clock comparison of a solver on one
+/// workload, plus the byte-determinism verdict for the pair.
+#[derive(Debug, Clone)]
+pub struct SpeedupRecord {
+    /// Registry name of the solver measured.
+    pub solver: String,
+    /// Workload name the instance was generated from.
+    pub workload: String,
+    /// Instance client/node count.
+    pub n: usize,
+    /// Thread count of the parallel leg.
+    pub threads: usize,
+    /// Wall-clock milliseconds at threads = 1.
+    pub wall_ms_t1: f64,
+    /// Wall-clock milliseconds at `threads`.
+    pub wall_ms_tn: f64,
+    /// Whether the two runs' canonical JSON was byte-identical (it must be;
+    /// recorded so the artifact is self-certifying).
+    pub deterministic: bool,
+}
+
+impl SpeedupRecord {
+    /// Self-relative speedup `t1 / tN` (0 when the parallel leg measured 0 ms).
+    pub fn speedup(&self) -> f64 {
+        if self.wall_ms_tn > 0.0 {
+            self.wall_ms_t1 / self.wall_ms_tn
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `solver` twice on the cached instance — once pinned to 1 thread,
+/// once to `threads` — and returns the parallel run plus the comparison
+/// record. Two extra warm-up aspects are deliberate: the instance comes from
+/// the shared cache (no generation time in either leg), and the sequential
+/// leg runs first so allocator warm-up, if anything, biases *against* the
+/// parallel leg.
+pub fn measure_speedup(
+    registry: &Registry,
+    solver: &str,
+    spec: &GenSpec,
+    cache: &mut InstanceCache<'_>,
+    cfg: &RunConfig,
+    threads: usize,
+) -> Result<(Run, SpeedupRecord), String> {
+    let seq = run_solver_cached(registry, solver, cache, &cfg.clone().with_threads(1))?;
+    let par = run_solver_cached(registry, solver, cache, &cfg.clone().with_threads(threads))?;
+    let record = SpeedupRecord {
+        solver: solver.to_string(),
+        workload: spec.workload.clone(),
+        n: spec.n,
+        threads: par.threads,
+        wall_ms_t1: seq.wall_ms,
+        wall_ms_tn: par.wall_ms,
+        deterministic: seq.canonical_json() == par.canonical_json(),
+    };
+    Ok((par, record))
+}
+
+/// Serialises speedup records as the `BENCH_speedup.json` artifact: an
+/// envelope with the schema tag and one record per solver/workload pair.
+pub fn speedup_to_json(records: &[SpeedupRecord]) -> String {
+    let rows: Vec<JsonValue> = records
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .string("solver", &r.solver)
+                .string("workload", &r.workload)
+                .uint("n", r.n as u64)
+                .uint("threads", r.threads as u64)
+                .number("wall_ms_t1", r.wall_ms_t1)
+                .number("wall_ms_tn", r.wall_ms_tn)
+                .number("speedup", r.speedup())
+                .bool("deterministic", r.deterministic)
+                .build()
+        })
+        .collect();
+    JsonObject::new()
+        .string("schema", BENCH_SCHEMA)
+        .field("records", JsonValue::Array(rows))
+        .build()
+        .to_string()
 }
 
 #[cfg(test)]
@@ -294,6 +386,28 @@ mod tests {
             let fresh = run_solver(&registry, name, &spec, &cfg).unwrap();
             assert_eq!(cached.canonical_json(), fresh.canonical_json(), "{name}");
         }
+    }
+
+    #[test]
+    fn speedup_records_are_deterministic_and_serialise() {
+        let registry = standard_registry();
+        let spec = GenSpec::parse("uniform:n=24,nf=12").unwrap();
+        let cfg = RunConfig::new(0.1).with_seed(5).with_k(3);
+        let mut cache = InstanceCache::new(&spec, cfg.seed);
+        let mut records = Vec::new();
+        for name in ["greedy", "kcenter", "maxdom"] {
+            let (run, record) =
+                measure_speedup(&registry, name, &spec, &mut cache, &cfg, 4).unwrap();
+            assert_eq!(run.threads, 4, "{name}: parallel leg thread stamp");
+            assert!(
+                record.deterministic,
+                "{name}: threads=1 vs threads=4 output diverged"
+            );
+            records.push(record);
+        }
+        let json = speedup_to_json(&records);
+        assert!(json.contains(BENCH_SCHEMA));
+        assert_eq!(json.matches("\"deterministic\":true").count(), 3);
     }
 
     #[test]

@@ -44,6 +44,7 @@ impl DenseGraph {
         assert_eq!(dist.len(), n * n, "distance matrix shape mismatch");
         let adj: Vec<bool> = (0..n * n)
             .into_par_iter()
+            .with_min_len(4096)
             .map(|idx| {
                 let (a, b) = (idx / n, idx % n);
                 a != b && dist[idx] <= alpha
@@ -149,6 +150,7 @@ impl BipartiteGraph {
     {
         let adj: Vec<bool> = (0..nu * nv)
             .into_par_iter()
+            .with_min_len(4096)
             .map(|idx| pred(idx / nv, idx % nv))
             .collect();
         BipartiteGraph { nu, nv, adj }

@@ -133,7 +133,7 @@ fn closest_two(
         (best.0, best.1, second)
     };
     if policy.run_parallel(n * centers.len()) {
-        (0..n).into_par_iter().map(one).collect()
+        (0..n).into_par_iter().with_min_len(64).map(one).collect()
     } else {
         (0..n).map(one).collect()
     }

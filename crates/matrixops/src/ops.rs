@@ -38,6 +38,13 @@ impl AssocOp {
     }
 }
 
+/// Grain for element-wise primitives whose per-element work is a few flops:
+/// below this many elements per task, scheduling overhead dominates. Only
+/// applied to 1:1 pipelines (map/filter/collect), whose values are
+/// independent of chunk boundaries — never to `reduce`, whose combine tree
+/// must stay in lockstep with the sequential mirror.
+const ELEMENTWISE_GRAIN: usize = 1024;
+
 #[inline]
 fn check_dims(data: &[f64], rows: usize, cols: usize) {
     assert_eq!(
@@ -49,6 +56,11 @@ fn check_dims(data: &[f64], rows: usize, cols: usize) {
 }
 
 /// Reduction over an entire vector.
+///
+/// Both policies fold the same fixed chunks (boundaries depend only on the
+/// input length) and combine the per-chunk accumulators left-to-right, so the
+/// result — including the association-order-sensitive `Add` on floats — is
+/// byte-identical under `Sequential`, `Parallel`, and any thread count.
 pub fn reduce(data: &[f64], op: AssocOp, policy: ExecPolicy, meter: &CostMeter) -> f64 {
     meter.add_primitive(data.len() as u64);
     if policy.run_parallel(data.len()) {
@@ -56,9 +68,12 @@ pub fn reduce(data: &[f64], op: AssocOp, policy: ExecPolicy, meter: &CostMeter) 
             .copied()
             .reduce(|| op.identity(), |a, b| op.apply(a, b))
     } else {
-        data.iter()
-            .copied()
-            .fold(op.identity(), |a, b| op.apply(a, b))
+        // Sequential mirror of the engine's chunked combine structure.
+        let chunk = rayon::deterministic_chunk_len(data.len(), 1);
+        data.chunks(chunk).fold(op.identity(), |acc, c| {
+            let part = c.iter().copied().fold(op.identity(), |a, b| op.apply(a, b));
+            op.apply(acc, part)
+        })
     }
 }
 
@@ -100,7 +115,10 @@ where
 {
     meter.add_primitive(data.len() as u64);
     if policy.run_parallel(data.len()) {
-        data.par_iter().map(|&x| f(x)).collect()
+        data.par_iter()
+            .with_min_len(ELEMENTWISE_GRAIN)
+            .map(|&x| f(x))
+            .collect()
     } else {
         data.iter().map(|&x| f(x)).collect()
     }
@@ -113,7 +131,11 @@ where
 {
     meter.add_primitive(data.len() as u64);
     if policy.run_parallel(data.len()) {
-        data.par_iter().enumerate().map(|(i, &x)| f(i, x)).collect()
+        data.par_iter()
+            .with_min_len(ELEMENTWISE_GRAIN)
+            .enumerate()
+            .map(|(i, &x)| f(i, x))
+            .collect()
     } else {
         data.iter().enumerate().map(|(i, &x)| f(i, x)).collect()
     }
@@ -210,6 +232,7 @@ pub fn distribute_rows(
     if policy.run_parallel(rows * cols) {
         values
             .par_iter()
+            .with_min_len(ELEMENTWISE_GRAIN / cols.max(1) + 1)
             .flat_map_iter(|&v| std::iter::repeat_n(v, cols))
             .collect()
     } else {
@@ -229,6 +252,7 @@ where
     meter.add_primitive(a.len() as u64);
     if policy.run_parallel(a.len()) {
         a.par_iter()
+            .with_min_len(ELEMENTWISE_GRAIN)
             .zip(b.par_iter())
             .map(|(&x, &y)| f(x, y))
             .collect()
@@ -261,7 +285,10 @@ pub fn transpose(
 pub fn count_true(mask: &[bool], policy: ExecPolicy, meter: &CostMeter) -> usize {
     meter.add_primitive(mask.len() as u64);
     if policy.run_parallel(mask.len()) {
-        mask.par_iter().filter(|&&b| b).count()
+        mask.par_iter()
+            .with_min_len(ELEMENTWISE_GRAIN)
+            .filter(|&&b| b)
+            .count()
     } else {
         mask.iter().filter(|&&b| b).count()
     }
@@ -272,6 +299,7 @@ pub fn pack_indices(mask: &[bool], policy: ExecPolicy, meter: &CostMeter) -> Vec
     meter.add_primitive(mask.len() as u64);
     if policy.run_parallel(mask.len()) {
         mask.par_iter()
+            .with_min_len(ELEMENTWISE_GRAIN)
             .enumerate()
             .filter_map(|(i, &b)| if b { Some(i) } else { None })
             .collect()

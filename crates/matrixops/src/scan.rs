@@ -5,10 +5,14 @@
 //! maximal-star computation is the main consumer (a prefix sum over each facility's
 //! sorted client distances).
 //!
-//! The parallel implementation is the classical two-pass blocked scan: partition the
-//! input into chunks, scan each chunk independently, scan the chunk totals sequentially
-//! (there are few of them), then add each chunk's offset in a second parallel pass.
-//! This does `O(n)` work and `O(log n)` depth up to the chunking granularity.
+//! Both policies run the classical two-pass blocked scan: partition the input
+//! into chunks (boundaries a pure function of the length, never the thread
+//! count), scan each chunk independently, scan the chunk totals sequentially
+//! (there are few of them), then add each chunk's offset in a second pass.
+//! Sharing one blocked structure keeps the floating-point association order —
+//! and hence the exact bytes — identical under `Sequential`, `Parallel`, and
+//! any pool size. This does `O(n)` work and `O(log n)` depth up to the
+//! chunking granularity.
 
 use crate::meter::CostMeter;
 use crate::ops::AssocOp;
@@ -23,11 +27,7 @@ pub fn inclusive_scan(
     meter: &CostMeter,
 ) -> Vec<f64> {
     meter.add_primitive(data.len() as u64);
-    if policy.run_parallel(data.len()) {
-        parallel_scan(data, op, true)
-    } else {
-        sequential_scan(data, op, true)
-    }
+    blocked_scan(data, op, true, policy.run_parallel(data.len()))
 }
 
 /// Exclusive scan: `out[i] = op(data[0], ..., data[i-1])`, `out[0] = identity`.
@@ -38,11 +38,7 @@ pub fn exclusive_scan(
     meter: &CostMeter,
 ) -> Vec<f64> {
     meter.add_primitive(data.len() as u64);
-    if policy.run_parallel(data.len()) {
-        parallel_scan(data, op, false)
-    } else {
-        sequential_scan(data, op, false)
-    }
+    blocked_scan(data, op, false, policy.run_parallel(data.len()))
 }
 
 /// Per-row inclusive scan over a row-major `rows x cols` matrix.
@@ -80,33 +76,52 @@ fn sequential_scan(data: &[f64], op: AssocOp, inclusive: bool) -> Vec<f64> {
     out
 }
 
-fn parallel_scan(data: &[f64], op: AssocOp, inclusive: bool) -> Vec<f64> {
+/// The blocked two-pass scan, in one implementation for both policies so the
+/// floating-point association order — and hence the exact bytes — is
+/// identical under `Sequential`, `Parallel`, and any thread count. The chunk
+/// width is a pure function of `n` (never the thread count), and inputs that
+/// fit a single chunk degenerate to the plain accumulator scan exactly.
+fn blocked_scan(data: &[f64], op: AssocOp, inclusive: bool, parallel: bool) -> Vec<f64> {
     let n = data.len();
-    let chunk = (n / (rayon::current_num_threads() * 4)).max(1024);
+    let chunk = rayon::deterministic_chunk_len(n, 1024);
+    let fold_chunk =
+        |c: &[f64]| -> f64 { c.iter().copied().fold(op.identity(), |a, b| op.apply(a, b)) };
+    let scan_chunk = |out_chunk: &mut [f64], in_chunk: &[f64], offset: f64| {
+        let mut acc = offset;
+        for (o, &x) in out_chunk.iter_mut().zip(in_chunk.iter()) {
+            if inclusive {
+                acc = op.apply(acc, x);
+                *o = acc;
+            } else {
+                *o = acc;
+                acc = op.apply(acc, x);
+            }
+        }
+    };
     // Pass 1: per-chunk totals.
-    let totals: Vec<f64> = data
-        .par_chunks(chunk)
-        .map(|c| c.iter().copied().fold(op.identity(), |a, b| op.apply(a, b)))
-        .collect();
+    let totals: Vec<f64> = if parallel {
+        data.par_chunks(chunk).map(fold_chunk).collect()
+    } else {
+        data.chunks(chunk).map(fold_chunk).collect()
+    };
     // Sequential scan over the (few) chunk totals to get per-chunk offsets.
     let offsets = sequential_scan(&totals, op, false);
     // Pass 2: scan each chunk with its offset.
     let mut out = vec![0.0; n];
-    out.par_chunks_mut(chunk)
-        .zip(data.par_chunks(chunk))
-        .zip(offsets.par_iter())
-        .for_each(|((out_chunk, in_chunk), &offset)| {
-            let mut acc = offset;
-            for (o, &x) in out_chunk.iter_mut().zip(in_chunk.iter()) {
-                if inclusive {
-                    acc = op.apply(acc, x);
-                    *o = acc;
-                } else {
-                    *o = acc;
-                    acc = op.apply(acc, x);
-                }
-            }
-        });
+    if parallel {
+        out.par_chunks_mut(chunk)
+            .zip(data.par_chunks(chunk))
+            .zip(offsets.par_iter())
+            .for_each(|((out_chunk, in_chunk), &offset)| scan_chunk(out_chunk, in_chunk, offset));
+    } else {
+        for ((out_chunk, in_chunk), &offset) in out
+            .chunks_mut(chunk)
+            .zip(data.chunks(chunk))
+            .zip(offsets.iter())
+        {
+            scan_chunk(out_chunk, in_chunk, offset);
+        }
+    }
     out
 }
 
@@ -178,6 +193,39 @@ mod tests {
                 // The first exclusive-scan entry is the identity, which may be ±∞ for
                 // Min/Max; compare exactly in that case.
                 assert!(a == b || (a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Bitwise policy invariance on noisy floats spanning many chunks — the
+    /// exact regression the blocked sequential mirror exists for (fp addition
+    /// is not associative, so any structural divergence shows up in the bits).
+    #[test]
+    fn scan_policies_are_bit_identical_on_noisy_floats() {
+        let meter = CostMeter::new();
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let data: Vec<f64> = (0..40_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 100.0 - 50.0
+            })
+            .collect();
+        for inclusive in [true, false] {
+            let scan = if inclusive {
+                inclusive_scan
+            } else {
+                exclusive_scan
+            };
+            let seq = scan(&data, AssocOp::Add, ExecPolicy::Sequential, &meter);
+            let par = scan(&data, AssocOp::Add, ExecPolicy::Parallel, &meter);
+            for (i, (a, b)) in seq.iter().zip(par.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "inclusive={inclusive}, index {i}: {a} vs {b}"
+                );
             }
         }
     }

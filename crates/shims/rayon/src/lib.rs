@@ -1,428 +1,359 @@
-//! # rayon (offline shim)
+//! # rayon (offline shim) — deterministic fork-join runtime
 //!
-//! A minimal, **sequential** drop-in replacement for the parts of the `rayon`
-//! API this workspace uses. The build environment has no network access to
-//! crates.io, so the real work-stealing pool cannot be vendored; this shim
-//! preserves the API surface (parallel iterators, `par_sort_*`, `scope`,
-//! `ThreadPoolBuilder`) while executing everything on the calling thread.
+//! A drop-in replacement for the parts of the `rayon` API this workspace
+//! uses. The build environment has no network access to crates.io, so the
+//! real work-stealing pool cannot be vendored; instead this crate implements
+//! a real **multi-threaded** fork-join runtime on `std::thread::scope`:
 //!
-//! Correctness is unaffected by design: every algorithm in the workspace is
-//! required to produce **identical results** under `ExecPolicy::Sequential`
-//! and `ExecPolicy::Parallel` (the property tests assert it), so collapsing
-//! the parallel path onto the sequential one changes wall-clock behaviour
-//! only. Swapping the real `rayon` back in is a one-line change in the root
-//! `Cargo.toml` once a registry is reachable.
+//! * parallel iterators (`par_iter` / `into_par_iter` / `par_chunks` /
+//!   `par_chunks_mut` with `map`, `filter`, `filter_map`, `flat_map[_iter]`,
+//!   `enumerate`, `zip`, `copied`, `cloned`, `take`, and the `collect`,
+//!   `for_each`, `reduce`, `fold`, `count` consumers),
+//! * parallel sorts (`par_sort`, `par_sort_by`, `par_sort_unstable[_by]`),
+//! * `scope`/`spawn` and `join`,
+//! * a [`ThreadPoolBuilder`] whose `num_threads` is **honored**:
+//!   [`ThreadPool::install`] runs its closure with parallel operations
+//!   fanning out over that many threads, and
+//!   [`ThreadPoolBuilder::build_global`] sets the process-wide default
+//!   (also settable via the `RAYON_NUM_THREADS` environment variable).
 //!
-//! Implementation note: `into_par_iter()` and friends return a [`ParIter`]
-//! wrapper that implements [`Iterator`] (so the whole std adapter surface
-//! keeps working) and additionally provides *inherent* methods for the
-//! adapters whose rayon signatures differ from std (`reduce` with an identity
-//! closure, `flat_map_iter`, …). Inherent methods win method resolution, so
-//! call sites written against real rayon compile unchanged.
+//! ## Determinism guarantee
+//!
+//! Every data-parallel operation splits its input at **fixed chunk
+//! boundaries** — a pure function of the input length (see
+//! [`deterministic_chunk_len`]), never of the thread count — and combines
+//! per-chunk results strictly left-to-right. Threads only decide *who*
+//! executes a chunk. Results are therefore byte-identical at 1 thread and at
+//! N threads, including floating-point reductions, whose value depends on
+//! association order. Parallel sorts always produce the canonical *stable*
+//! permutation (ties resolve to original order), so they too are independent
+//! of the pool size. The `scope` task queue makes no ordering promises, as
+//! under real rayon.
+//!
+//! Differences from real rayon worth knowing about: data-parallel regions
+//! run on a process-wide set of persistent workers (spawned lazily, parked
+//! on a condvar between regions) rather than a work-stealing deque pool,
+//! while `scope` and `join` spawn scoped threads per call; nested parallel
+//! calls inside a worker run inline instead of work-stealing; and
+//! `into_par_iter()` is implemented for the owned sources the workspace
+//! actually uses (`Range<usize>`, `Vec<T: Clone>`) rather than every
+//! `IntoIterator`. Swapping the real `rayon` back in (via the root
+//! `Cargo.toml`, once a registry is reachable) additionally requires a home
+//! for [`deterministic_chunk_len`], which `parfaclo-matrixops` calls to
+//! mirror the parallel combine structure sequentially — and it forfeits the
+//! byte-identical-across-thread-counts guarantee, which real rayon's
+//! thread-count-dependent splits do not provide, so the thread-invariance
+//! tests would need to be relaxed to tolerance-based comparisons.
 
-use std::marker::PhantomData;
+mod iter;
+mod pool;
+mod sort;
+mod task;
+
+pub use iter::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    ParallelSlice, ParallelSliceMut, Producer,
+};
+pub use pool::{
+    current_num_threads, deterministic_chunk_len, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder,
+};
+pub use task::{join, scope, Scope};
 
 /// Re-exports mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{
+    pub use crate::iter::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
         ParallelSliceMut,
     };
-}
-
-/// Sequential stand-in for rayon's parallel iterator.
-///
-/// Wraps any [`Iterator`]; the rayon-specific adapters are inherent methods
-/// so they shadow the std ones where the signatures differ.
-#[derive(Debug, Clone)]
-pub struct ParIter<I>(I);
-
-impl<I: Iterator> Iterator for ParIter<I> {
-    type Item = I::Item;
-
-    #[inline]
-    fn next(&mut self) -> Option<Self::Item> {
-        self.0.next()
-    }
-
-    #[inline]
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
-    }
-}
-
-impl<I: Iterator> ParIter<I> {
-    /// Maps each element (rayon: `ParallelIterator::map`).
-    #[inline]
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    /// Keeps elements matching the predicate.
-    #[inline]
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
-    }
-
-    /// Filter-and-map in one pass.
-    #[inline]
-    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FilterMap<I, F>> {
-        ParIter(self.0.filter_map(f))
-    }
-
-    /// Maps each element to an iterator and flattens.
-    #[inline]
-    pub fn flat_map<B: IntoIterator, F: FnMut(I::Item) -> B>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FlatMap<I, B, F>> {
-        ParIter(self.0.flat_map(f))
-    }
-
-    /// rayon's `flat_map_iter` (sequential flattening of per-element iterators).
-    #[inline]
-    pub fn flat_map_iter<B: IntoIterator, F: FnMut(I::Item) -> B>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FlatMap<I, B, F>> {
-        ParIter(self.0.flat_map(f))
-    }
-
-    /// Pairs elements with their index.
-    #[inline]
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    /// Zips with another (parallel or plain) iterator.
-    #[inline]
-    pub fn zip<O: IntoIterator>(self, other: O) -> ParIter<std::iter::Zip<I, O::IntoIter>> {
-        ParIter(self.0.zip(other))
-    }
-
-    /// Takes the first `n` elements.
-    #[inline]
-    pub fn take(self, n: usize) -> ParIter<std::iter::Take<I>> {
-        ParIter(self.0.take(n))
-    }
-
-    /// Hint accepted for API compatibility; a no-op sequentially.
-    #[inline]
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-
-    /// Consumes the iterator, calling `f` on each element.
-    #[inline]
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// rayon's `reduce`: folds with an identity-producing closure.
-    ///
-    /// Sequentially this is simply `fold(identity(), op)`.
-    #[inline]
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// Collects into any `FromIterator` collection.
-    #[inline]
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-}
-
-impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> ParIter<I> {
-    /// Copies referenced elements (rayon: `ParallelIterator::copied`).
-    #[inline]
-    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
-        ParIter(self.0.copied())
-    }
-}
-
-impl<'a, T: 'a + Clone, I: Iterator<Item = &'a T>> ParIter<I> {
-    /// Clones referenced elements (rayon: `ParallelIterator::cloned`).
-    #[inline]
-    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
-        ParIter(self.0.cloned())
-    }
-}
-
-/// Mirror of `rayon::iter::IntoParallelIterator`.
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Converts `self` into a (sequentially executed) parallel iterator.
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter(self.into_iter())
-    }
-}
-
-impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
-
-/// Mirror of `rayon::iter::IntoParallelRefIterator`.
-pub trait IntoParallelRefIterator {
-    /// Iterates `&self` as a (sequentially executed) parallel iterator.
-    fn par_iter<'a>(&'a self) -> ParIter<<&'a Self as IntoIterator>::IntoIter>
-    where
-        &'a Self: IntoIterator;
-}
-
-impl<T: ?Sized> IntoParallelRefIterator for T {
-    fn par_iter<'a>(&'a self) -> ParIter<<&'a T as IntoIterator>::IntoIter>
-    where
-        &'a T: IntoIterator,
-    {
-        ParIter(self.into_iter())
-    }
-}
-
-/// Mirror of `rayon::iter::IntoParallelRefMutIterator`.
-pub trait IntoParallelRefMutIterator {
-    /// Iterates `&mut self` as a (sequentially executed) parallel iterator.
-    fn par_iter_mut<'a>(&'a mut self) -> ParIter<<&'a mut Self as IntoIterator>::IntoIter>
-    where
-        &'a mut Self: IntoIterator;
-}
-
-impl<T: ?Sized> IntoParallelRefMutIterator for T {
-    fn par_iter_mut<'a>(&'a mut self) -> ParIter<<&'a mut T as IntoIterator>::IntoIter>
-    where
-        &'a mut T: IntoIterator,
-    {
-        ParIter(self.into_iter())
-    }
-}
-
-/// Mirror of `rayon::slice::ParallelSlice`.
-pub trait ParallelSlice<T> {
-    /// Chunked view of the slice.
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-    /// Windowed view of the slice.
-    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(chunk_size))
-    }
-
-    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>> {
-        ParIter(self.windows(window_size))
-    }
-}
-
-/// Mirror of `rayon::slice::ParallelSliceMut`.
-pub trait ParallelSliceMut<T> {
-    /// Mutable chunked view of the slice.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-    /// Stable sort by comparator.
-    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
-    /// Unstable sort by comparator.
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
-    /// Stable natural-order sort.
-    fn par_sort(&mut self)
-    where
-        T: Ord;
-    /// Unstable natural-order sort.
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord;
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(chunk_size))
-    }
-
-    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
-        self.sort_by(compare)
-    }
-
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
-        self.sort_unstable_by(compare)
-    }
-
-    fn par_sort(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort()
-    }
-
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort_unstable()
-    }
-}
-
-/// Number of threads the (virtual) pool runs on — always 1 in the shim.
-pub fn current_num_threads() -> usize {
-    1
-}
-
-/// Scoped task region; `spawn`ed closures run immediately on this thread.
-pub struct Scope<'scope>(PhantomData<&'scope ()>);
-
-impl<'scope> Scope<'scope> {
-    /// Runs `body` immediately (rayon runs it on the pool).
-    pub fn spawn<F>(&self, body: F)
-    where
-        F: FnOnce(&Scope<'scope>) + 'scope,
-    {
-        body(self)
-    }
-}
-
-/// Mirror of `rayon::scope`: creates a scope and runs `op` in it.
-pub fn scope<'scope, F, R>(op: F) -> R
-where
-    F: FnOnce(&Scope<'scope>) -> R,
-{
-    op(&Scope(PhantomData))
-}
-
-/// Runs two closures (sequentially here; in parallel under real rayon).
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// Error type returned by [`ThreadPoolBuilder::build`]; never actually produced.
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "thread pool build error (shim)")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Builder mirroring `rayon::ThreadPoolBuilder`; thread count is recorded but
-/// the shim always executes on the calling thread.
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    /// Creates a builder with default settings.
-    pub fn new() -> Self {
-        ThreadPoolBuilder::default()
-    }
-
-    /// Records the requested thread count (informational only in the shim).
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = n;
-        self
-    }
-
-    /// Builds the (virtual) pool; infallible in practice.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: if self.num_threads == 0 {
-                1
-            } else {
-                self.num_threads
-            },
-        })
-    }
-}
-
-/// A virtual thread pool: `install` simply runs the closure on this thread.
-#[derive(Debug)]
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    /// Runs `op` "inside" the pool (directly, in the shim).
-    pub fn install<OP, R>(&self, op: OP) -> R
-    where
-        OP: FnOnce() -> R,
-    {
-        op()
-    }
-
-    /// The nominal pool size requested at build time.
-    pub fn current_num_threads(&self) -> usize {
-        self.num_threads
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Deterministic pseudo-random f64s (LCG) — varied enough to expose any
+    /// chunking/order bug in reductions and sorts.
+    fn noise(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2000.0 - 1000.0
+            })
+            .collect()
+    }
+
+    fn pool(threads: usize) -> ThreadPool {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool")
+    }
+
+    const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 
     #[test]
     fn par_iter_chains_match_sequential() {
-        let v: Vec<i64> = (0..100).collect();
-        let a: Vec<i64> = v
-            .par_iter()
-            .map(|&x| x * 2)
-            .filter(|x| x % 3 == 0)
-            .collect();
-        let b: Vec<i64> = v.iter().map(|&x| x * 2).filter(|x| x % 3 == 0).collect();
-        assert_eq!(a, b);
+        let v: Vec<i64> = (0..5000).collect();
+        let expected: Vec<i64> = v.iter().map(|&x| x * 2).filter(|x| x % 3 == 0).collect();
+        for t in THREAD_COUNTS {
+            let got: Vec<i64> = pool(t).install(|| {
+                v.par_iter()
+                    .map(|&x| x * 2)
+                    .filter(|x| x % 3 == 0)
+                    .collect()
+            });
+            assert_eq!(got, expected, "threads = {t}");
+        }
     }
 
     #[test]
-    fn reduce_with_identity() {
+    fn reduce_is_bit_identical_across_thread_counts() {
+        let v = noise(50_000, 42);
+        let reference: f64 = pool(1).install(|| v.par_iter().copied().reduce(|| 0.0, |a, b| a + b));
+        for t in THREAD_COUNTS {
+            let sum: f64 = pool(t).install(|| v.par_iter().copied().reduce(|| 0.0, |a, b| a + b));
+            assert_eq!(sum.to_bits(), reference.to_bits(), "threads = {t}");
+        }
+        // And the sequential mirror: folding fixed chunks reproduces it.
+        let chunk = deterministic_chunk_len(v.len(), 1);
+        let mirrored = v.chunks(chunk).fold(0.0, |acc, c| {
+            acc + c.iter().copied().fold(0.0, |a, b| a + b)
+        });
+        assert_eq!(mirrored.to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn reduce_with_identity_and_enumerate() {
         let v: Vec<f64> = (1..=10).map(|x| x as f64).collect();
-        let s = v.par_iter().copied().reduce(|| 0.0, |a, b| a + b);
-        assert_eq!(s, 55.0);
-        let max = v.par_iter().copied().enumerate().reduce(
-            || (usize::MAX, f64::NEG_INFINITY),
-            |a, b| if b.1 > a.1 { b } else { a },
-        );
-        assert_eq!(max, (9, 10.0));
+        for t in THREAD_COUNTS {
+            pool(t).install(|| {
+                let s = v.par_iter().copied().reduce(|| 0.0, |a, b| a + b);
+                assert_eq!(s, 55.0);
+                let max = v.par_iter().copied().enumerate().reduce(
+                    || (usize::MAX, f64::NEG_INFINITY),
+                    |a, b| if b.1 > a.1 { b } else { a },
+                );
+                assert_eq!(max, (9, 10.0));
+            });
+        }
     }
 
     #[test]
-    fn chunks_zip_for_each() {
-        let data = [1.0f64; 10];
-        let mut out = [0.0f64; 10];
-        out.par_chunks_mut(3)
-            .zip(data.par_chunks(3))
-            .for_each(|(o, i)| {
-                for (a, b) in o.iter_mut().zip(i) {
-                    *a = *b + 1.0;
+    fn fold_then_reduce_matches_reduce() {
+        let v = noise(20_000, 7);
+        let direct = pool(4).install(|| v.par_iter().copied().reduce(|| 0.0, |a, b| a + b));
+        let folded = pool(4).install(|| {
+            v.par_iter()
+                .copied()
+                .fold(|| 0.0, |acc, x| acc + x)
+                .reduce(|| 0.0, |a, b| a + b)
+        });
+        assert_eq!(direct.to_bits(), folded.to_bits());
+    }
+
+    #[test]
+    fn filter_map_flat_map_count_take_zip() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let seq_fm: Vec<u32> = v
+            .iter()
+            .filter_map(|&x| if x % 7 == 0 { Some(x / 7) } else { None })
+            .collect();
+        let seq_flat: Vec<u32> = v.iter().flat_map(|&x| [x, x + 1]).collect();
+        for t in THREAD_COUNTS {
+            pool(t).install(|| {
+                let fm: Vec<u32> = v
+                    .par_iter()
+                    .filter_map(|&x| if x % 7 == 0 { Some(x / 7) } else { None })
+                    .collect();
+                assert_eq!(fm, seq_fm);
+                let flat: Vec<u32> = v.par_iter().flat_map_iter(|&x| [x, x + 1]).collect();
+                assert_eq!(flat, seq_flat);
+                assert_eq!(v.par_iter().filter(|&&x| x % 2 == 0).count(), 5000);
+                let taken: Vec<u32> = v.par_iter().copied().take(17).collect();
+                assert_eq!(taken, (0..17).collect::<Vec<u32>>());
+                let zipped: Vec<u32> = v
+                    .par_iter()
+                    .zip(v[1..].par_iter())
+                    .map(|(&a, &b)| a + b)
+                    .collect();
+                assert_eq!(zipped.len(), v.len() - 1);
+                assert_eq!(zipped[0], 1);
+                assert_eq!(zipped[9998], 9999 + 9998);
+            });
+        }
+    }
+
+    #[test]
+    fn chunks_zip_for_each_mutates_disjointly() {
+        let data: Vec<f64> = (0..10_000).map(|x| x as f64).collect();
+        for t in THREAD_COUNTS {
+            let mut out = vec![0.0f64; data.len()];
+            pool(t).install(|| {
+                out.par_chunks_mut(97)
+                    .zip(data.par_chunks(97))
+                    .for_each(|(o, i)| {
+                        for (a, b) in o.iter_mut().zip(i) {
+                            *a = *b + 1.0;
+                        }
+                    });
+            });
+            assert!(out.iter().enumerate().all(|(k, &x)| x == k as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element_once() {
+        let mut v = vec![0u64; 30_000];
+        pool(4).install(|| v.par_iter_mut().for_each(|x| *x += 1));
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn sorts_match_std_stable_sort() {
+        // Duplicate keys with distinct payloads expose stability violations.
+        let base: Vec<(i64, usize)> = noise(30_000, 3)
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| ((x as i64) % 50, i))
+            .collect();
+        let mut expected = base.clone();
+        expected.sort_by_key(|a| a.0);
+        for t in THREAD_COUNTS {
+            let mut v = base.clone();
+            pool(t).install(|| v.par_sort_by(|a, b| a.0.cmp(&b.0)));
+            assert_eq!(v, expected, "stable sort, threads = {t}");
+            let mut u = base.clone();
+            pool(t).install(|| u.par_sort_unstable_by(|a, b| a.0.cmp(&b.0)));
+            assert_eq!(u, expected, "unstable sort canonical, threads = {t}");
+        }
+        let mut w: Vec<i64> = base.iter().map(|p| p.0).collect();
+        let mut w_expected = w.clone();
+        w_expected.sort();
+        pool(4).install(|| w.par_sort());
+        assert_eq!(w, w_expected);
+    }
+
+    #[test]
+    fn float_sort_matches_sequential() {
+        let mut v = noise(20_000, 11);
+        let mut expected = v.clone();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        pool(4).install(|| v.par_sort_by(|a, b| a.partial_cmp(b).unwrap()));
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn pool_honors_num_threads_and_really_runs_in_parallel() {
+        for t in [1usize, 3, 8] {
+            assert_eq!(pool(t).install(current_num_threads), t);
+            assert_eq!(pool(t).current_num_threads(), t);
+        }
+        // With 4 requested threads and slow tasks, more than one OS thread
+        // must participate.
+        let seen = std::sync::Mutex::new(std::collections::HashSet::new());
+        pool(4).install(|| {
+            (0..64usize).into_par_iter().for_each(|_| {
+                let begin = std::time::Instant::now();
+                while begin.elapsed() < std::time::Duration::from_micros(500) {
+                    std::hint::spin_loop();
+                }
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(
+            seen.lock().unwrap().len() > 1,
+            "expected multiple worker threads to participate"
+        );
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline_in_workers() {
+        // A parallel region inside a parallel region must not explode the
+        // thread count; inner calls see an effective thread count of 1.
+        let inner_counts: Vec<usize> = pool(4).install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(inner_counts.iter().all(|&c| c == 1), "{inner_counts:?}");
+    }
+
+    #[test]
+    fn install_restores_previous_thread_count() {
+        let outer = current_num_threads();
+        pool(3).install(|| {
+            assert_eq!(current_num_threads(), 3);
+            pool(5).install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_tasks_including_nested() {
+        let hits = AtomicUsize::new(0);
+        pool(4).install(|| {
+            scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|inner| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        inner.spawn(|_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
                 }
             });
-        assert!(out.iter().all(|&x| x == 2.0));
-    }
-
-    #[test]
-    fn sorts_and_pool() {
-        let mut v = vec![3.0, 1.0, 2.0];
-        v.par_sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert_eq!(v, vec![1.0, 2.0, 3.0]);
-        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        assert_eq!(pool.install(|| 41 + 1), 42);
-        assert_eq!(current_num_threads(), 1);
-    }
-
-    #[test]
-    fn scope_spawns_run() {
-        let mut hits = 0;
-        scope(|s| {
-            s.spawn(|_| {});
-            hits += 1;
         });
-        assert_eq!(hits, 1);
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        for t in [1usize, 4] {
+            let (a, b) = pool(t).install(|| join(|| 6 * 7, || "ok"));
+            assert_eq!((a, b), (42, "ok"));
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<f64> = Vec::new();
+        pool(4).install(|| {
+            let collected: Vec<f64> = empty.par_iter().copied().collect();
+            assert!(collected.is_empty());
+            assert_eq!(empty.par_iter().copied().reduce(|| 1.5, |a, b| a + b), 1.5);
+            assert_eq!(empty.par_iter().count(), 0);
+            let mut v: Vec<f64> = Vec::new();
+            v.par_sort_by(|a, b| a.partial_cmp(b).unwrap());
+        });
+    }
+
+    #[test]
+    fn vec_into_par_iter_and_range() {
+        let v = vec![3u64, 1, 4, 1, 5];
+        let doubled: Vec<u64> = pool(4).install(|| v.into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let idx: Vec<usize> = pool(2).install(|| (10..15).into_par_iter().collect());
+        assert_eq!(idx, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn deterministic_chunk_len_is_a_pure_function_of_len() {
+        for len in [0usize, 1, 100, 2048, 1 << 20] {
+            let a = deterministic_chunk_len(len, 1);
+            let b = pool(1).install(|| deterministic_chunk_len(len, 1));
+            let c = pool(16).install(|| deterministic_chunk_len(len, 1));
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+            assert!(a >= 1);
+        }
+        assert_eq!(deterministic_chunk_len(100, 64), 64);
     }
 }

@@ -1,0 +1,435 @@
+//! The fork-join execution core: thread accounting, the persistent worker
+//! pool, the chunked task driver, and the `ThreadPoolBuilder` / `ThreadPool`
+//! surface.
+//!
+//! # Determinism contract
+//!
+//! Every data-parallel operation in this crate splits its input into chunks
+//! whose boundaries are a **pure function of the input length** (see
+//! [`deterministic_chunk_len`]) — never of the thread count. Threads only
+//! decide *who executes* a chunk, not *what* the chunks are, and per-chunk
+//! results are always combined left-to-right in chunk order. Consequently
+//! every operation (including floating-point reductions, whose value depends
+//! on association order) produces byte-identical results at 1 thread and at
+//! N threads.
+//!
+//! # Execution model
+//!
+//! Worker threads are spawned lazily, kept parked on a condvar, and reused
+//! across parallel regions (spawning OS threads per region costs tens of
+//! microseconds, which dominates fine-grained primitives; waking a parked
+//! worker costs a fraction of that). A region publishes a [`Job`] — a
+//! lifetime-erased pointer to the task closure plus an atomic task counter —
+//! to the shared queue; up to `threads - 1` workers attach to it and race
+//! the submitting thread for task indices, and the submitter blocks on the
+//! job's completion latch before returning, which is what makes the borrow
+//! erasure sound: the closure cannot be dropped while any task is running.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on the number of chunks a single parallel operation is split
+/// into. Fixed (never derived from the thread count) so chunk boundaries —
+/// and therefore reduction trees — are identical under any pool size.
+const MAX_CHUNKS: usize = 128;
+
+/// The fixed chunk length used for a data-parallel operation over `len`
+/// items, with a minimum of `min_len` items per chunk.
+///
+/// This is exported so callers that need a *sequential* loop to reproduce the
+/// parallel combine structure bit-for-bit (e.g. a policy-gated sequential
+/// fallback of a floating-point reduction) can chunk the same way.
+pub fn deterministic_chunk_len(len: usize, min_len: usize) -> usize {
+    len.div_ceil(MAX_CHUNKS).max(min_len).max(1)
+}
+
+/// Process-wide thread-count override installed by
+/// [`ThreadPoolBuilder::build_global`]; `0` means "not set".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`] (and set to
+    /// `1` inside pool workers so nested parallel calls run inline instead of
+    /// spawning threads recursively); `0` means "no override".
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+pub(crate) fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Default pool size: the `RAYON_NUM_THREADS` environment variable if set to
+/// a positive integer (read once), otherwise the hardware parallelism.
+fn default_threads() -> usize {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    })
+    .unwrap_or_else(hardware_threads)
+}
+
+fn resolved_global() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Number of threads parallel operations on this thread currently use:
+/// the innermost [`ThreadPool::install`] override, else the global pool size.
+pub fn current_num_threads() -> usize {
+    match LOCAL_THREADS.with(Cell::get) {
+        0 => resolved_global(),
+        n => n,
+    }
+}
+
+/// RAII guard that overrides the calling thread's effective thread count and
+/// restores the previous value on drop (panic-safe).
+pub(crate) struct ThreadCountGuard {
+    prev: usize,
+}
+
+impl ThreadCountGuard {
+    pub(crate) fn set(n: usize) -> Self {
+        let prev = LOCAL_THREADS.with(|c| c.replace(n));
+        ThreadCountGuard { prev }
+    }
+}
+
+impl Drop for ThreadCountGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        LOCAL_THREADS.with(|c| c.set(prev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The persistent worker pool
+// ---------------------------------------------------------------------------
+
+/// One parallel region: a type-erased task closure plus claim/completion
+/// accounting. Lives behind an `Arc` in the shared queue so a worker can
+/// never observe a dangling `Job`; only the closure pointer is borrowed from
+/// the submitting stack frame, and it is dereferenced exclusively for task
+/// indices `< n_tasks`, all of which complete before the submitter's
+/// [`Job::wait_done`] returns.
+struct Job {
+    /// Pointer to the submitting frame's task closure.
+    data: *const (),
+    /// Monomorphized trampoline invoking `data` as the concrete closure type.
+    ///
+    /// # Safety
+    /// Must only be called while the submitting frame is alive, i.e. for a
+    /// task index claimed from `next` before `pending` reached zero.
+    call: unsafe fn(*const (), usize),
+    /// Next unclaimed task index (may overshoot `n_tasks`).
+    next: AtomicUsize,
+    /// Total number of task indices.
+    n_tasks: usize,
+    /// Tasks not yet finished; the transition to zero opens the latch.
+    pending: AtomicUsize,
+    /// Helper slots still available to pool workers (the submitter itself is
+    /// not counted): enforces the region's `threads` budget even when more
+    /// persistent workers exist from an earlier, larger pool.
+    helper_slots: AtomicUsize,
+    /// Completion latch.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload observed in a task, rethrown by the submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+// SAFETY: `data`/`call` are only dereferenced under the claim protocol
+// documented on `Job`; all other fields are thread-safe primitives.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs task indices until none remain. Sound to call from
+    /// any thread as long as the job was obtained from the queue (workers)
+    /// or is the caller's own (submitter).
+    fn help(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                return;
+            }
+            // SAFETY: `i < n_tasks` was claimed exactly once, so the
+            // submitter is still blocked on the latch and the closure is
+            // alive; no other thread runs this index.
+            let result =
+                std::panic::catch_unwind(AssertUnwindSafe(|| unsafe { (self.call)(self.data, i) }));
+            if let Err(payload) = result {
+                let mut slot = self.panic.lock().expect("panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let mut done = self.done.lock().expect("latch poisoned");
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n_tasks
+    }
+
+    /// Takes a helper slot; `false` means the region's thread budget is full.
+    fn try_attach(&self) -> bool {
+        self.helper_slots
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |slots| {
+                slots.checked_sub(1)
+            })
+            .is_ok()
+    }
+
+    fn wait_done(&self) {
+        let mut done = self.done.lock().expect("latch poisoned");
+        while !*done {
+            done = self.done_cv.wait(done).expect("latch poisoned");
+        }
+    }
+}
+
+struct PoolState {
+    /// Active (not yet exhausted) jobs, oldest first.
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    /// Signalled on every job publication; parked workers re-scan the queue.
+    work_cv: Condvar,
+    /// Number of persistent workers ever spawned (a high-water mark of the
+    /// `threads - 1` values requested so far).
+    workers: AtomicUsize,
+}
+
+fn pool() -> &'static PoolState {
+    static POOL: OnceLock<PoolState> = OnceLock::new();
+    POOL.get_or_init(|| PoolState {
+        queue: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        workers: AtomicUsize::new(0),
+    })
+}
+
+/// Spawns persistent workers until at least `want` exist. Workers are
+/// detached and live for the process lifetime, parked on the queue condvar
+/// when idle.
+fn ensure_workers(want: usize) {
+    let state = pool();
+    loop {
+        let have = state.workers.load(Ordering::Relaxed);
+        if have >= want {
+            return;
+        }
+        if state
+            .workers
+            .compare_exchange(have, have + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            std::thread::Builder::new()
+                .name("parfaclo-pool-worker".to_string())
+                .spawn(worker_loop)
+                .expect("spawning a pool worker");
+        }
+    }
+}
+
+fn worker_loop() {
+    // Workers run nested parallel calls inline — no recursive fan-out.
+    let _inline = ThreadCountGuard::set(1);
+    let state = pool();
+    loop {
+        let job: Arc<Job> = {
+            let mut queue = state.queue.lock().expect("pool queue poisoned");
+            loop {
+                queue.retain(|job| !job.exhausted());
+                if let Some(job) = queue.iter().find(|job| job.try_attach()) {
+                    break job.clone();
+                }
+                queue = state.work_cv.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        job.help();
+    }
+}
+
+/// Shared result slots, written disjointly (slot `i` exactly once, by the
+/// thread that claimed task `i`) and read only after the region's latch.
+struct Slots<R>(Vec<UnsafeCell<Option<R>>>);
+
+// SAFETY: disjoint-index writes, reads strictly after the completion latch.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+unsafe fn call_closure<F: Fn(usize) + Sync>(data: *const (), i: usize) {
+    (*(data as *const F))(i)
+}
+
+/// Runs `f(0), f(1), …, f(n_tasks - 1)` and returns the results **in task
+/// order**, distributing tasks over up to `current_num_threads()` threads
+/// (the calling thread plus parked pool workers) via an atomic work counter.
+///
+/// The assignment of tasks to threads is nondeterministic; the returned
+/// vector is not — slot `i` always holds `f(i)`. Every task runs with its
+/// effective thread count pinned to 1, so parallel operations nested inside
+/// `f` execute inline rather than fanning out recursively.
+pub(crate) fn run_tasks<R, F>(n_tasks: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n_tasks);
+    if threads <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+
+    let mut slots: Slots<R> = Slots(Vec::with_capacity(n_tasks));
+    slots.0.resize_with(n_tasks, || UnsafeCell::new(None));
+    {
+        let slots = &slots;
+        let runner = move |i: usize| {
+            let _inline = ThreadCountGuard::set(1);
+            let r = f(i);
+            // SAFETY: task index `i` is claimed exactly once (see `Job`),
+            // so this is the only write to slot `i`, and no reads happen
+            // until after the latch.
+            unsafe { *slots.0[i].get() = Some(r) };
+        };
+        // Fixes the trampoline's closure type to `runner`'s without naming it.
+        fn trampoline_for<F2: Fn(usize) + Sync>(_f: &F2) -> unsafe fn(*const (), usize) {
+            call_closure::<F2>
+        }
+        let job = Arc::new(Job {
+            data: &runner as *const _ as *const (),
+            call: trampoline_for(&runner),
+            next: AtomicUsize::new(0),
+            n_tasks,
+            pending: AtomicUsize::new(n_tasks),
+            helper_slots: AtomicUsize::new(threads - 1),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+
+        ensure_workers(threads - 1);
+        let state = pool();
+        {
+            let mut queue = state.queue.lock().expect("pool queue poisoned");
+            queue.push_back(job.clone());
+        }
+        // Wake only as many workers as this region can seat; waking the
+        // whole park would cost a useless scan-and-repark per extra worker.
+        for _ in 0..threads - 1 {
+            state.work_cv.notify_one();
+        }
+
+        job.help();
+        job.wait_done();
+
+        // Tidy the queue eagerly (workers also drop exhausted jobs lazily).
+        {
+            let mut queue = state.queue.lock().expect("pool queue poisoned");
+            queue.retain(|other| !Arc::ptr_eq(other, &job));
+        }
+        let panic_payload = job.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+    slots
+        .0
+        .into_iter()
+        .map(|cell| cell.into_inner().expect("work counter covered every task"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPoolBuilder / ThreadPool
+// ---------------------------------------------------------------------------
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`. The requested `num_threads`
+/// is honored: operations run inside [`ThreadPool::install`] fan out over
+/// that many threads.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings (`num_threads` = hardware
+    /// parallelism, overridable via `RAYON_NUM_THREADS`).
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool size; `0` means the default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds a pool handle; infallible in practice.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+
+    /// Installs this configuration as the process-wide default pool size
+    /// (`0` resets to the hardware/env default). Unlike real rayon this can
+    /// be called repeatedly; the latest call wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A pool handle: [`ThreadPool::install`] runs a closure with the effective
+/// thread count set to this pool's size. The actual worker threads are
+/// shared process-wide (spawned lazily, parked when idle); a `ThreadPool` is
+/// a thread-count token, and each parallel region respects the token of the
+/// innermost `install`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with parallel operations using this pool's thread count.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let _guard = ThreadCountGuard::set(self.current_num_threads());
+        op()
+    }
+
+    /// The pool size (resolving `0` to the global/hardware default).
+    pub fn current_num_threads(&self) -> usize {
+        match self.num_threads {
+            0 => resolved_global(),
+            n => n,
+        }
+    }
+}

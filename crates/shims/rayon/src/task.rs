@@ -1,0 +1,102 @@
+//! `scope` and `join`: the task-parallel half of the rayon surface.
+
+use crate::pool::{current_num_threads, ThreadCountGuard};
+use std::marker::PhantomData;
+use std::sync::Mutex;
+
+type Task<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// A scoped task region: closures passed to [`Scope::spawn`] are queued and
+/// executed — on real worker threads when the effective thread count allows —
+/// before the enclosing [`scope`] call returns. Tasks may spawn further
+/// tasks; execution order is unspecified, as under real rayon.
+pub struct Scope<'scope> {
+    tasks: Mutex<Vec<Task<'scope>>>,
+    // Invariant in 'scope (like rayon's Scope), while staying Send + Sync.
+    marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `body` for execution within this scope.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.tasks
+            .lock()
+            .expect("scope task queue poisoned")
+            .push(Box::new(body));
+    }
+
+    fn drain(&self) {
+        loop {
+            let batch = std::mem::take(&mut *self.tasks.lock().expect("scope task queue poisoned"));
+            if batch.is_empty() {
+                return;
+            }
+            let workers = current_num_threads().min(batch.len());
+            if workers <= 1 {
+                for task in batch {
+                    task(self);
+                }
+                continue;
+            }
+            let queue = Mutex::new(batch);
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| {
+                        let _inline = ThreadCountGuard::set(1);
+                        loop {
+                            let task = queue.lock().expect("scope task queue poisoned").pop();
+                            match task {
+                                Some(task) => task(self),
+                                None => break,
+                            }
+                        }
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Mirror of `rayon::scope`: runs `op`, then executes everything it spawned
+/// (including transitively spawned tasks) before returning.
+pub fn scope<'scope, F, R>(op: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let sc = Scope {
+        tasks: Mutex::new(Vec::new()),
+        marker: PhantomData,
+    };
+    let result = op(&sc);
+    sc.drain();
+    result
+}
+
+/// Mirror of `rayon::join`: runs the two closures, potentially in parallel
+/// (`b` on a scoped worker thread when more than one thread is available),
+/// and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| {
+            let _inline = ThreadCountGuard::set(1);
+            b()
+        });
+        let ra = a();
+        match handle.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}

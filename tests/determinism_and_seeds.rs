@@ -188,6 +188,61 @@ mod registry_conformance {
         }
     }
 
+    /// Thread count must never change any solver's output: the Run JSON at
+    /// threads = 1 must be byte-identical to the Run JSON at the maximum
+    /// thread count (canonical form, i.e. minus the wall-clock/threads
+    /// timing metadata).
+    #[test]
+    fn every_registered_solver_is_thread_count_invariant() {
+        let registry = standard_registry();
+        let spec = tiny_spec();
+        let cfg = tiny_cfg();
+        let max_threads = std::thread::available_parallelism()
+            .map_or(4, |n| n.get())
+            .max(4);
+        for name in registry.names() {
+            let one = run_solver(&registry, name, &spec, &cfg.clone().with_threads(1)).expect(name);
+            let many = run_solver(
+                &registry,
+                name,
+                &spec,
+                &cfg.clone().with_threads(max_threads),
+            )
+            .expect(name);
+            assert_eq!(one.threads, 1, "thread stamp for '{name}'");
+            assert_eq!(many.threads, max_threads, "thread stamp for '{name}'");
+            assert_eq!(
+                one.canonical_json(),
+                many.canonical_json(),
+                "solver '{name}' output depends on the thread count"
+            );
+        }
+    }
+
+    /// The same byte-for-byte guarantee on instances big enough to actually
+    /// cross the parallel threshold (m >= 2048), for every solver that is
+    /// cheap enough to run at that size (lp-rounding solves a full LP and is
+    /// covered at the tiny size above).
+    #[test]
+    fn thread_count_invariance_holds_on_parallel_sized_instances() {
+        let registry = standard_registry();
+        let spec = GenSpec::parse("clustered:n=80,nf=40,c=5").expect("valid spec");
+        let cfg = RunConfig::new(0.15).with_seed(11).with_k(5);
+        for name in registry.names() {
+            if name == "lp-rounding" {
+                continue;
+            }
+            let one = run_solver(&registry, name, &spec, &cfg.clone().with_threads(1)).expect(name);
+            let four =
+                run_solver(&registry, name, &spec, &cfg.clone().with_threads(4)).expect(name);
+            assert_eq!(
+                one.canonical_json(),
+                four.canonical_json(),
+                "solver '{name}' output depends on the thread count at parallel sizes"
+            );
+        }
+    }
+
     /// The execution policy must never change any solver's output.
     #[test]
     fn every_registered_solver_is_policy_invariant() {
