@@ -1,6 +1,7 @@
 //! The unified run configuration.
 
 use parfaclo_matrixops::ExecPolicy;
+use parfaclo_metric::Backend;
 
 /// Configuration accepted by every registered solver.
 ///
@@ -40,6 +41,14 @@ pub struct RunConfig {
     /// `None` derives a threshold from the instance (the median distinct
     /// pairwise distance).
     pub threshold: Option<f64>,
+    /// Which distance backend generated instances use: `Dense` materialises
+    /// the `|C| x |F|` matrix (`O(m)` memory, the historical default);
+    /// `Implicit` stores only the points and computes distances on demand
+    /// (`O(|C| + |F|)` memory — required for the 100k–1M-client presets).
+    /// Both backends produce byte-identical solver output for the same
+    /// workload and seed, so this is a memory/latency knob, not a semantic
+    /// one.
+    pub backend: Backend,
 }
 
 impl RunConfig {
@@ -61,6 +70,7 @@ impl RunConfig {
             max_rounds: 100_000,
             k: 4,
             threshold: None,
+            backend: Backend::Dense,
         }
     }
 
@@ -126,6 +136,12 @@ impl RunConfig {
         self.threshold = Some(threshold);
         self
     }
+
+    /// Replaces the instance distance backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 impl Default for RunConfig {
@@ -154,7 +170,8 @@ mod tests {
             .with_subselection(false)
             .with_max_rounds(10)
             .with_k(7)
-            .with_threshold(3.5);
+            .with_threshold(3.5)
+            .with_backend(Backend::Implicit);
         assert_eq!(cfg.epsilon, 0.25);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.policy, ExecPolicy::Sequential);
@@ -165,6 +182,7 @@ mod tests {
         assert_eq!(cfg.max_rounds, 10);
         assert_eq!(cfg.k, 7);
         assert_eq!(cfg.threshold, Some(3.5));
+        assert_eq!(cfg.backend, Backend::Implicit);
     }
 
     #[test]
@@ -175,6 +193,7 @@ mod tests {
         assert!(cfg.k >= 1);
         assert!(cfg.threshold.is_none());
         assert!(cfg.threads.is_none(), "default inherits the ambient pool");
+        assert_eq!(cfg.backend, Backend::Dense, "dense is the default backend");
     }
 
     #[test]

@@ -68,3 +68,8 @@ pub use config::RunConfig;
 pub use registry::Registry;
 pub use run::{ProblemKind, Run, RUN_SCHEMA};
 pub use solver::{AnyInstance, DynSolver, FromAnyInstance, SolveError, Solver};
+
+/// Re-export of the instance distance-backend selector so API consumers can
+/// configure [`RunConfig::backend`] without depending on `parfaclo-metric`
+/// directly.
+pub use parfaclo_metric::Backend;

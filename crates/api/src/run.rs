@@ -3,6 +3,7 @@
 use crate::config::RunConfig;
 use crate::json::{JsonObject, JsonValue};
 use parfaclo_matrixops::CostReport;
+use parfaclo_metric::Backend;
 
 /// Version tag emitted in every JSON run record; bump on schema changes.
 pub const RUN_SCHEMA: &str = "parfaclo.run.v1";
@@ -79,6 +80,17 @@ pub struct Run {
     /// count affects timing, never results, and the determinism tests
     /// compare runs across thread counts byte-for-byte.
     pub threads: usize,
+    /// Distance backend the instance was served by; stamped by the registry
+    /// wrapper. Excluded from [`Run::canonical_json`] like the other
+    /// workload/timing metadata: the backend changes memory and wall time,
+    /// never results — the conformance tests compare dense vs implicit runs
+    /// byte-for-byte.
+    pub backend: Backend,
+    /// Estimated resident bytes of the instance's distance storage (the
+    /// oracle's `memory_bytes()`): `8·|C|·|F|` dense, `O(|C| + |F|)`
+    /// implicit. Stamped by the registry wrapper; excluded from
+    /// [`Run::canonical_json`] alongside `backend`.
+    pub memory_bytes: u64,
     /// The ε the run was configured with.
     pub epsilon: f64,
     /// The seed the run was configured with.
@@ -105,6 +117,8 @@ impl Run {
             work: CostReport::default(),
             wall_ms: 0.0,
             threads: 0,
+            backend: Backend::Dense,
+            memory_bytes: 0,
             epsilon: 0.0,
             seed: 0,
             extra: Vec::new(),
@@ -284,7 +298,9 @@ impl Run {
         if include_timing {
             obj = obj
                 .number("wall_ms", self.wall_ms)
-                .uint("threads", self.threads as u64);
+                .uint("threads", self.threads as u64)
+                .string("backend", self.backend.as_str())
+                .uint("memory_bytes", self.memory_bytes);
         }
         obj.build()
     }
@@ -337,15 +353,24 @@ mod tests {
         b.wall_ms = 99.0;
         a.threads = 1;
         b.threads = 8;
+        a.backend = Backend::Dense;
+        b.backend = Backend::Implicit;
+        a.memory_bytes = 4800;
+        b.memory_bytes = 96;
         assert_eq!(
             a.canonical_json(),
             b.canonical_json(),
-            "wall_ms and threads are timing metadata, not results"
+            "wall_ms/threads/backend/memory_bytes are workload metadata, not results"
         );
         assert_ne!(a.to_json(), b.to_json());
         assert!(a.to_json().contains("\"wall_ms\""));
         assert!(a.to_json().contains("\"threads\":1"));
+        assert!(a.to_json().contains("\"backend\":\"dense\""));
+        assert!(b.to_json().contains("\"backend\":\"implicit\""));
+        assert!(a.to_json().contains("\"memory_bytes\":4800"));
         assert!(!a.canonical_json().contains("\"threads\""));
+        assert!(!a.canonical_json().contains("\"backend\""));
+        assert!(!a.canonical_json().contains("\"memory_bytes\""));
         assert!(a.to_json().contains(RUN_SCHEMA));
     }
 

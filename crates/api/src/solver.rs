@@ -2,7 +2,7 @@
 
 use crate::config::RunConfig;
 use crate::run::{ProblemKind, Run};
-use parfaclo_metric::{ClusterInstance, FlInstance};
+use parfaclo_metric::{Backend, ClusterInstance, FlInstance};
 use std::time::Instant;
 
 /// A solver for one problem family, with its native instance and config
@@ -78,6 +78,23 @@ impl AnyInstance {
         match self {
             AnyInstance::Fl(_) => "facility-location",
             AnyInstance::Cluster(_) => "clustering",
+        }
+    }
+
+    /// Which distance backend serves the instance.
+    pub fn backend(&self) -> Backend {
+        match self {
+            AnyInstance::Fl(inst) => inst.backend(),
+            AnyInstance::Cluster(inst) => inst.backend(),
+        }
+    }
+
+    /// Estimated resident bytes of the instance's distance storage (the
+    /// oracle estimate: `8·|C|·|F|` dense, `O(|C| + |F|)` implicit).
+    pub fn memory_bytes(&self) -> u64 {
+        match self {
+            AnyInstance::Fl(inst) => inst.memory_bytes(),
+            AnyInstance::Cluster(inst) => inst.memory_bytes(),
         }
     }
 }
@@ -213,6 +230,8 @@ where
         };
         run.wall_ms = start.elapsed().as_secs_f64() * 1e3;
         run.threads = threads;
+        run.backend = inst.backend();
+        run.memory_bytes = inst.memory_bytes();
         Ok(run)
     }
 }

@@ -11,7 +11,7 @@
 //! parfaclo ablation --gen uniform:n=128,nf=64 --json ablation.json
 //! ```
 
-use parfaclo_api::{Registry, Run, RunConfig};
+use parfaclo_api::{ProblemKind, Registry, Run, RunConfig};
 use parfaclo_bench::runner::{
     measure_speedup, run_solver, run_solver_cached, runs_to_json, speedup_to_json, table_header,
     table_row, GenSpec, InstanceCache, SpeedupRecord,
@@ -45,8 +45,18 @@ USAGE:
 
 OPTIONS:
     --gen <spec>        Generator spec, e.g. uniform:n=2000,k=40
-                        (workloads: uniform|clustered|grid|line|planted;
+                        (workloads: uniform|clustered|grid|line|planted,
+                        plus the implicit-scale presets large (n=100000,
+                        nf=100) and xlarge (n=1000000, nf=50);
                         keys: n, nf|k, c, seed)          [default: uniform:n=200]
+    --backend <b>       Instance distance backend: dense materialises the
+                        |C| x |F| matrix (O(m) memory); implicit stores only
+                        the points and computes distances on demand
+                        (O(|C|+|F|) memory — required for the large presets,
+                        which pair with the facility-location solvers; the
+                        clustering/dominator probes still need O(n²)
+                        transients at any backend).
+                        Results are byte-identical either way [default: dense]
     --eps <f>           Slack parameter epsilon > 0      [default: 0.1]
     --seed <n>          RNG seed                         [default: 0]
     --k <n>             Centers for clustering solvers   [default: 8]
@@ -166,6 +176,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 cfg.threads = Some(threads);
             }
+            "--backend" => cfg.backend = value("--backend")?.parse()?,
             "--no-preprocess" => cfg.preprocess = false,
             "--no-subselection" => cfg.subselection = false,
             "--solver" => solver = Some(value("--solver")?.clone()),
@@ -307,6 +318,31 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
              (pass --solvers ...,lp-rounding to force it)"
         );
     }
+    // The clustering / dominator solvers need O(n²) transient memory even on
+    // the implicit backend (sorted distinct distance sets, n x n threshold
+    // graphs), so at implicit-preset scales the default sweep keeps to the
+    // facility-location family instead of aborting mid-suite on a multi-GB
+    // allocation. Never dropped silently, and an explicit --solvers list
+    // always wins.
+    const CLUSTER_SWEEP_LIMIT: usize = 4096;
+    let before = names.len();
+    let names: Vec<String> = names
+        .into_iter()
+        .filter(|name| {
+            opts.solvers.is_some()
+                || n <= CLUSTER_SWEEP_LIMIT
+                || registry
+                    .get(name)
+                    .is_some_and(|s| s.problem() == ProblemKind::FacilityLocation)
+        })
+        .collect();
+    if names.len() < before && !opts.quiet {
+        println!(
+            "note: clustering/dominator solvers excluded from the default sweep at \
+             n > {CLUSTER_SWEEP_LIMIT} — their probes need O(n²) transient memory \
+             regardless of backend (pass --solvers ... to force them)"
+        );
+    }
     let workloads = ["uniform", "clustered", "grid", "line", "planted"];
     let bench_threads = opts
         .cfg
@@ -322,7 +358,7 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
             clusters: opts.gen.clusters,
             seed: opts.gen.seed,
         };
-        let mut cache = InstanceCache::new(&spec, opts.cfg.seed);
+        let mut cache = InstanceCache::new(&spec, opts.cfg.seed, opts.cfg.backend);
         for name in &names {
             if opts.emit_bench.is_some() {
                 let (run, record) =
@@ -368,7 +404,7 @@ fn cmd_ablation(registry: &Registry, opts: Options) -> Result<(), String> {
     let mut runs = Vec::new();
     // One generated instance serves the whole grid (the knobs and ε vary,
     // the workload and seed do not).
-    let mut cache = InstanceCache::new(&opts.gen, opts.cfg.seed);
+    let mut cache = InstanceCache::new(&opts.gen, opts.cfg.seed, opts.cfg.backend);
     // Knob grid: preprocessing and subselection on/off.
     for &preprocess in &[true, false] {
         for &subselection in &[true, false] {

@@ -5,13 +5,17 @@
 //! exercise exactly the code path the CLI runs.
 
 use parfaclo_api::json::{JsonObject, JsonValue};
-use parfaclo_api::{AnyInstance, ProblemKind, Registry, Run, RunConfig};
+use parfaclo_api::{AnyInstance, Backend, ProblemKind, Registry, Run, RunConfig};
 use parfaclo_metric::gen::{self, GenParams};
 
 /// A parsed `--gen` specification, e.g. `uniform:n=2000,k=40`.
 ///
 /// Grammar: `<workload>[:key=value[,key=value]*]` with workloads `uniform`,
-/// `clustered`, `grid`, `line`, `planted` and keys
+/// `clustered`, `grid`, `line`, `planted`, the large presets `large`
+/// (uniform, n=100000, nf=100) and `xlarge` (uniform, n=1000000, nf=50) —
+/// both sized for the implicit backend; the dense matrix at these scales is
+/// 80 MB–400 MB for facility location and entirely out of reach for square
+/// clustering instances — and keys
 ///
 /// * `n` — number of clients / nodes (default 200),
 /// * `nf` (alias `k`) — number of candidate facilities for facility-location
@@ -40,17 +44,36 @@ impl GenSpec {
             None => (spec, ""),
         };
         let workload = workload.trim().to_lowercase();
-        if !["uniform", "clustered", "grid", "line", "planted"].contains(&workload.as_str()) {
-            return Err(format!(
-                "unknown workload '{workload}' (expected uniform|clustered|grid|line|planted)"
-            ));
-        }
-        let mut out = GenSpec {
-            workload,
-            n: 200,
-            nf: 0,
-            clusters: 8,
-            seed: None,
+        // Large presets expand to a uniform workload at implicit-backend
+        // scale; explicit key=value options still override their dimensions.
+        let mut out = match workload.as_str() {
+            "large" => GenSpec {
+                workload: "uniform".to_string(),
+                n: 100_000,
+                nf: 100,
+                clusters: 8,
+                seed: None,
+            },
+            "xlarge" => GenSpec {
+                workload: "uniform".to_string(),
+                n: 1_000_000,
+                nf: 50,
+                clusters: 8,
+                seed: None,
+            },
+            "uniform" | "clustered" | "grid" | "line" | "planted" => GenSpec {
+                workload,
+                n: 200,
+                nf: 0,
+                clusters: 8,
+                seed: None,
+            },
+            _ => {
+                return Err(format!(
+                    "unknown workload '{workload}' \
+                     (expected uniform|clustered|grid|line|planted|large|xlarge)"
+                ))
+            }
         };
         for pair in rest.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, value) = pair.split_once('=').ok_or_else(|| {
@@ -94,13 +117,22 @@ impl GenSpec {
         base.with_seed(self.seed.unwrap_or(fallback_seed))
     }
 
-    /// Generates the instance variant the given problem family consumes.
-    pub fn instance(&self, problem: ProblemKind, fallback_seed: u64) -> AnyInstance {
+    /// Generates the instance variant the given problem family consumes,
+    /// under the requested distance backend. The dense path reports
+    /// overflowing matrix shapes as a typed error instead of aborting.
+    pub fn instance(
+        &self,
+        problem: ProblemKind,
+        fallback_seed: u64,
+        backend: Backend,
+    ) -> Result<AnyInstance, String> {
         let params = self.params(fallback_seed);
         match problem {
-            ProblemKind::FacilityLocation => AnyInstance::Fl(gen::facility_location(params)),
+            ProblemKind::FacilityLocation => {
+                gen::facility_location_with(params, backend).map(AnyInstance::Fl)
+            }
             ProblemKind::KClustering | ProblemKind::DominatorSet => {
-                AnyInstance::Cluster(gen::clustering(params))
+                gen::clustering_with(params, backend).map(AnyInstance::Cluster)
             }
         }
     }
@@ -112,34 +144,41 @@ fn parse_usize(value: &str, key: &str) -> Result<usize, String> {
         .map_err(|_| format!("invalid value '{value}' for generator option '{key}'"))
 }
 
-/// Lazily generated instance variants for one [`GenSpec`], so sweeps build
-/// each O(n²) distance matrix once per workload instead of once per solver.
+/// Lazily generated instance variants for one [`GenSpec`] and backend, so
+/// sweeps build each instance once per workload instead of once per solver.
 pub struct InstanceCache<'a> {
     spec: &'a GenSpec,
     fallback_seed: u64,
+    backend: Backend,
     fl: Option<AnyInstance>,
     cluster: Option<AnyInstance>,
 }
 
 impl<'a> InstanceCache<'a> {
     /// Creates an empty cache for the given spec; nothing is generated yet.
-    pub fn new(spec: &'a GenSpec, fallback_seed: u64) -> Self {
+    pub fn new(spec: &'a GenSpec, fallback_seed: u64, backend: Backend) -> Self {
         InstanceCache {
             spec,
             fallback_seed,
+            backend,
             fl: None,
             cluster: None,
         }
     }
 
     /// The instance variant the given problem family consumes, generated on
-    /// first use.
-    pub fn get(&mut self, problem: ProblemKind) -> &AnyInstance {
+    /// first use. Errors if dense generation is requested at an overflowing
+    /// size.
+    pub fn get(&mut self, problem: ProblemKind) -> Result<&AnyInstance, String> {
+        let (spec, seed, backend) = (self.spec, self.fallback_seed, self.backend);
         let slot = match problem {
             ProblemKind::FacilityLocation => &mut self.fl,
             ProblemKind::KClustering | ProblemKind::DominatorSet => &mut self.cluster,
         };
-        slot.get_or_insert_with(|| self.spec.instance(problem, self.fallback_seed))
+        if slot.is_none() {
+            *slot = Some(spec.instance(problem, seed, backend)?);
+        }
+        Ok(slot.as_ref().expect("slot filled above"))
     }
 }
 
@@ -153,7 +192,7 @@ pub fn run_solver(
     run_solver_cached(
         registry,
         solver,
-        &mut InstanceCache::new(spec, cfg.seed),
+        &mut InstanceCache::new(spec, cfg.seed, cfg.backend),
         cfg,
     )
 }
@@ -171,7 +210,7 @@ pub fn run_solver_cached(
             registry.names().join(", ")
         )
     })?;
-    let inst = cache.get(entry.problem());
+    let inst = cache.get(entry.problem())?;
     entry.run(inst, cfg).map_err(|e| e.to_string())
 }
 
@@ -201,6 +240,8 @@ pub fn table_row(run: &Run) -> Vec<String> {
             .map_or_else(|| "-".to_string(), |r| format!("{r:.3}")),
         run.rounds.to_string(),
         run.work.element_ops.to_string(),
+        run.backend.to_string(),
+        run.memory_bytes.to_string(),
         run.threads.to_string(),
         format!("{:.2}", run.wall_ms),
     ]
@@ -217,6 +258,8 @@ pub fn table_header() -> Vec<&'static str> {
         "ratio",
         "rounds",
         "work",
+        "backend",
+        "mem_bytes",
         "thr",
         "ms",
     ]
@@ -245,6 +288,11 @@ pub struct SpeedupRecord {
     /// Whether the two runs' canonical JSON was byte-identical (it must be;
     /// recorded so the artifact is self-certifying).
     pub deterministic: bool,
+    /// Distance backend the instance was served by.
+    pub backend: Backend,
+    /// The oracle's `memory_bytes()` estimate for the instance, so BENCH
+    /// artifacts track memory scaling alongside wall-clock speedup.
+    pub memory_bytes: u64,
 }
 
 impl SpeedupRecord {
@@ -282,6 +330,8 @@ pub fn measure_speedup(
         wall_ms_t1: seq.wall_ms,
         wall_ms_tn: par.wall_ms,
         deterministic: seq.canonical_json() == par.canonical_json(),
+        backend: par.backend,
+        memory_bytes: par.memory_bytes,
     };
     Ok((par, record))
 }
@@ -301,6 +351,8 @@ pub fn speedup_to_json(records: &[SpeedupRecord]) -> String {
                 .number("wall_ms_tn", r.wall_ms_tn)
                 .number("speedup", r.speedup())
                 .bool("deterministic", r.deterministic)
+                .string("backend", r.backend.as_str())
+                .uint("memory_bytes", r.memory_bytes)
                 .build()
         })
         .collect();
@@ -323,6 +375,52 @@ mod tests {
         assert_eq!(spec.n, 2000);
         assert_eq!(spec.nf, 40);
         assert_eq!(spec.seed, None);
+    }
+
+    #[test]
+    fn large_presets_parse_and_allow_overrides() {
+        let large = GenSpec::parse("large").unwrap();
+        assert_eq!(large.workload, "uniform");
+        assert_eq!(large.n, 100_000);
+        assert_eq!(large.nf, 100);
+        let xl = GenSpec::parse("xlarge").unwrap();
+        assert_eq!(xl.n, 1_000_000);
+        assert_eq!(xl.nf, 50);
+        // Explicit keys override the preset's dimensions.
+        let tuned = GenSpec::parse("large:nf=32,seed=9").unwrap();
+        assert_eq!(tuned.n, 100_000);
+        assert_eq!(tuned.nf, 32);
+        assert_eq!(tuned.seed, Some(9));
+    }
+
+    #[test]
+    fn implicit_backend_runs_match_dense_byte_for_byte() {
+        let registry = standard_registry();
+        let spec = GenSpec::parse("uniform:n=20,nf=8").unwrap();
+        let base = RunConfig::new(0.1).with_seed(4).with_k(3);
+        for name in ["greedy", "kcenter", "maxdom"] {
+            let dense = run_solver(&registry, name, &spec, &base).unwrap();
+            let implicit = run_solver(
+                &registry,
+                name,
+                &spec,
+                &base.clone().with_backend(parfaclo_api::Backend::Implicit),
+            )
+            .unwrap();
+            assert_eq!(dense.backend, parfaclo_api::Backend::Dense);
+            assert_eq!(implicit.backend, parfaclo_api::Backend::Implicit);
+            assert!(
+                implicit.memory_bytes < dense.memory_bytes,
+                "{name}: implicit {} >= dense {}",
+                implicit.memory_bytes,
+                dense.memory_bytes
+            );
+            assert_eq!(
+                dense.canonical_json(),
+                implicit.canonical_json(),
+                "{name}: backends diverged"
+            );
+        }
     }
 
     #[test]
@@ -380,7 +478,7 @@ mod tests {
         let registry = standard_registry();
         let spec = GenSpec::parse("uniform:n=14,nf=7").unwrap();
         let cfg = RunConfig::new(0.1).with_seed(9).with_k(3);
-        let mut cache = InstanceCache::new(&spec, cfg.seed);
+        let mut cache = InstanceCache::new(&spec, cfg.seed, cfg.backend);
         for name in ["greedy", "kcenter", "maxdom"] {
             let cached = run_solver_cached(&registry, name, &mut cache, &cfg).unwrap();
             let fresh = run_solver(&registry, name, &spec, &cfg).unwrap();
@@ -393,7 +491,7 @@ mod tests {
         let registry = standard_registry();
         let spec = GenSpec::parse("uniform:n=24,nf=12").unwrap();
         let cfg = RunConfig::new(0.1).with_seed(5).with_k(3);
-        let mut cache = InstanceCache::new(&spec, cfg.seed);
+        let mut cache = InstanceCache::new(&spec, cfg.seed, cfg.backend);
         let mut records = Vec::new();
         for name in ["greedy", "kcenter", "maxdom"] {
             let (run, record) =
@@ -408,6 +506,10 @@ mod tests {
         let json = speedup_to_json(&records);
         assert!(json.contains(BENCH_SCHEMA));
         assert_eq!(json.matches("\"deterministic\":true").count(), 3);
+        assert_eq!(json.matches("\"backend\":\"dense\"").count(), 3);
+        assert_eq!(json.matches("\"memory_bytes\":").count(), 3);
+        // The dense 24 x 12 facility-location instance is exactly 24*12*8 bytes.
+        assert!(records.iter().any(|r| r.memory_bytes == 24 * 12 * 8));
     }
 
     #[test]

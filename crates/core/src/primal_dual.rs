@@ -23,7 +23,7 @@ use crate::solution::FlSolution;
 use parfaclo_dominator::{max_u_dom, BipartiteGraph};
 use parfaclo_lp::dual;
 use parfaclo_matrixops::CostMeter;
-use parfaclo_metric::{FacilityId, FlInstance};
+use parfaclo_metric::{DistanceOracle, FacilityId, FlInstance};
 use rayon::prelude::*;
 
 /// Extended result of the parallel primal-dual algorithm.

@@ -20,23 +20,19 @@ pub struct FacilityOrders {
 }
 
 impl FacilityOrders {
-    /// Presorts every facility's clients by distance. Costs one row sort over the
-    /// transposed distance matrix (`O(m log m)` work), done once per algorithm run.
+    /// Presorts every facility's clients by distance. Costs one (virtual) row sort
+    /// over the transposed distance matrix (`O(m log m)` work), done once per
+    /// algorithm run. Distances are pulled straight from the instance's oracle one
+    /// facility column at a time, so peak memory is `O(|C|)` scratch per in-flight
+    /// facility — the dense `|C| x |F|` transpose is never materialised, which is
+    /// what keeps the greedy algorithm feasible on implicit-backend instances with
+    /// hundreds of thousands of clients.
     pub fn presort(inst: &FlInstance, policy: ExecPolicy, meter: &CostMeter) -> Self {
         let nc = inst.num_clients();
         let nf = inst.num_facilities();
-        // Facility-major matrix: row i holds d(j, i) for every client j.
-        let transposed: Vec<f64> = {
-            let mut t = vec![0.0; nc * nf];
-            for j in 0..nc {
-                for i in 0..nf {
-                    t[i * nc + j] = inst.dist(j, i);
-                }
-            }
-            t
-        };
         meter.add_primitive((nc * nf) as u64);
-        let row_orders = sort::argsort_rows(&transposed, nf, nc, policy, meter);
+        // Facility-major view: virtual row i holds d(j, i) for every client j.
+        let row_orders = sort::argsort_rows_by_key(nf, nc, policy, meter, |i, j| inst.dist(j, i));
         FacilityOrders {
             orders: row_orders.into_iter().map(|ro| ro.order).collect(),
         }

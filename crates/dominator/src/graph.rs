@@ -42,12 +42,23 @@ impl DenseGraph {
     /// given as a row-major slice: nodes `a ≠ b` are adjacent iff `dist[a*n+b] <= alpha`.
     pub fn from_distance_threshold(dist: &[f64], n: usize, alpha: f64) -> Self {
         assert_eq!(dist.len(), n * n, "distance matrix shape mismatch");
+        Self::from_threshold_fn(n, alpha, |a, b| dist[a * n + b])
+    }
+
+    /// Builds the threshold graph `H_α` from a distance *function* evaluated on demand
+    /// (in parallel): nodes `a ≠ b` are adjacent iff `dist(a, b) <= alpha`. This is the
+    /// oracle-friendly constructor — it works identically against a dense matrix or an
+    /// implicit geometric backend without requiring a materialised `n x n` slice.
+    pub fn from_threshold_fn<F>(n: usize, alpha: f64, dist: F) -> Self
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
         let adj: Vec<bool> = (0..n * n)
             .into_par_iter()
             .with_min_len(4096)
             .map(|idx| {
                 let (a, b) = (idx / n, idx % n);
-                a != b && dist[idx] <= alpha
+                a != b && dist(a, b) <= alpha
             })
             .collect();
         DenseGraph { n, adj }

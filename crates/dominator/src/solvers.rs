@@ -15,7 +15,7 @@ use crate::maxdom::max_dom;
 use crate::DominatorResult;
 use parfaclo_api::{ProblemKind, Run, RunConfig, Solver};
 use parfaclo_matrixops::{CostMeter, ExecPolicy};
-use parfaclo_metric::ClusterInstance;
+use parfaclo_metric::{ClusterInstance, DistanceOracle};
 
 /// The distance threshold used to build the graph: explicit if configured,
 /// otherwise the median of the distinct pairwise distances (deterministic,
@@ -28,7 +28,7 @@ fn resolve_threshold(inst: &ClusterInstance, cfg: &RunConfig) -> f64 {
 }
 
 fn threshold_graph(inst: &ClusterInstance, threshold: f64) -> DenseGraph {
-    DenseGraph::from_distance_threshold(inst.distances().as_slice(), inst.n(), threshold)
+    DenseGraph::from_threshold_fn(inst.n(), threshold, |a, b| inst.dist(a, b))
 }
 
 /// Shared envelope for the set computations: threshold the instance into a

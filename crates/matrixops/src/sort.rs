@@ -59,6 +59,37 @@ pub fn argsort_rows(
     }
 }
 
+/// Argsorts every row of a **virtual** `rows x cols` matrix whose entries are
+/// produced by `key(row, col)` on demand.
+///
+/// Semantically identical to materialising the matrix and calling
+/// [`argsort_rows`] — same tie-breaking (towards the smaller original index),
+/// same meter charge (one sort of `rows * cols` elements) — but the peak
+/// memory is one `cols`-length scratch row per in-flight row instead of the
+/// whole matrix. This is what lets the facility-location presort run against
+/// an implicit distance oracle without ever allocating the dense matrix.
+pub fn argsort_rows_by_key<F>(
+    rows: usize,
+    cols: usize,
+    policy: ExecPolicy,
+    meter: &CostMeter,
+    key: F,
+) -> Vec<RowOrder>
+where
+    F: Fn(usize, usize) -> f64 + Sync,
+{
+    meter.add_sort((rows * cols) as u64);
+    let sort_row = |r: usize| {
+        let row: Vec<f64> = (0..cols).map(|c| key(r, c)).collect();
+        RowOrder::from_row(&row)
+    };
+    if policy.run_parallel(rows * cols) {
+        (0..rows).into_par_iter().map(sort_row).collect()
+    } else {
+        (0..rows).map(sort_row).collect()
+    }
+}
+
 /// Sorts a vector of `f64` ascending (ties keep relative order), returning a new vector.
 pub fn sort_values(data: &[f64], policy: ExecPolicy, meter: &CostMeter) -> Vec<f64> {
     meter.add_sort(data.len() as u64);
@@ -134,6 +165,17 @@ mod tests {
         let seq = argsort_rows(&data, 8, 500, ExecPolicy::Sequential, &meter);
         let par = argsort_rows(&data, 8, 500, ExecPolicy::Parallel, &meter);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn argsort_by_key_matches_materialised_argsort() {
+        let meter = CostMeter::new();
+        let data: Vec<f64> = (0..600).map(|x| ((x * 37 + 11) % 53) as f64).collect();
+        for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+            let dense = argsort_rows(&data, 6, 100, policy, &meter);
+            let keyed = argsort_rows_by_key(6, 100, policy, &meter, |r, c| data[r * 100 + c]);
+            assert_eq!(dense, keyed);
+        }
     }
 
     #[test]

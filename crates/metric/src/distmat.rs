@@ -7,6 +7,40 @@
 use crate::point::{DistanceKind, Point};
 use rayon::prelude::*;
 
+/// A requested dense matrix shape whose entry count (or byte size) does not fit in
+/// memory arithmetic: `rows * cols` overflows `usize`, or the `8 * rows * cols` bytes
+/// of storage would. Returned by the checked constructors instead of letting a
+/// capacity-overflow abort take the process down when a caller asks for a
+/// matrix-backed instance at implicit-only scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeOverflowError {
+    /// Requested number of rows.
+    pub rows: usize,
+    /// Requested number of columns.
+    pub cols: usize,
+}
+
+impl std::fmt::Display for SizeOverflowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dense {} x {} distance matrix does not fit in memory arithmetic \
+             (rows * cols overflows); use the implicit backend for instances this large",
+            self.rows, self.cols
+        )
+    }
+}
+
+impl std::error::Error for SizeOverflowError {}
+
+/// Checked entry count of a `rows x cols` dense matrix: errors when `rows * cols`
+/// (or its byte size `8 * rows * cols`) overflows `usize`.
+pub fn checked_matrix_len(rows: usize, cols: usize) -> Result<usize, SizeOverflowError> {
+    rows.checked_mul(cols)
+        .and_then(|len| len.checked_mul(std::mem::size_of::<f64>()).map(|_| len))
+        .ok_or(SizeOverflowError { rows, cols })
+}
+
 /// A dense row-major matrix of pairwise distances (or, more generally, non-negative
 /// costs) with `rows x cols` entries.
 ///
@@ -25,36 +59,69 @@ impl DistanceMatrix {
     /// Creates a matrix from a row-major data vector.
     ///
     /// # Panics
-    /// Panics if `data.len() != rows * cols` or any entry is negative or non-finite.
+    /// Panics if `data.len() != rows * cols` (including when `rows * cols` overflows)
+    /// or any entry is negative or non-finite.
     pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Self::try_from_rows(rows, cols, data).expect("data length must equal rows*cols")
+    }
+
+    /// Checked variant of [`DistanceMatrix::from_rows`]: errors (instead of
+    /// panicking/aborting) when the requested `rows * cols` shape overflows.
+    ///
+    /// # Panics
+    /// Still panics if `data.len()` disagrees with a *representable* `rows * cols`,
+    /// or if any entry is negative or non-finite — those are caller bugs, not
+    /// instance-scale problems.
+    pub fn try_from_rows(
+        rows: usize,
+        cols: usize,
+        data: Vec<f64>,
+    ) -> Result<Self, SizeOverflowError> {
+        let len = checked_matrix_len(rows, cols)?;
+        assert_eq!(data.len(), len, "data length must equal rows*cols");
         assert!(
             data.iter().all(|d| d.is_finite() && *d >= 0.0),
             "distances must be finite and non-negative"
         );
-        DistanceMatrix { rows, cols, data }
+        Ok(DistanceMatrix { rows, cols, data })
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
         assert!(value.is_finite() && value >= 0.0);
+        let len = checked_matrix_len(rows, cols).expect("matrix shape overflows");
         DistanceMatrix {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: vec![value; len],
         }
     }
 
     /// Builds the rectangular distance matrix between two point sets in parallel:
     /// entry `(j, i)` is the distance from `from[j]` to `to[i]`.
+    ///
+    /// # Panics
+    /// Panics if `from.len() * to.len()` overflows; see
+    /// [`DistanceMatrix::try_between`] for the checked variant.
     pub fn between(from: &[Point], to: &[Point], kind: DistanceKind) -> Self {
+        Self::try_between(from, to, kind).expect("matrix shape overflows")
+    }
+
+    /// Checked variant of [`DistanceMatrix::between`]: errors when the resulting
+    /// `from.len() x to.len()` shape overflows instead of aborting on allocation.
+    pub fn try_between(
+        from: &[Point],
+        to: &[Point],
+        kind: DistanceKind,
+    ) -> Result<Self, SizeOverflowError> {
         let rows = from.len();
         let cols = to.len();
+        checked_matrix_len(rows, cols)?;
         let data: Vec<f64> = from
             .par_iter()
             .flat_map_iter(|p| to.iter().map(move |q| p.distance(q, kind)))
             .collect();
-        DistanceMatrix { rows, cols, data }
+        Ok(DistanceMatrix { rows, cols, data })
     }
 
     /// Builds the symmetric pairwise distance matrix of a single point set in parallel.
@@ -274,5 +341,28 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_entry_panics() {
         let _ = DistanceMatrix::from_rows(1, 2, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn overflowing_shapes_are_rejected_with_typed_error() {
+        // rows * cols overflows usize outright.
+        let err = checked_matrix_len(usize::MAX, 2).unwrap_err();
+        assert_eq!(
+            err,
+            SizeOverflowError {
+                rows: usize::MAX,
+                cols: 2
+            }
+        );
+        assert!(err.to_string().contains("implicit backend"));
+        // rows * cols fits, but the byte size 8 * rows * cols does not.
+        assert!(checked_matrix_len(usize::MAX / 4, 2).is_err());
+        // Sane shapes pass through.
+        assert_eq!(checked_matrix_len(3, 4), Ok(12));
+        assert_eq!(checked_matrix_len(0, 7), Ok(0));
+        // The checked constructor surfaces the same error instead of aborting.
+        assert!(DistanceMatrix::try_from_rows(usize::MAX, 2, Vec::new()).is_err());
+        let ok = DistanceMatrix::try_from_rows(1, 2, vec![1.0, 2.0]).unwrap();
+        assert_eq!(ok.get(0, 1), 2.0);
     }
 }

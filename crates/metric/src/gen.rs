@@ -18,8 +18,9 @@
 //! Facility opening costs come from a [`FacilityCostModel`], and everything is seeded so
 //! experiments are reproducible.
 
-use crate::distmat::DistanceMatrix;
+use crate::distmat::{DistanceMatrix, SizeOverflowError};
 use crate::instance::{ClusterInstance, FlInstance};
+use crate::oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle};
 use crate::point::{DistanceKind, Point};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -315,33 +316,112 @@ impl InstanceGenerator {
         }
     }
 
-    /// Generates a facility-location instance.
+    /// Generates a dense-backend facility-location instance.
+    ///
+    /// # Panics
+    /// Panics (with the [`SizeOverflowError`] message) if the dense
+    /// `num_clients x num_facilities` matrix shape overflows; use
+    /// [`InstanceGenerator::facility_location_implicit`] at such sizes.
     pub fn facility_location(&mut self) -> FlInstance {
-        let clients = self.sample_points(self.params.num_clients);
-        let facilities = self.sample_points(self.params.num_facilities);
-        let dist = DistanceMatrix::between(&clients, &facilities, self.params.distance);
-        let spread = dist.max_entry().max(1.0);
-        let costs = self.facility_costs(self.params.num_facilities, spread);
-        FlInstance::new(costs, dist).with_points(clients, facilities)
+        self.try_facility_location()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Generates a clustering instance over `num_clients` nodes (the `num_facilities`
-    /// parameter is ignored: every node is a potential center).
+    /// Checked dense generation: rejects overflowing matrix shapes with a typed
+    /// error instead of a capacity abort — before sampling a single point.
+    pub fn try_facility_location(&mut self) -> Result<FlInstance, SizeOverflowError> {
+        crate::distmat::checked_matrix_len(self.params.num_clients, self.params.num_facilities)?;
+        let clients = self.sample_points(self.params.num_clients);
+        let facilities = self.sample_points(self.params.num_facilities);
+        let dist = DistanceMatrix::try_between(&clients, &facilities, self.params.distance)?;
+        let spread = dist.max_entry().max(1.0);
+        let costs = self.facility_costs(self.params.num_facilities, spread);
+        Ok(FlInstance::new(costs, dist).with_points(clients, facilities))
+    }
+
+    /// Generates an **implicit-backend** facility-location instance: the same
+    /// points, spread and costs as [`InstanceGenerator::facility_location`] for the
+    /// same parameters and seed (same RNG stream, bit-identical distances), but the
+    /// `|C| x |F|` matrix is never materialised — memory stays `O(|C| + |F|)`.
+    pub fn facility_location_implicit(&mut self) -> FlInstance {
+        let clients = self.sample_points(self.params.num_clients);
+        let facilities = self.sample_points(self.params.num_facilities);
+        let oracle = ImplicitMetric::between(clients, facilities, self.params.distance);
+        let spread = oracle.max_entry().max(1.0);
+        let costs = self.facility_costs(self.params.num_facilities, spread);
+        FlInstance::with_oracle(costs, Oracle::Implicit(oracle))
+    }
+
+    /// Generates a dense-backend clustering instance over `num_clients` nodes (the
+    /// `num_facilities` parameter is ignored: every node is a potential center).
+    ///
+    /// # Panics
+    /// Panics (with the [`SizeOverflowError`] message) if the dense `n x n` shape
+    /// overflows; use [`InstanceGenerator::clustering_implicit`] at such sizes.
     pub fn clustering(&mut self) -> ClusterInstance {
+        self.try_clustering().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked dense generation: rejects overflowing matrix shapes with a typed
+    /// error instead of a capacity abort — before sampling a single point.
+    pub fn try_clustering(&mut self) -> Result<ClusterInstance, SizeOverflowError> {
+        crate::distmat::checked_matrix_len(self.params.num_clients, self.params.num_clients)?;
         let points = self.sample_points(self.params.num_clients);
-        let dist = DistanceMatrix::pairwise(&points, self.params.distance);
-        ClusterInstance::new(dist).with_points(points)
+        let dist = DistanceMatrix::try_between(&points, &points, self.params.distance)?;
+        Ok(ClusterInstance::new(dist).with_points(points))
+    }
+
+    /// Generates an **implicit-backend** clustering instance: same points as
+    /// [`InstanceGenerator::clustering`] for the same parameters and seed, stored
+    /// once (`O(n)` memory) with distances computed on demand.
+    pub fn clustering_implicit(&mut self) -> ClusterInstance {
+        let points = self.sample_points(self.params.num_clients);
+        ClusterInstance::implicit(points, self.params.distance)
     }
 }
 
-/// Convenience: generate a facility-location instance directly from parameters.
+/// Convenience: generate a dense facility-location instance directly from parameters.
 pub fn facility_location(params: GenParams) -> FlInstance {
     InstanceGenerator::new(params).facility_location()
 }
 
-/// Convenience: generate a clustering instance directly from parameters.
+/// Convenience: generate an implicit facility-location instance directly from
+/// parameters.
+pub fn facility_location_implicit(params: GenParams) -> FlInstance {
+    InstanceGenerator::new(params).facility_location_implicit()
+}
+
+/// Convenience: generate a facility-location instance under the given backend.
+/// The dense path reports overflowing shapes as a typed error string; the implicit
+/// path has no shape limit.
+pub fn facility_location_with(params: GenParams, backend: Backend) -> Result<FlInstance, String> {
+    match backend {
+        Backend::Dense => InstanceGenerator::new(params)
+            .try_facility_location()
+            .map_err(|e| e.to_string()),
+        Backend::Implicit => Ok(facility_location_implicit(params)),
+    }
+}
+
+/// Convenience: generate a dense clustering instance directly from parameters.
 pub fn clustering(params: GenParams) -> ClusterInstance {
     InstanceGenerator::new(params).clustering()
+}
+
+/// Convenience: generate an implicit clustering instance directly from parameters.
+pub fn clustering_implicit(params: GenParams) -> ClusterInstance {
+    InstanceGenerator::new(params).clustering_implicit()
+}
+
+/// Convenience: generate a clustering instance under the given backend (see
+/// [`facility_location_with`]).
+pub fn clustering_with(params: GenParams, backend: Backend) -> Result<ClusterInstance, String> {
+    match backend {
+        Backend::Dense => InstanceGenerator::new(params)
+            .try_clustering()
+            .map_err(|e| e.to_string()),
+        Backend::Implicit => Ok(clustering_implicit(params)),
+    }
 }
 
 #[cfg(test)]
@@ -439,6 +519,84 @@ mod tests {
         let l = clustering(GenParams::line(5, 5));
         assert_eq!(l.dist(0, 4), 4.0);
         assert_eq!(l.dist(1, 3), 2.0);
+    }
+
+    #[test]
+    fn implicit_generation_matches_dense_bit_for_bit() {
+        for wl in standard_suite(18, 9, 4) {
+            let dense = facility_location(wl.params);
+            let implicit = facility_location_implicit(wl.params);
+            assert_eq!(dense.backend(), Backend::Dense);
+            assert_eq!(implicit.backend(), Backend::Implicit);
+            assert_eq!(
+                dense.facility_costs(),
+                implicit.facility_costs(),
+                "{}",
+                wl.name
+            );
+            for j in 0..dense.num_clients() {
+                for i in 0..dense.num_facilities() {
+                    assert_eq!(
+                        dense.dist(j, i).to_bits(),
+                        implicit.dist(j, i).to_bits(),
+                        "workload {} entry ({j},{i})",
+                        wl.name
+                    );
+                }
+            }
+            let cd = clustering(wl.params);
+            let ci = clustering_implicit(wl.params);
+            for a in 0..cd.n() {
+                for b in 0..cd.n() {
+                    assert_eq!(cd.dist(a, b).to_bits(), ci.dist(a, b).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_memory_is_point_sized() {
+        let params = GenParams::uniform_square(64, 32).with_seed(2);
+        let dense = facility_location(params);
+        let implicit = facility_location_implicit(params);
+        assert_eq!(dense.memory_bytes(), 64 * 32 * 8);
+        assert!(
+            implicit.memory_bytes() < dense.memory_bytes() / 4,
+            "implicit {} vs dense {}",
+            implicit.memory_bytes(),
+            dense.memory_bytes()
+        );
+        assert!(implicit.client_points().is_some());
+        assert!(implicit.facility_points().is_some());
+    }
+
+    #[test]
+    fn backend_dispatching_constructors() {
+        let params = GenParams::grid(10, 5).with_seed(0);
+        let d = facility_location_with(params, Backend::Dense).unwrap();
+        let i = facility_location_with(params, Backend::Implicit).unwrap();
+        assert_eq!(d.dist(3, 2), i.dist(3, 2));
+        let cd = clustering_with(params, Backend::Dense).unwrap();
+        let ci = clustering_with(params, Backend::Implicit).unwrap();
+        assert_eq!(cd.dist(1, 4), ci.dist(1, 4));
+    }
+
+    #[test]
+    fn overflowing_dense_generation_is_a_typed_error() {
+        // A shape whose rows * cols overflows usize must be rejected before any
+        // allocation is attempted — and only on the dense path.
+        let params = GenParams {
+            num_clients: usize::MAX / 2,
+            num_facilities: 4,
+            spatial: SpatialModel::Line { spacing: 1.0 },
+            cost_model: FacilityCostModel::Zero,
+            distance: DistanceKind::Euclidean,
+            seed: 0,
+        };
+        let err = facility_location_with(params, Backend::Dense).unwrap_err();
+        assert!(err.contains("implicit backend"), "unexpected error: {err}");
+        // (The implicit path would accept the shape but sampling usize::MAX/2
+        // points is itself absurd — not exercised here.)
     }
 
     #[test]

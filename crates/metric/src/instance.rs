@@ -1,15 +1,22 @@
 //! Problem instances: facility location and k-clustering.
 
 use crate::distmat::DistanceMatrix;
-use crate::point::Point;
+use crate::oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle};
+use crate::point::{DistanceKind, Point};
 use crate::{ClientId, FacilityId, NodeId};
 
 /// An instance of (metric, uncapacitated) facility location.
 ///
 /// Matches the setup of Section 2 of the paper: a facility set `F` with opening costs
 /// `f_i`, a client set `C`, and distances `d(j, i)` between clients and facilities,
-/// stored densely with rows indexed by clients and columns by facilities. The instance
-/// size in the paper's work bounds is `m = |C| * |F|` ([`FlInstance::m`]).
+/// with rows indexed by clients and columns by facilities. The instance size in the
+/// paper's work bounds is `m = |C| * |F|` ([`FlInstance::m`]).
+///
+/// Distances are served by a [`DistanceOracle`] with two interchangeable backends:
+/// the classic dense `|C| x |F|` matrix ([`FlInstance::new`]) or an implicit
+/// geometric backend computing distances on demand from stored [`Point`]s
+/// ([`FlInstance::implicit`]) in `O(|C| + |F|)` memory. Both produce bit-identical
+/// distances for the same point set, so solvers behave identically under either.
 ///
 /// Instances built by the generators also carry the underlying [`Point`]s, which is
 /// convenient for examples and for validating the metric axioms; instances built
@@ -17,22 +24,31 @@ use crate::{ClientId, FacilityId, NodeId};
 #[derive(Debug, Clone)]
 pub struct FlInstance {
     facility_costs: Vec<f64>,
-    dist: DistanceMatrix,
+    oracle: Oracle,
     client_points: Option<Vec<Point>>,
     facility_points: Option<Vec<Point>>,
 }
 
 impl FlInstance {
-    /// Creates an instance from facility opening costs and a client x facility distance
-    /// matrix.
+    /// Creates a dense-backend instance from facility opening costs and a client x
+    /// facility distance matrix.
     ///
     /// # Panics
     /// Panics if the number of facility costs does not match the number of columns of
     /// `dist`, or if any facility cost is negative or non-finite.
     pub fn new(facility_costs: Vec<f64>, dist: DistanceMatrix) -> Self {
+        Self::with_oracle(facility_costs, Oracle::Dense(dist))
+    }
+
+    /// Creates an instance around an explicit [`Oracle`] backend.
+    ///
+    /// # Panics
+    /// Panics if the number of facility costs does not match the oracle's column
+    /// count, or if any facility cost is negative or non-finite.
+    pub fn with_oracle(facility_costs: Vec<f64>, oracle: Oracle) -> Self {
         assert_eq!(
             facility_costs.len(),
-            dist.cols(),
+            oracle.cols(),
             "facility cost vector length must equal number of matrix columns"
         );
         assert!(
@@ -41,14 +57,34 @@ impl FlInstance {
         );
         FlInstance {
             facility_costs,
-            dist,
+            oracle,
             client_points: None,
             facility_points: None,
         }
     }
 
+    /// Creates an **implicit-backend** instance: only the points are stored and
+    /// every `d(j, i)` is computed on demand — `O(|C| + |F|)` memory, never
+    /// materialising the `|C| x |F|` matrix.
+    pub fn implicit(
+        facility_costs: Vec<f64>,
+        client_points: Vec<Point>,
+        facility_points: Vec<Point>,
+        kind: DistanceKind,
+    ) -> Self {
+        Self::with_oracle(
+            facility_costs,
+            Oracle::Implicit(ImplicitMetric::between(
+                client_points,
+                facility_points,
+                kind,
+            )),
+        )
+    }
+
     /// Creates an instance from explicit client and facility point sets, Euclidean
-    /// distances, and facility opening costs.
+    /// distances, and facility opening costs, materialising the dense matrix. Use
+    /// [`FlInstance::implicit`] to keep memory at `O(|C| + |F|)` instead.
     pub fn from_points(
         facility_costs: Vec<f64>,
         client_points: Vec<Point>,
@@ -77,13 +113,13 @@ impl FlInstance {
     /// Number of clients `|C|` (`nc` in the paper).
     #[inline]
     pub fn num_clients(&self) -> usize {
-        self.dist.rows()
+        self.oracle.rows()
     }
 
     /// Number of facilities `|F|` (`nf` in the paper).
     #[inline]
     pub fn num_facilities(&self) -> usize {
-        self.dist.cols()
+        self.oracle.cols()
     }
 
     /// The paper's input-size parameter `m = nc * nf`.
@@ -107,29 +143,49 @@ impl FlInstance {
     /// The distance `d(j, i)` from client `j` to facility `i`.
     #[inline]
     pub fn dist(&self, j: ClientId, i: FacilityId) -> f64 {
-        self.dist.get(j, i)
+        self.oracle.dist(j, i)
     }
 
-    /// The full client x facility distance matrix.
+    /// The distance oracle serving `d(j, i)` queries (dense or implicit).
     #[inline]
-    pub fn distances(&self) -> &DistanceMatrix {
-        &self.dist
+    pub fn distances(&self) -> &Oracle {
+        &self.oracle
     }
 
-    /// Row of distances from client `j` to every facility.
+    /// Which backend serves the distances.
     #[inline]
-    pub fn client_row(&self, j: ClientId) -> &[f64] {
-        self.dist.row(j)
+    pub fn backend(&self) -> Backend {
+        self.oracle.backend()
     }
 
-    /// The client points, if the instance was built from geometry.
+    /// Estimated resident bytes of the distance storage (see
+    /// [`DistanceOracle::memory_bytes`]).
+    pub fn memory_bytes(&self) -> u64 {
+        self.oracle.memory_bytes()
+    }
+
+    /// Distances from client `j` to every facility, collected into a vector
+    /// (`O(|F|)` work under either backend).
+    pub fn client_row(&self, j: ClientId) -> Vec<f64> {
+        self.oracle.row_to_vec(j)
+    }
+
+    /// The client points, if the instance carries geometry (always for the
+    /// implicit backend).
     pub fn client_points(&self) -> Option<&[Point]> {
-        self.client_points.as_deref()
+        match &self.oracle {
+            Oracle::Implicit(im) => Some(im.from_points()),
+            Oracle::Dense(_) => self.client_points.as_deref(),
+        }
     }
 
-    /// The facility points, if the instance was built from geometry.
+    /// The facility points, if the instance carries geometry (always for the
+    /// implicit backend).
     pub fn facility_points(&self) -> Option<&[Point]> {
-        self.facility_points.as_deref()
+        match &self.oracle {
+            Oracle::Implicit(im) => Some(im.to_points()),
+            Oracle::Dense(_) => self.facility_points.as_deref(),
+        }
     }
 
     /// `d(j, S) = min_{i in S} d(j, i)` — distance from client `j` to the closest open
@@ -137,9 +193,7 @@ impl FlInstance {
     ///
     /// Returns `None` if `open` is empty.
     pub fn closest_open(&self, j: ClientId, open: &[FacilityId]) -> Option<(FacilityId, f64)> {
-        open.iter()
-            .map(|&i| (i, self.dist(j, i)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+        self.oracle.nearest_in_set(j, open)
     }
 
     /// Total cost (Equation (1) of the paper) of opening exactly the facilities in
@@ -214,32 +268,54 @@ impl FlInstance {
 /// An instance of a k-clustering problem (k-median, k-means or k-center).
 ///
 /// Every node is simultaneously a client and a potential center, as in Section 2 of the
-/// paper; distances form a symmetric `n x n` matrix.
+/// paper; distances form a symmetric `n x n` oracle — dense
+/// ([`ClusterInstance::new`]) or implicit geometric ([`ClusterInstance::implicit`],
+/// `O(n)` memory).
 #[derive(Debug, Clone)]
 pub struct ClusterInstance {
-    dist: DistanceMatrix,
+    oracle: Oracle,
     points: Option<Vec<Point>>,
 }
 
 impl ClusterInstance {
-    /// Creates a clustering instance from a symmetric distance matrix.
+    /// Creates a dense clustering instance from a symmetric distance matrix.
     ///
     /// # Panics
     /// Panics if the matrix is not square.
     pub fn new(dist: DistanceMatrix) -> Self {
-        assert_eq!(
-            dist.rows(),
-            dist.cols(),
-            "clustering instances need a square distance matrix"
-        );
-        ClusterInstance { dist, points: None }
+        Self::with_oracle(Oracle::Dense(dist))
     }
 
-    /// Creates a clustering instance from a point set under Euclidean distance.
+    /// Creates a clustering instance around an explicit [`Oracle`] backend.
+    ///
+    /// # Panics
+    /// Panics if the oracle is not square.
+    pub fn with_oracle(oracle: Oracle) -> Self {
+        assert_eq!(
+            oracle.rows(),
+            oracle.cols(),
+            "clustering instances need a square distance matrix"
+        );
+        ClusterInstance {
+            oracle,
+            points: None,
+        }
+    }
+
+    /// Creates an **implicit-backend** clustering instance: only the `n` points are
+    /// stored (once, shared between the row and column sides) and every `d(a, b)` is
+    /// computed on demand — `O(n)` memory instead of the `O(n²)` matrix.
+    pub fn implicit(points: Vec<Point>, kind: DistanceKind) -> Self {
+        Self::with_oracle(Oracle::Implicit(ImplicitMetric::symmetric(points, kind)))
+    }
+
+    /// Creates a clustering instance from a point set under Euclidean distance,
+    /// materialising the dense matrix. Use [`ClusterInstance::implicit`] to keep
+    /// memory at `O(n)` instead.
     pub fn from_points(points: Vec<Point>) -> Self {
         let dist = DistanceMatrix::pairwise(&points, crate::point::DistanceKind::Euclidean);
         ClusterInstance {
-            dist,
+            oracle: Oracle::Dense(dist),
             points: Some(points),
         }
     }
@@ -257,32 +333,45 @@ impl ClusterInstance {
     /// Number of nodes `n`.
     #[inline]
     pub fn n(&self) -> usize {
-        self.dist.rows()
+        self.oracle.rows()
     }
 
     /// Distance between nodes `a` and `b`.
     #[inline]
     pub fn dist(&self, a: NodeId, b: NodeId) -> f64 {
-        self.dist.get(a, b)
+        self.oracle.dist(a, b)
     }
 
-    /// The full symmetric distance matrix.
+    /// The distance oracle serving `d(a, b)` queries (dense or implicit).
     #[inline]
-    pub fn distances(&self) -> &DistanceMatrix {
-        &self.dist
+    pub fn distances(&self) -> &Oracle {
+        &self.oracle
     }
 
-    /// The node points, if the instance was built from geometry.
+    /// Which backend serves the distances.
+    #[inline]
+    pub fn backend(&self) -> Backend {
+        self.oracle.backend()
+    }
+
+    /// Estimated resident bytes of the distance storage (see
+    /// [`DistanceOracle::memory_bytes`]).
+    pub fn memory_bytes(&self) -> u64 {
+        self.oracle.memory_bytes()
+    }
+
+    /// The node points, if the instance carries geometry (always for the implicit
+    /// backend).
     pub fn points(&self) -> Option<&[Point]> {
-        self.points.as_deref()
+        match &self.oracle {
+            Oracle::Implicit(im) => Some(im.from_points()),
+            Oracle::Dense(_) => self.points.as_deref(),
+        }
     }
 
     /// `d(j, S)` and the closest center for node `j` under center set `centers`.
     pub fn closest_center(&self, j: NodeId, centers: &[NodeId]) -> Option<(NodeId, f64)> {
-        centers
-            .iter()
-            .map(|&c| (c, self.dist(j, c)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+        self.oracle.nearest_in_set(j, centers)
     }
 
     /// k-median objective: sum over nodes of the distance to the closest center.

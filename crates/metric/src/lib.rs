@@ -5,20 +5,27 @@
 //! Problems", SPAA 2010*.
 //!
 //! The paper (Section 2) works over a metric space `(X, d)` containing a facility set `F`
-//! and a client set `C`, represented as a dense distance matrix; every algorithm in the
-//! paper consumes either
+//! and a client set `C`; every algorithm in the paper consumes either
 //!
-//! * a **facility-location instance**: facility opening costs `f_i` plus the dense
-//!   `|C| x |F|` client-to-facility distance matrix ([`FlInstance`]), or
-//! * a **clustering instance**: a symmetric `n x n` distance matrix over a node set in
-//!   which every node is simultaneously a client and a potential center
+//! * a **facility-location instance**: facility opening costs `f_i` plus the
+//!   `|C| x |F|` client-to-facility distances ([`FlInstance`]), or
+//! * a **clustering instance**: a symmetric `n x n` distance structure over a node set
+//!   in which every node is simultaneously a client and a potential center
 //!   ([`ClusterInstance`]).
+//!
+//! Distances are served through the [`oracle::DistanceOracle`] seam with two
+//! interchangeable backends: the paper's dense matrix ([`DistanceMatrix`], `O(|C|·|F|)`
+//! memory) and an implicit geometric backend ([`oracle::ImplicitMetric`], distances
+//! computed on demand from stored points in `O(|C| + |F|)` memory — the
+//! production-scale path for 100k–1M clients). Both produce bit-identical distances
+//! for the same point set, so solver output is byte-identical under either.
 //!
 //! This crate provides those instance types, the geometric [`Point`] representation used
 //! to build them, a suite of synthetic [`gen`]erators standing in for the datasets the
-//! paper does not provide, metric-axiom [`validate`]-ion, simple text [`io`], and the
-//! elementary [`lower_bounds`] from Equation (2) of the paper that the experiment harness
-//! uses to certify approximation ratios.
+//! paper does not provide (each with dense and implicit constructors), metric-axiom
+//! [`validate`]-ion, simple text [`io`], and the elementary [`lower_bounds`] from
+//! Equation (2) of the paper that the experiment harness uses to certify approximation
+//! ratios.
 //!
 //! ## Quick example
 //!
@@ -42,11 +49,13 @@ pub mod gen;
 pub mod instance;
 pub mod io;
 pub mod lower_bounds;
+pub mod oracle;
 pub mod point;
 pub mod validate;
 
-pub use distmat::DistanceMatrix;
+pub use distmat::{DistanceMatrix, SizeOverflowError};
 pub use instance::{ClusterInstance, FlInstance};
+pub use oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle};
 pub use point::Point;
 
 /// Index of a facility within an [`FlInstance`] (column of the distance matrix).

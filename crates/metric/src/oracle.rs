@@ -1,0 +1,654 @@
+//! Distance oracles: uniform access to distances, dense or implicit.
+//!
+//! The paper's algorithms only ever *read* distances — `d(j, i)` lookups,
+//! row/column scans, nearest-in-set queries — so nothing forces the
+//! `|C| × |F|` matrix to exist in memory. Following the move of Dhulipala,
+//! Blelloch & Shun (swap concrete containers for an implicit access
+//! interface and keep the algorithms unchanged), this module abstracts the
+//! distance source behind the [`DistanceOracle`] trait with two backends:
+//!
+//! * [`Oracle::Dense`] wraps the existing [`DistanceMatrix`] — `O(|C|·|F|)`
+//!   memory, `O(1)` lookups; the right choice up to a few thousand nodes.
+//! * [`Oracle::Implicit`] ([`ImplicitMetric`]) stores only the geometric
+//!   [`Point`]s and computes distances on demand — `O(|C| + |F|)` memory,
+//!   `O(dim)` lookups; the only feasible choice at 100k–1M clients.
+//!
+//! Both backends produce **bit-identical** distances for instances built
+//! from the same point set (the dense matrix stores exactly the values
+//! `Point::distance` computes), so every solver in the workspace emits
+//! byte-identical canonical Run JSON under either backend. Whole-oracle
+//! sweeps (`max_entry`, `min_positive_entry`, `sorted_distinct_values`) run
+//! as deterministic blocked sweeps chunked by
+//! [`rayon::deterministic_chunk_len`] — boundaries are a pure function of
+//! the element count, never the thread count — with partials combined
+//! left-to-right, preserving the workspace-wide determinism contract.
+
+use crate::distmat::DistanceMatrix;
+use crate::point::{DistanceKind, Point};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Which distance backend an instance carries. Stable string forms
+/// (`"dense"` / `"implicit"`) are used by the CLI, Run JSON timing metadata
+/// and the BENCH artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// Distances materialised in a row-major [`DistanceMatrix`].
+    #[default]
+    Dense,
+    /// Distances computed on demand from stored [`Point`]s.
+    Implicit,
+}
+
+impl Backend {
+    /// Stable string form (`"dense"` / `"implicit"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Backend::Dense => "dense",
+            Backend::Implicit => "implicit",
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_lowercase().as_str() {
+            "dense" => Ok(Backend::Dense),
+            "implicit" => Ok(Backend::Implicit),
+            other => Err(format!(
+                "unknown backend '{other}' (expected dense|implicit)"
+            )),
+        }
+    }
+}
+
+/// Read-only access to a (rectangular) matrix of distances.
+///
+/// `rows` index clients / query points, `cols` index facilities / centers;
+/// for clustering instances the oracle is square and symmetric. Every
+/// method must be deterministic — in particular independent of thread
+/// count — because solver output is compared byte-for-byte across
+/// backends, policies and pool sizes.
+pub trait DistanceOracle {
+    /// Number of rows (clients / nodes).
+    fn rows(&self) -> usize;
+
+    /// Number of columns (facilities / nodes).
+    fn cols(&self) -> usize;
+
+    /// Total number of logical entries `rows * cols` (the paper's `m`).
+    fn len(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// Whether the oracle has no entries.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The distance `d(row, col)`.
+    fn dist(&self, row: usize, col: usize) -> f64;
+
+    /// Row `row` collected into a vector (`O(cols)` work).
+    fn row_to_vec(&self, row: usize) -> Vec<f64> {
+        (0..self.cols()).map(|c| self.dist(row, c)).collect()
+    }
+
+    /// Column `col` collected into a vector (`O(rows)` work).
+    fn col_to_vec(&self, col: usize) -> Vec<f64> {
+        (0..self.rows()).map(|r| self.dist(r, col)).collect()
+    }
+
+    /// `min_{c in set} d(row, c)` with the argmin, ties broken towards the
+    /// smaller column index. `None` if `set` is empty.
+    fn nearest_in_set(&self, row: usize, set: &[usize]) -> Option<(usize, f64)> {
+        set.iter()
+            .map(|&c| (c, self.dist(row, c)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    }
+
+    /// Minimum entry of a row together with the column index attaining it
+    /// (ties towards the smaller index); `None` for zero columns.
+    fn row_min(&self, row: usize) -> Option<(usize, f64)> {
+        (0..self.cols())
+            .map(|c| (c, self.dist(row, c)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    }
+
+    /// Maximum entry over the whole oracle (0.0 when empty).
+    fn max_entry(&self) -> f64;
+
+    /// Minimum strictly positive entry, if any.
+    fn min_positive_entry(&self) -> Option<f64>;
+
+    /// All distinct entry values, sorted ascending (the k-center binary
+    /// search's distance set `D`). `O(rows·cols)` time *and* transient
+    /// memory under every backend — callers that need bounded memory must
+    /// avoid this query.
+    fn sorted_distinct_values(&self) -> Vec<f64>;
+
+    /// Estimated resident bytes of the backend's distance storage:
+    /// `8·rows·cols` for dense, `O((rows + cols)·dim)` for implicit.
+    fn memory_bytes(&self) -> u64;
+
+    /// Which backend answers the queries.
+    fn backend(&self) -> Backend;
+}
+
+/// Runs `f` over `0..len` in deterministic blocks and combines the per-block
+/// results left-to-right with `combine`. Block boundaries come from
+/// [`rayon::deterministic_chunk_len`] — a pure function of `len` — so the
+/// combine tree (and therefore any floating-point result) is identical at
+/// every thread count.
+fn blocked_sweep<T: Send>(
+    len: usize,
+    init: T,
+    f: impl Fn(std::ops::Range<usize>) -> T + Sync,
+    combine: impl Fn(T, T) -> T,
+) -> T {
+    if len == 0 {
+        return init;
+    }
+    let chunk = rayon::deterministic_chunk_len(len, 1024);
+    let starts: Vec<usize> = (0..len).step_by(chunk).collect();
+    let partials: Vec<T> = starts
+        .par_iter()
+        .map(|&s| f(s..(s + chunk).min(len)))
+        .collect();
+    partials.into_iter().fold(init, combine)
+}
+
+/// The implicit geometric backend: two point sets and a distance function.
+///
+/// Entry `(r, c)` is `from[r].distance(to[c], kind)`, computed on every
+/// access. For symmetric (clustering) oracles `from` and `to` share one
+/// allocation ([`ImplicitMetric::symmetric`]), which [`memory_bytes`]
+/// counts once.
+///
+/// [`memory_bytes`]: DistanceOracle::memory_bytes
+#[derive(Debug, Clone)]
+pub struct ImplicitMetric {
+    from: Arc<[Point]>,
+    to: Arc<[Point]>,
+    kind: DistanceKind,
+}
+
+impl PartialEq for ImplicitMetric {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind && self.from[..] == other.from[..] && self.to[..] == other.to[..]
+    }
+}
+
+impl ImplicitMetric {
+    /// Validates one side's points (`O(points · dim)` — the same class of
+    /// up-front cost the dense backend pays to assert its entries are finite
+    /// and non-negative): every coordinate finite, every point of one
+    /// dimension. Returns that dimension (0 for an empty side).
+    fn checked_dim(points: &[Point], side: &str) -> usize {
+        let dim = points.first().map_or(0, Point::dim);
+        for p in points {
+            assert_eq!(p.dim(), dim, "{side} points must have equal dimension");
+            assert!(
+                p.coords().iter().all(|c| c.is_finite()),
+                "{side} point coordinates must be finite"
+            );
+        }
+        dim
+    }
+
+    /// Creates a rectangular implicit oracle between two point sets.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is non-finite or the points do not all share
+    /// one dimension — the same invariant the dense backend enforces on its
+    /// entries at construction, checked here in `O(|from| + |to|)`.
+    pub fn between(from: Vec<Point>, to: Vec<Point>, kind: DistanceKind) -> Self {
+        let from_dim = Self::checked_dim(&from, "row-side");
+        let to_dim = Self::checked_dim(&to, "column-side");
+        assert!(
+            from.is_empty() || to.is_empty() || from_dim == to_dim,
+            "row-side and column-side points must have equal dimension \
+             ({from_dim} vs {to_dim})"
+        );
+        ImplicitMetric {
+            from: from.into(),
+            to: to.into(),
+            kind,
+        }
+    }
+
+    /// Creates a square symmetric implicit oracle over one point set (the
+    /// points are stored once and shared between the row and column sides).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is non-finite or the points do not all share
+    /// one dimension (see [`ImplicitMetric::between`]).
+    pub fn symmetric(points: Vec<Point>, kind: DistanceKind) -> Self {
+        Self::checked_dim(&points, "node");
+        let shared: Arc<[Point]> = points.into();
+        ImplicitMetric {
+            from: Arc::clone(&shared),
+            to: shared,
+            kind,
+        }
+    }
+
+    /// The row-side (client) points.
+    pub fn from_points(&self) -> &[Point] {
+        &self.from
+    }
+
+    /// The column-side (facility) points.
+    pub fn to_points(&self) -> &[Point] {
+        &self.to
+    }
+
+    /// The distance function entries are computed with.
+    pub fn kind(&self) -> DistanceKind {
+        self.kind
+    }
+
+    fn point_bytes(points: &[Point]) -> u64 {
+        points
+            .iter()
+            .map(|p| (std::mem::size_of::<Point>() + p.dim() * std::mem::size_of::<f64>()) as u64)
+            .sum()
+    }
+}
+
+impl DistanceOracle for ImplicitMetric {
+    fn rows(&self) -> usize {
+        self.from.len()
+    }
+
+    fn cols(&self) -> usize {
+        self.to.len()
+    }
+
+    #[inline]
+    fn dist(&self, row: usize, col: usize) -> f64 {
+        self.from[row].distance(&self.to[col], self.kind)
+    }
+
+    fn max_entry(&self) -> f64 {
+        let cols = self.cols();
+        if cols == 0 {
+            return 0.0;
+        }
+        blocked_sweep(
+            self.len(),
+            0.0,
+            |range| {
+                range
+                    .map(|idx| self.dist(idx / cols, idx % cols))
+                    .fold(0.0, f64::max)
+            },
+            f64::max,
+        )
+    }
+
+    fn min_positive_entry(&self) -> Option<f64> {
+        let cols = self.cols();
+        if cols == 0 {
+            return None;
+        }
+        blocked_sweep(
+            self.len(),
+            None,
+            |range| {
+                range
+                    .map(|idx| self.dist(idx / cols, idx % cols))
+                    .filter(|d| *d > 0.0)
+                    .min_by(|a, b| a.partial_cmp(b).unwrap())
+            },
+            |a: Option<f64>, b| match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            },
+        )
+    }
+
+    fn sorted_distinct_values(&self) -> Vec<f64> {
+        let cols = self.cols();
+        if cols == 0 {
+            return Vec::new();
+        }
+        // Materialise the full value set (the query is inherently O(m)),
+        // then sort + dedup exactly like the dense backend so the two
+        // produce identical vectors.
+        let chunk = rayon::deterministic_chunk_len(self.len(), 1024);
+        let mut v: Vec<f64> = (0..self.len())
+            .into_par_iter()
+            .with_min_len(chunk)
+            .map(|idx| self.dist(idx / cols, idx % cols))
+            .collect();
+        v.par_sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        v.dedup();
+        v
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        let from = Self::point_bytes(&self.from);
+        if Arc::ptr_eq(&self.from, &self.to) {
+            from
+        } else {
+            from + Self::point_bytes(&self.to)
+        }
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Implicit
+    }
+}
+
+impl DistanceOracle for DistanceMatrix {
+    fn rows(&self) -> usize {
+        DistanceMatrix::rows(self)
+    }
+
+    fn cols(&self) -> usize {
+        DistanceMatrix::cols(self)
+    }
+
+    fn len(&self) -> usize {
+        DistanceMatrix::len(self)
+    }
+
+    #[inline]
+    fn dist(&self, row: usize, col: usize) -> f64 {
+        self.get(row, col)
+    }
+
+    fn row_to_vec(&self, row: usize) -> Vec<f64> {
+        self.row(row).to_vec()
+    }
+
+    fn col_to_vec(&self, col: usize) -> Vec<f64> {
+        DistanceMatrix::col_to_vec(self, col)
+    }
+
+    fn row_min(&self, row: usize) -> Option<(usize, f64)> {
+        DistanceMatrix::row_min(self, row)
+    }
+
+    fn max_entry(&self) -> f64 {
+        DistanceMatrix::max_entry(self)
+    }
+
+    fn min_positive_entry(&self) -> Option<f64> {
+        DistanceMatrix::min_positive_entry(self)
+    }
+
+    fn sorted_distinct_values(&self) -> Vec<f64> {
+        DistanceMatrix::sorted_distinct_values(self)
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        (DistanceMatrix::len(self) * std::mem::size_of::<f64>()) as u64
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Dense
+    }
+}
+
+/// The concrete oracle stored inside every instance: one of the two
+/// backends, dispatched statically per call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Oracle {
+    /// Distances materialised in a [`DistanceMatrix`].
+    Dense(DistanceMatrix),
+    /// Distances computed on demand from stored points.
+    Implicit(ImplicitMetric),
+}
+
+impl Oracle {
+    /// The wrapped dense matrix, if this is the dense backend.
+    pub fn as_dense(&self) -> Option<&DistanceMatrix> {
+        match self {
+            Oracle::Dense(m) => Some(m),
+            Oracle::Implicit(_) => None,
+        }
+    }
+
+    /// The wrapped implicit metric, if this is the implicit backend.
+    pub fn as_implicit(&self) -> Option<&ImplicitMetric> {
+        match self {
+            Oracle::Dense(_) => None,
+            Oracle::Implicit(im) => Some(im),
+        }
+    }
+
+    /// Checks symmetry of a square oracle up to `tol` (O(n²) queries).
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows() != self.cols() {
+            return false;
+        }
+        for r in 0..self.rows() {
+            for c in (r + 1)..self.cols() {
+                if (self.dist(r, c) - self.dist(c, r)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $m:ident ( $($arg:expr),* )) => {
+        match $self {
+            Oracle::Dense(inner) => DistanceOracle::$m(inner $(, $arg)*),
+            Oracle::Implicit(inner) => DistanceOracle::$m(inner $(, $arg)*),
+        }
+    };
+}
+
+impl DistanceOracle for Oracle {
+    fn rows(&self) -> usize {
+        delegate!(self, rows())
+    }
+
+    fn cols(&self) -> usize {
+        delegate!(self, cols())
+    }
+
+    fn len(&self) -> usize {
+        delegate!(self, len())
+    }
+
+    #[inline]
+    fn dist(&self, row: usize, col: usize) -> f64 {
+        delegate!(self, dist(row, col))
+    }
+
+    fn row_to_vec(&self, row: usize) -> Vec<f64> {
+        delegate!(self, row_to_vec(row))
+    }
+
+    fn col_to_vec(&self, col: usize) -> Vec<f64> {
+        delegate!(self, col_to_vec(col))
+    }
+
+    fn nearest_in_set(&self, row: usize, set: &[usize]) -> Option<(usize, f64)> {
+        delegate!(self, nearest_in_set(row, set))
+    }
+
+    fn row_min(&self, row: usize) -> Option<(usize, f64)> {
+        delegate!(self, row_min(row))
+    }
+
+    fn max_entry(&self) -> f64 {
+        delegate!(self, max_entry())
+    }
+
+    fn min_positive_entry(&self) -> Option<f64> {
+        delegate!(self, min_positive_entry())
+    }
+
+    fn sorted_distinct_values(&self) -> Vec<f64> {
+        delegate!(self, sorted_distinct_values())
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        delegate!(self, memory_bytes())
+    }
+
+    fn backend(&self) -> Backend {
+        delegate!(self, backend())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> (Vec<Point>, Vec<Point>) {
+        let clients: Vec<Point> = (0..13)
+            .map(|i| Point::xy(i as f64 * 1.5, ((i * i) % 7) as f64))
+            .collect();
+        let facilities: Vec<Point> = (0..5).map(|i| Point::xy(i as f64 * 4.0, 2.0)).collect();
+        (clients, facilities)
+    }
+
+    fn pair() -> (Oracle, Oracle) {
+        let (clients, facilities) = points();
+        let dense = Oracle::Dense(DistanceMatrix::between(
+            &clients,
+            &facilities,
+            DistanceKind::Euclidean,
+        ));
+        let implicit = Oracle::Implicit(ImplicitMetric::between(
+            clients,
+            facilities,
+            DistanceKind::Euclidean,
+        ));
+        (dense, implicit)
+    }
+
+    #[test]
+    fn backends_agree_entrywise_bit_for_bit() {
+        let (dense, implicit) = pair();
+        assert_eq!(dense.rows(), implicit.rows());
+        assert_eq!(dense.cols(), implicit.cols());
+        for r in 0..dense.rows() {
+            for c in 0..dense.cols() {
+                assert_eq!(dense.dist(r, c).to_bits(), implicit.dist(r, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_scans_and_queries() {
+        let (dense, implicit) = pair();
+        assert_eq!(dense.max_entry(), implicit.max_entry());
+        assert_eq!(dense.min_positive_entry(), implicit.min_positive_entry());
+        assert_eq!(
+            dense.sorted_distinct_values(),
+            implicit.sorted_distinct_values()
+        );
+        for r in 0..dense.rows() {
+            assert_eq!(dense.row_to_vec(r), implicit.row_to_vec(r));
+            assert_eq!(dense.row_min(r), implicit.row_min(r));
+            assert_eq!(
+                dense.nearest_in_set(r, &[4, 1, 2]),
+                implicit.nearest_in_set(r, &[4, 1, 2])
+            );
+        }
+        for c in 0..dense.cols() {
+            assert_eq!(dense.col_to_vec(c), implicit.col_to_vec(c));
+        }
+    }
+
+    #[test]
+    fn memory_is_matrix_sized_vs_point_sized() {
+        let (dense, implicit) = pair();
+        assert_eq!(dense.memory_bytes(), (13 * 5 * 8) as u64);
+        // Implicit: 18 points, 2 coords each, plus Point headers — far less
+        // than the matrix once dimensions grow, and O(rows + cols) always.
+        let per_point = (std::mem::size_of::<Point>() + 2 * 8) as u64;
+        assert_eq!(implicit.memory_bytes(), 18 * per_point);
+        assert_eq!(dense.backend(), Backend::Dense);
+        assert_eq!(implicit.backend(), Backend::Implicit);
+    }
+
+    #[test]
+    fn symmetric_points_counted_once() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::scalar(i as f64)).collect();
+        let shared = ImplicitMetric::symmetric(pts.clone(), DistanceKind::Euclidean);
+        let split = ImplicitMetric::between(pts.clone(), pts, DistanceKind::Euclidean);
+        assert_eq!(shared.memory_bytes() * 2, split.memory_bytes());
+        assert_eq!(DistanceOracle::rows(&shared), 10);
+        assert_eq!(DistanceOracle::cols(&shared), 10);
+        assert_eq!(shared.dist(3, 7), 4.0);
+        assert_eq!(shared.dist(7, 3), 4.0);
+    }
+
+    #[test]
+    fn oracle_symmetry_check() {
+        let pts: Vec<Point> = (0..6).map(|i| Point::xy(i as f64, 1.0)).collect();
+        let o = Oracle::Implicit(ImplicitMetric::symmetric(pts, DistanceKind::Euclidean));
+        assert!(o.is_symmetric(1e-12));
+        let (rect, _) = pair();
+        assert!(
+            !rect.is_symmetric(1e-12),
+            "rectangular oracle is not symmetric"
+        );
+    }
+
+    #[test]
+    fn blocked_sweeps_are_chunk_exact() {
+        // The sweep must see every index exactly once regardless of len.
+        for len in [0usize, 1, 5, 1023, 1024, 1025, 5000] {
+            let count = blocked_sweep(len, 0usize, |r| r.len(), |a, b| a + b);
+            assert_eq!(count, len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn implicit_rejects_non_finite_coordinates() {
+        let _ = ImplicitMetric::between(
+            vec![Point::xy(0.0, f64::NAN)],
+            vec![Point::xy(1.0, 1.0)],
+            DistanceKind::Euclidean,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimension")]
+    fn implicit_rejects_mixed_dimensions() {
+        let _ = ImplicitMetric::symmetric(
+            vec![Point::scalar(1.0), Point::xy(1.0, 2.0)],
+            DistanceKind::Euclidean,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimension")]
+    fn implicit_rejects_cross_side_dimension_mismatch() {
+        let _ = ImplicitMetric::between(
+            vec![Point::scalar(1.0)],
+            vec![Point::xy(1.0, 2.0)],
+            DistanceKind::Euclidean,
+        );
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        assert_eq!("dense".parse::<Backend>().unwrap(), Backend::Dense);
+        assert_eq!("Implicit".parse::<Backend>().unwrap(), Backend::Implicit);
+        assert!("sparse".parse::<Backend>().is_err());
+        assert_eq!(Backend::Implicit.to_string(), "implicit");
+        assert_eq!(Backend::default(), Backend::Dense);
+    }
+}

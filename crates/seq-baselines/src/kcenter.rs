@@ -14,7 +14,7 @@
 //! Both return the chosen centers; the parallel algorithm in `parfaclo-kclustering` is
 //! compared against them in experiment E4.
 
-use parfaclo_metric::{ClusterInstance, NodeId};
+use parfaclo_metric::{ClusterInstance, DistanceOracle, NodeId};
 
 /// Result of a sequential k-center computation.
 #[derive(Debug, Clone)]

@@ -130,7 +130,7 @@ fn generator_reproducibility_is_end_to_end() {
 // ---------------------------------------------------------------------------
 
 mod registry_conformance {
-    use parfaclo_api::{ProblemKind, RunConfig};
+    use parfaclo_api::{Backend, ProblemKind, RunConfig};
     use parfaclo_bench::runner::{run_solver, GenSpec};
     use parfaclo_bench::standard_registry;
 
@@ -240,6 +240,55 @@ mod registry_conformance {
                 four.canonical_json(),
                 "solver '{name}' output depends on the thread count at parallel sizes"
             );
+        }
+    }
+
+    /// The distance backend must never change any solver's output: for every
+    /// registered solver, on two instance sizes and two seeds, the canonical
+    /// Run JSON produced from an implicit-backend instance is byte-identical
+    /// to the dense-backend run — while the reported oracle memory shrinks
+    /// from `O(n²)` (matrix) to `O(n)` (points).
+    #[test]
+    fn every_registered_solver_is_backend_invariant_byte_for_byte() {
+        let registry = standard_registry();
+        for spec_str in ["uniform:n=14,nf=7", "clustered:n=26,nf=10,c=4"] {
+            let spec = GenSpec::parse(spec_str).expect("valid spec");
+            for seed in [7u64, 23] {
+                let cfg = RunConfig::new(0.1).with_seed(seed).with_k(3);
+                for name in registry.names() {
+                    let dense = run_solver(&registry, name, &spec, &cfg).expect(name);
+                    let implicit = run_solver(
+                        &registry,
+                        name,
+                        &spec,
+                        &cfg.clone().with_backend(Backend::Implicit),
+                    )
+                    .expect(name);
+                    assert_eq!(
+                        dense.canonical_json(),
+                        implicit.canonical_json(),
+                        "solver '{name}' output differs between backends \
+                         (spec {spec_str}, seed {seed})"
+                    );
+                    assert_eq!(dense.backend, Backend::Dense);
+                    assert_eq!(implicit.backend, Backend::Implicit);
+                    // Implicit memory is O(points): a generous 64 bytes per
+                    // point covers coords + Point/Vec headers, independent of
+                    // n², while the dense backend reports the full matrix.
+                    let points = (dense.n + spec.nf) as u64;
+                    assert!(
+                        implicit.memory_bytes <= points * 64,
+                        "solver '{name}': implicit oracle ({} bytes) is not \
+                         O(|C| + |F|) for {points} points",
+                        implicit.memory_bytes
+                    );
+                    assert_eq!(
+                        dense.memory_bytes,
+                        (dense.m * 8) as u64,
+                        "solver '{name}': dense oracle must report the matrix size"
+                    );
+                }
+            }
         }
     }
 
