@@ -1,10 +1,12 @@
-//! A minimal JSON writer.
+//! A minimal JSON writer and reader.
 //!
 //! The run envelope needs a stable machine-readable output format and the
 //! build environment has no access to `serde`/`serde_json`, so this module
-//! provides the few pieces actually needed: escaping, and an object/array
+//! provides the few pieces actually needed: escaping, an object/array
 //! builder that preserves insertion order (important for byte-stable output
-//! used in determinism comparisons).
+//! used in determinism comparisons), and a small recursive-descent parser
+//! ([`JsonValue::parse`]) with typed accessors so the benchmark comparator
+//! can read artifacts back.
 
 use std::fmt::Write as _;
 
@@ -37,6 +39,79 @@ impl std::fmt::Display for JsonValue {
 }
 
 impl JsonValue {
+    /// Parses a JSON document. Numbers without a sign, fraction or exponent
+    /// parse as [`JsonValue::UInt`]; everything else numeric parses as
+    /// [`JsonValue::Number`]. Trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value(0)?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!(
+                "trailing characters at byte {} of JSON input",
+                parser.pos
+            ));
+        }
+        Ok(value)
+    }
+
+    /// Looks up a field of an object; `None` for non-objects / missing keys.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (unsigned integers convert losslessly
+    /// up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(x) => Some(*x),
+            JsonValue::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The unsigned-integer payload, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n),
+            JsonValue::Number(x) if x.fract() == 0.0 && *x >= 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -74,6 +149,219 @@ impl JsonValue {
                     value.write(out);
                 }
                 out.push('}');
+            }
+        }
+    }
+}
+
+/// Recursive-descent parser over the input bytes (JSON's structural
+/// characters are all ASCII, so byte-level scanning is safe; string contents
+/// are re-validated as UTF-8 slices).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Containers deeper than this are rejected: the parser recurses once per
+/// nesting level, and artifact files are user-editable, so a pathological
+/// `[[[[…` input must come back as an `Err`, not a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {} of JSON input",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!(
+                "invalid literal at byte {} of JSON input",
+                self.pos
+            ))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!(
+                "JSON nesting deeper than {MAX_DEPTH} levels at byte {}",
+                self.pos
+            ));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(format!(
+                "unexpected character at byte {} of JSON input",
+                self.pos
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in JSON string".to_string())?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape in JSON string".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("invalid \\u escape '{hex}'"))?;
+                            self.pos += 4;
+                            // Surrogate pairs (and lone surrogates) degrade to
+                            // the replacement character; the writer never
+                            // emits them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                _ => return Err("unterminated JSON string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number spans are ASCII by construction");
+        if integral && !text.starts_with('-') {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| format!("invalid JSON number '{text}'"))
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
             }
         }
     }
@@ -179,5 +467,87 @@ mod tests {
     fn control_chars_are_escaped() {
         let v = JsonValue::String("\u{1}".to_string());
         assert_eq!(v.to_string(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = JsonObject::new()
+            .string("name", "a\"b\\c\nd")
+            .number("x", 1.5)
+            .uint("n", 42)
+            .bool("ok", true)
+            .field(
+                "arr",
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::UInt(1)]),
+            )
+            .build();
+        let text = v.to_string();
+        let parsed = JsonValue::parse(&text).unwrap();
+        assert_eq!(parsed.to_string(), text, "write → parse → write is stable");
+        assert_eq!(parsed.get("name").unwrap().as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(parsed.get("x").unwrap().as_f64(), Some(1.5));
+        assert_eq!(parsed.get("n").unwrap().as_u64(), Some(42));
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(parsed.get("arr").unwrap().as_array().unwrap().len(), 2);
+        assert!(parsed.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_distinguishes_uints_from_floats() {
+        assert!(matches!(JsonValue::parse("7").unwrap(), JsonValue::UInt(7)));
+        assert!(matches!(
+            JsonValue::parse("7.5").unwrap(),
+            JsonValue::Number(x) if x == 7.5
+        ));
+        assert!(matches!(
+            JsonValue::parse("-3").unwrap(),
+            JsonValue::Number(x) if x == -3.0
+        ));
+        assert!(matches!(
+            JsonValue::parse("1e3").unwrap(),
+            JsonValue::Number(x) if x == 1000.0
+        ));
+    }
+
+    #[test]
+    fn parse_handles_whitespace_and_nesting() {
+        let v = JsonValue::parse(" { \"a\" : [ 1 , { \"b\" : null } ] } ").unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert!(matches!(arr[1].get("b"), Some(JsonValue::Null)));
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        let v = JsonValue::parse(r#""a\u0041\n\t\\ \"""#).unwrap();
+        assert_eq!(v.as_str(), Some("aA\n\t\\ \""));
+    }
+
+    #[test]
+    fn parse_rejects_pathological_nesting_gracefully() {
+        // Within the limit: fine.
+        let ok = format!("{}0{}", "[".repeat(100), "]".repeat(100));
+        assert!(JsonValue::parse(&ok).is_ok());
+        // A 100k-bracket bomb errors instead of overflowing the stack.
+        let bomb = "[".repeat(100_000);
+        let err = JsonValue::parse(&bomb).unwrap_err();
+        assert!(err.contains("nesting"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "nullx",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
     }
 }

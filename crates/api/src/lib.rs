@@ -63,11 +63,13 @@ pub mod json;
 pub mod registry;
 pub mod run;
 pub mod solver;
+pub mod trial;
 
 pub use config::RunConfig;
 pub use registry::Registry;
 pub use run::{ProblemKind, Run, RUN_SCHEMA};
 pub use solver::{AnyInstance, DynSolver, FromAnyInstance, SolveError, Solver};
+pub use trial::TrialStats;
 
 /// Re-export of the instance distance-backend selector so API consumers can
 /// configure [`RunConfig::backend`] without depending on `parfaclo-metric`

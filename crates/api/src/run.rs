@@ -2,6 +2,7 @@
 
 use crate::config::RunConfig;
 use crate::json::{JsonObject, JsonValue};
+use crate::trial::TrialStats;
 use parfaclo_matrixops::CostReport;
 use parfaclo_metric::Backend;
 
@@ -91,6 +92,12 @@ pub struct Run {
     /// implicit. Stamped by the registry wrapper; excluded from
     /// [`Run::canonical_json`] alongside `backend`.
     pub memory_bytes: u64,
+    /// Wall-clock statistics over repeated trials of this run, when the
+    /// measurement harness re-ran it (`None` for ordinary single runs).
+    /// Timing metadata like `wall_ms`: emitted in [`Run::to_json`]'s timing
+    /// section, excluded from [`Run::canonical_json`] so the canonical
+    /// record stays single-run and byte-comparable across trials.
+    pub trials: Option<TrialStats>,
     /// The ε the run was configured with.
     pub epsilon: f64,
     /// The seed the run was configured with.
@@ -119,6 +126,7 @@ impl Run {
             threads: 0,
             backend: Backend::Dense,
             memory_bytes: 0,
+            trials: None,
             epsilon: 0.0,
             seed: 0,
             extra: Vec::new(),
@@ -186,6 +194,13 @@ impl Run {
     /// Appends one solver-specific metric.
     pub fn with_extra(mut self, key: &str, value: f64) -> Self {
         self.extra.push((key.to_string(), value));
+        self
+    }
+
+    /// Attaches wall-clock statistics over repeated trials (timing
+    /// metadata; never part of the canonical record).
+    pub fn with_trials(mut self, stats: TrialStats) -> Self {
+        self.trials = Some(stats);
         self
     }
 
@@ -301,6 +316,9 @@ impl Run {
                 .uint("threads", self.threads as u64)
                 .string("backend", self.backend.as_str())
                 .uint("memory_bytes", self.memory_bytes);
+            if let Some(stats) = &self.trials {
+                obj = obj.field("trials", stats.to_json_value());
+            }
         }
         obj.build()
     }
@@ -391,6 +409,23 @@ mod tests {
         let mut run = sample();
         run.assignment = vec![1, 1, 1];
         assert!(run.validate().is_err(), "assignment to unselected element");
+    }
+
+    #[test]
+    fn trial_stats_are_timing_metadata_only() {
+        let bare = sample();
+        let mut timed = sample();
+        timed.trials = Some(TrialStats::from_samples(&[1.0, 2.0, 3.0]));
+        assert_eq!(
+            bare.canonical_json(),
+            timed.canonical_json(),
+            "trial statistics must not leak into the canonical record"
+        );
+        assert!(!bare.to_json().contains("\"trials\""));
+        let json = timed.to_json();
+        assert!(json.contains("\"trials\":{\"trials\":3"));
+        assert!(json.contains("\"median_ms\":2.0"));
+        assert!(json.contains("\"stddev_ms\""));
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Statistics over repeated timed trials of one run.
+//!
+//! One-shot wall-clocks are noise on shared hardware; the measurement
+//! subsystem re-runs every (solver, workload) cell several times and keeps
+//! the whole distribution summary. [`TrialStats`] is the common currency:
+//! the bench matrix records it per cell, the `parfaclo.bench.v2` artifact
+//! serialises it, and the comparator diffs medians (the most robust of the
+//! four locations against scheduler noise).
+
+use crate::json::{JsonObject, JsonValue};
+
+/// Summary statistics of repeated wall-clock samples (milliseconds).
+///
+/// Constructed via [`TrialStats::from_samples`]; all four statistics are
+/// deterministic functions of the sample multiset (median averages the two
+/// middle elements for even counts, stddev is the population form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialStats {
+    /// Number of measured trials (warmup runs excluded).
+    pub trials: usize,
+    /// Fastest trial.
+    pub min_ms: f64,
+    /// Median trial — the comparator's primary statistic.
+    pub median_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Population standard deviation.
+    pub stddev_ms: f64,
+}
+
+impl TrialStats {
+    /// Summarises a non-empty sample set of wall-clock milliseconds.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains a non-finite value — both
+    /// indicate a harness bug, not a measurement outcome.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "TrialStats needs at least one sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "non-finite wall-clock sample"
+        );
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let variance = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        TrialStats {
+            trials: n,
+            min_ms: sorted[0],
+            median_ms: median,
+            mean_ms: mean,
+            stddev_ms: variance.sqrt(),
+        }
+    }
+
+    /// Serialises the statistics as an ordered JSON object.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonObject::new()
+            .uint("trials", self.trials as u64)
+            .number("min_ms", self.min_ms)
+            .number("median_ms", self.median_ms)
+            .number("mean_ms", self.mean_ms)
+            .number("stddev_ms", self.stddev_ms)
+            .build()
+    }
+
+    /// Reads the statistics back from a parsed JSON object (the inverse of
+    /// [`TrialStats::to_json_value`]).
+    pub fn from_json_value(value: &JsonValue) -> Result<TrialStats, String> {
+        let field = |key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("trial stats missing numeric field '{key}'"))
+        };
+        Ok(TrialStats {
+            trials: value
+                .get("trials")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| "trial stats missing field 'trials'".to_string())?
+                as usize,
+            min_ms: field("min_ms")?,
+            median_ms: field("median_ms")?,
+            mean_ms: field("mean_ms")?,
+            stddev_ms: field("stddev_ms")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarises_odd_and_even_sample_counts() {
+        let odd = TrialStats::from_samples(&[3.0, 1.0, 2.0]);
+        assert_eq!(odd.trials, 3);
+        assert_eq!(odd.min_ms, 1.0);
+        assert_eq!(odd.median_ms, 2.0);
+        assert_eq!(odd.mean_ms, 2.0);
+        assert!((odd.stddev_ms - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+
+        let even = TrialStats::from_samples(&[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(even.median_ms, 2.5);
+        assert_eq!(even.mean_ms, 2.5);
+    }
+
+    #[test]
+    fn single_sample_degenerates_cleanly() {
+        let one = TrialStats::from_samples(&[7.5]);
+        assert_eq!(one.trials, 1);
+        assert_eq!(one.min_ms, 7.5);
+        assert_eq!(one.median_ms, 7.5);
+        assert_eq!(one.mean_ms, 7.5);
+        assert_eq!(one.stddev_ms, 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let stats = TrialStats::from_samples(&[1.25, 2.5, 10.0]);
+        let text = stats.to_json_value().to_string();
+        let back = TrialStats::from_json_value(&JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let v = JsonValue::parse(r#"{"trials":3,"min_ms":1.0}"#).unwrap();
+        let err = TrialStats::from_json_value(&v).unwrap_err();
+        assert!(err.contains("median_ms"), "unexpected error: {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_sample_set_rejected() {
+        let _ = TrialStats::from_samples(&[]);
+    }
+}

@@ -1,0 +1,993 @@
+//! The measurement subsystem: a workload-matrix benchmark runner, the
+//! versioned `parfaclo.bench.v2` artifact, and the baseline comparator.
+//!
+//! The paper's claims are quantitative, so performance has to be a tested
+//! property: [`run_matrix`] sweeps a (solver × workload × backend × thread
+//! count) matrix with warmup and repeated trials, summarising each cell as a
+//! [`parfaclo_api::TrialStats`] plus memory and meter charges, and
+//! self-certifying determinism by byte-comparing every trial's canonical
+//! JSON against the first. [`BenchArtifact`] serialises the result with a
+//! machine fingerprint; [`compare`] diffs two artifacts cell-by-cell and
+//! classifies each as improved / unchanged / regressed against a threshold,
+//! which is what the CI `perf-smoke` job gates on.
+
+use crate::runner::{run_solver_cached, GenSpec, InstanceCache};
+use parfaclo_api::json::{JsonObject, JsonValue};
+use parfaclo_api::{Backend, Registry, Run, RunConfig, TrialStats};
+use parfaclo_matrixops::{CostReport, ExecPolicy};
+
+/// Schema tag of the matrix-benchmark artifact; bump on shape changes.
+/// (`parfaclo.bench.v1` is the older `suite --emit-bench` speedup artifact:
+/// one-shot threads=1 vs threads=N wall-clocks with no trial statistics.)
+pub const BENCH_V2_SCHEMA: &str = "parfaclo.bench.v2";
+
+/// Where the measurements were taken: enough to judge whether two artifacts
+/// are comparable at all (a laptop baseline vs a CI runner is apples to
+/// oranges; the comparator prints both fingerprints so the reader can tell).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineFingerprint {
+    /// Logical CPUs visible to the process.
+    pub cpus: usize,
+    /// `git` commit hash the binary was run against (`unknown` outside a
+    /// repository).
+    pub commit: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+}
+
+impl MachineFingerprint {
+    /// Detects the current machine: CPU count, best-effort `git rev-parse
+    /// HEAD`, and the compile-time OS/arch constants.
+    pub fn detect() -> Self {
+        let commit = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        MachineFingerprint {
+            cpus: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            commit,
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+        }
+    }
+
+    fn to_json_value(&self) -> JsonValue {
+        JsonObject::new()
+            .uint("cpus", self.cpus as u64)
+            .string("commit", &self.commit)
+            .string("os", &self.os)
+            .string("arch", &self.arch)
+            .build()
+    }
+
+    fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let string = |key: &str| -> Result<String, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("fingerprint missing string field '{key}'"))
+        };
+        Ok(MachineFingerprint {
+            cpus: value
+                .get("cpus")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| "fingerprint missing field 'cpus'".to_string())?
+                as usize,
+            commit: string("commit")?,
+            os: string("os")?,
+            arch: string("arch")?,
+        })
+    }
+
+    /// One-line human-readable form for table headers. The commit is
+    /// abbreviated by characters, not bytes — artifact files are
+    /// user-editable, so the field is not guaranteed to be a hex hash.
+    pub fn describe(&self) -> String {
+        let short: String = self.commit.chars().take(12).collect();
+        format!(
+            "{} cpus, {}/{}, commit {short}",
+            self.cpus, self.os, self.arch
+        )
+    }
+}
+
+/// The solver-configuration slice that changes what a cell *measures* (as
+/// opposed to the sweep dimensions, which are part of each cell's key).
+/// Stored once per artifact — [`run_matrix`] applies one configuration to
+/// every cell — and checked by [`compare`]: artifacts measured under
+/// different configurations are never joined, because a seed or `k` change
+/// alters the instances and the work several-fold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchConfig {
+    /// Generator / solver seed.
+    pub seed: u64,
+    /// Solver ε.
+    pub epsilon: f64,
+    /// Centers for the clustering/dominator solvers.
+    pub k: usize,
+    /// Execution policy label (`seq` / `par` / `tuned:<grain>`).
+    pub policy: String,
+    /// Round-bounding preprocessing enabled.
+    pub preprocess: bool,
+    /// Greedy subselection vote enabled.
+    pub subselection: bool,
+    /// Explicit dominator threshold (`None` derives from the instance).
+    pub threshold: Option<f64>,
+}
+
+impl BenchConfig {
+    /// Projects the measurement-relevant fields out of a [`RunConfig`].
+    pub fn from_run_config(cfg: &RunConfig) -> Self {
+        BenchConfig {
+            seed: cfg.seed,
+            epsilon: cfg.epsilon,
+            k: cfg.k,
+            policy: match cfg.policy {
+                ExecPolicy::Sequential => "seq".to_string(),
+                ExecPolicy::Parallel => "par".to_string(),
+                ExecPolicy::Tuned { grain } => format!("tuned:{grain}"),
+            },
+            preprocess: cfg.preprocess,
+            subselection: cfg.subselection,
+            threshold: cfg.threshold,
+        }
+    }
+
+    fn to_json_value(&self) -> JsonValue {
+        JsonObject::new()
+            .uint("seed", self.seed)
+            .number("epsilon", self.epsilon)
+            .uint("k", self.k as u64)
+            .string("policy", &self.policy)
+            .bool("preprocess", self.preprocess)
+            .bool("subselection", self.subselection)
+            .field(
+                "threshold",
+                match self.threshold {
+                    Some(t) => JsonValue::Number(t),
+                    None => JsonValue::Null,
+                },
+            )
+            .build()
+    }
+
+    fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let missing = |key: &str| format!("bench config missing field '{key}'");
+        Ok(BenchConfig {
+            seed: value
+                .get("seed")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| missing("seed"))?,
+            epsilon: value
+                .get("epsilon")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| missing("epsilon"))?,
+            k: value
+                .get("k")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| missing("k"))? as usize,
+            policy: value
+                .get("policy")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| missing("policy"))?
+                .to_string(),
+            preprocess: value
+                .get("preprocess")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| missing("preprocess"))?,
+            subselection: value
+                .get("subselection")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| missing("subselection"))?,
+            threshold: match value.get("threshold") {
+                None => return Err(missing("threshold")),
+                Some(JsonValue::Null) => None,
+                Some(v) => Some(v.as_f64().ok_or_else(|| missing("threshold"))?),
+            },
+        })
+    }
+}
+
+/// The benchmark matrix: every combination of solver, workload, backend and
+/// thread count becomes one measured cell.
+#[derive(Debug, Clone)]
+pub struct BenchMatrix {
+    /// Registry names of the solvers to measure.
+    pub solvers: Vec<String>,
+    /// Workload entries. A bare workload name (`uniform`, `clustered`,
+    /// `grid`, `line`, `planted`) is measured at the matrix's `n`/`nf`; the
+    /// `large`/`xlarge` presets and explicit `name:key=value` specs keep
+    /// their own dimensions.
+    pub workloads: Vec<String>,
+    /// Client/node count bare workload names are measured at.
+    pub n: usize,
+    /// Candidate-facility count for bare workload names.
+    pub nf: usize,
+    /// Distance backends to sweep.
+    pub backends: Vec<Backend>,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Untimed warmup runs per cell (page in the instance, warm the
+    /// allocator and the thread pool).
+    pub warmup: usize,
+    /// Timed trials per cell.
+    pub trials: usize,
+}
+
+impl Default for BenchMatrix {
+    /// The committed-baseline matrix: one solver per problem family plus the
+    /// second facility-location algorithm, two workloads, both backends,
+    /// threads {1, 4} — small enough to run in seconds, wide enough to touch
+    /// every layer (solver families, generator presets, both distance
+    /// backends, pool sizes).
+    fn default() -> Self {
+        BenchMatrix {
+            solvers: ["greedy", "primal-dual", "kcenter", "maxdom"]
+                .map(String::from)
+                .to_vec(),
+            workloads: ["uniform", "clustered"].map(String::from).to_vec(),
+            n: 64,
+            nf: 32,
+            backends: vec![Backend::Dense, Backend::Implicit],
+            threads: vec![1, 4],
+            warmup: 1,
+            trials: 3,
+        }
+    }
+}
+
+impl BenchMatrix {
+    /// Number of cells the matrix will measure.
+    pub fn cells(&self) -> usize {
+        self.solvers.len() * self.workloads.len() * self.backends.len() * self.threads.len()
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.solvers.is_empty()
+            || self.workloads.is_empty()
+            || self.backends.is_empty()
+            || self.threads.is_empty()
+        {
+            return Err("bench matrix has an empty dimension".to_string());
+        }
+        if self.trials == 0 {
+            return Err("bench needs at least one trial per cell".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// One measured cell of the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Registry name of the solver.
+    pub solver: String,
+    /// Workload the instance was generated from.
+    pub workload: String,
+    /// Instance client/node count.
+    pub n: usize,
+    /// Instance candidate-facility count.
+    pub nf: usize,
+    /// Blob count of the clustered/planted generators (the generator
+    /// default for the other workloads).
+    pub clusters: usize,
+    /// Distance backend the instance was served by.
+    pub backend: Backend,
+    /// Worker threads the cell ran on.
+    pub threads: usize,
+    /// Wall-clock statistics over the timed trials.
+    pub stats: TrialStats,
+    /// The oracle's memory estimate for the instance.
+    pub memory_bytes: u64,
+    /// Meter charges of one trial (identical across trials by the
+    /// determinism contract — asserted via `deterministic`).
+    pub work: CostReport,
+    /// Whether every trial's canonical JSON was byte-identical to the
+    /// first's (self-certifying determinism check).
+    pub deterministic: bool,
+}
+
+impl BenchRecord {
+    /// The identity of the cell — what the comparator joins on: solver,
+    /// workload, both instance dimensions, backend and thread count. Cells
+    /// measured on differently-shaped instances must never be compared as
+    /// if they were the same workload.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}:n={},nf={},c={}/{}:t={}",
+            self.solver,
+            self.workload,
+            self.n,
+            self.nf,
+            self.clusters,
+            self.backend.as_str(),
+            self.threads
+        )
+    }
+
+    fn to_json_value(&self) -> JsonValue {
+        JsonObject::new()
+            .string("solver", &self.solver)
+            .string("workload", &self.workload)
+            .uint("n", self.n as u64)
+            .uint("nf", self.nf as u64)
+            .uint("clusters", self.clusters as u64)
+            .string("backend", self.backend.as_str())
+            .uint("threads", self.threads as u64)
+            .field("wall_ms", self.stats.to_json_value())
+            .uint("memory_bytes", self.memory_bytes)
+            .field(
+                "work",
+                JsonObject::new()
+                    .uint("element_ops", self.work.element_ops)
+                    .uint("primitive_calls", self.work.primitive_calls)
+                    .uint("sort_calls", self.work.sort_calls)
+                    .uint("rounds", self.work.rounds)
+                    .build(),
+            )
+            .bool("deterministic", self.deterministic)
+            .build()
+    }
+
+    fn from_json_value(value: &JsonValue) -> Result<Self, String> {
+        let uint = |v: &JsonValue, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("bench record missing integer field '{key}'"))
+        };
+        let work_obj = value
+            .get("work")
+            .ok_or_else(|| "bench record missing field 'work'".to_string())?;
+        Ok(BenchRecord {
+            solver: value
+                .get("solver")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "bench record missing field 'solver'".to_string())?
+                .to_string(),
+            workload: value
+                .get("workload")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "bench record missing field 'workload'".to_string())?
+                .to_string(),
+            n: uint(value, "n")? as usize,
+            nf: uint(value, "nf")? as usize,
+            clusters: uint(value, "clusters")? as usize,
+            backend: value
+                .get("backend")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "bench record missing field 'backend'".to_string())?
+                .parse()?,
+            threads: uint(value, "threads")? as usize,
+            stats: TrialStats::from_json_value(
+                value
+                    .get("wall_ms")
+                    .ok_or_else(|| "bench record missing field 'wall_ms'".to_string())?,
+            )?,
+            memory_bytes: uint(value, "memory_bytes")?,
+            work: CostReport {
+                element_ops: uint(work_obj, "element_ops")?,
+                primitive_calls: uint(work_obj, "primitive_calls")?,
+                sort_calls: uint(work_obj, "sort_calls")?,
+                rounds: uint(work_obj, "rounds")?,
+            },
+            deterministic: value
+                .get("deterministic")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| "bench record missing field 'deterministic'".to_string())?,
+        })
+    }
+}
+
+/// A complete benchmark artifact: schema tag, machine fingerprint, the
+/// solver configuration shared by every cell, and one record per cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArtifact {
+    /// Where the measurements were taken.
+    pub fingerprint: MachineFingerprint,
+    /// The solver configuration every cell was measured under.
+    pub config: BenchConfig,
+    /// Warmup runs each cell performed before timing.
+    pub warmup: usize,
+    /// One record per matrix cell.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchArtifact {
+    /// Serialises the artifact under the `parfaclo.bench.v2` schema.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<JsonValue> = self
+            .records
+            .iter()
+            .map(BenchRecord::to_json_value)
+            .collect();
+        JsonObject::new()
+            .string("schema", BENCH_V2_SCHEMA)
+            .field("machine", self.fingerprint.to_json_value())
+            .field("config", self.config.to_json_value())
+            .uint("warmup", self.warmup as u64)
+            .field("records", JsonValue::Array(rows))
+            .build()
+            .to_string()
+    }
+
+    /// Parses an artifact, rejecting documents whose schema tag is not
+    /// exactly `parfaclo.bench.v2` (in particular the older
+    /// `parfaclo.bench.v1` speedup artifact).
+    pub fn parse(text: &str) -> Result<BenchArtifact, String> {
+        let doc = JsonValue::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "artifact has no 'schema' field".to_string())?;
+        if schema != BENCH_V2_SCHEMA {
+            return Err(format!(
+                "artifact schema is '{schema}', expected '{BENCH_V2_SCHEMA}' \
+                 (regenerate the baseline with `parfaclo bench --out <path> --force`)"
+            ));
+        }
+        let fingerprint = MachineFingerprint::from_json_value(
+            doc.get("machine")
+                .ok_or_else(|| "artifact missing 'machine' fingerprint".to_string())?,
+        )?;
+        let config = BenchConfig::from_json_value(
+            doc.get("config")
+                .ok_or_else(|| "artifact missing 'config' section".to_string())?,
+        )?;
+        let warmup = doc
+            .get("warmup")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| "artifact missing 'warmup'".to_string())? as usize;
+        let records = doc
+            .get("records")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "artifact missing 'records' array".to_string())?
+            .iter()
+            .map(BenchRecord::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchArtifact {
+            fingerprint,
+            config,
+            warmup,
+            records,
+        })
+    }
+}
+
+/// Resolves the matrix's workload entries into concrete generator specs:
+/// bare workload names inherit the matrix's `n`/`nf`; the `large`/`xlarge`
+/// presets and explicit `name:key=value` specs keep their own dimensions.
+/// Duplicate resolved specs are an error — they would produce cells with
+/// identical keys, which the comparator would double-join.
+fn resolve_workloads(matrix: &BenchMatrix) -> Result<Vec<GenSpec>, String> {
+    let mut specs: Vec<GenSpec> = Vec::with_capacity(matrix.workloads.len());
+    for entry in &matrix.workloads {
+        let raw = entry.trim();
+        let mut spec = GenSpec::parse(raw)?;
+        // Bare name: no explicit options and not a preset alias (presets
+        // resolve to a different workload string, e.g. large → uniform).
+        if !raw.contains(':') && spec.workload.eq_ignore_ascii_case(raw) {
+            spec.n = matrix.n;
+            spec.nf = matrix.nf;
+        }
+        if spec.seed.is_some() {
+            return Err(format!(
+                "workload entry '{raw}' carries its own seed; the bench matrix uses \
+                 one seed for every cell (set it via the run seed), because per-cell \
+                 seeds are invisible to the comparator's cell keys"
+            ));
+        }
+        if let Some(dup) = specs.iter().find(|s| **s == spec) {
+            return Err(format!(
+                "duplicate workload entry '{raw}' in the bench matrix \
+                 (resolves to {}:n={},nf={}, same as an earlier entry)",
+                dup.workload, dup.n, dup.nf
+            ));
+        }
+        specs.push(spec);
+    }
+    Ok(specs)
+}
+
+/// Runs the full matrix under one base [`RunConfig`]: per cell, `warmup`
+/// untimed runs then `trials` timed runs, each trial byte-compared
+/// (canonical JSON) against the first. The base configuration supplies
+/// seed, ε, `k`, policy and the ablation knobs (recorded in the artifact's
+/// `config` section); its backend/threads fields are overridden per cell by
+/// the sweep dimensions.
+///
+/// Returns the artifact plus one representative [`Run`] per cell (the first
+/// trial's, with the cell's [`TrialStats`] attached) for table display.
+/// Errors if any cell violates the determinism contract, names an unknown
+/// solver, or the matrix is degenerate.
+pub fn run_matrix(
+    registry: &Registry,
+    matrix: &BenchMatrix,
+    base: &RunConfig,
+) -> Result<(BenchArtifact, Vec<Run>), String> {
+    matrix.validate()?;
+    let specs = resolve_workloads(matrix)?;
+    let mut records = Vec::with_capacity(matrix.cells());
+    let mut runs = Vec::with_capacity(matrix.cells());
+    for spec in &specs {
+        let workload = &spec.workload;
+        for &backend in &matrix.backends {
+            let mut cache = InstanceCache::new(spec, base.seed, backend);
+            for solver in &matrix.solvers {
+                for &threads in &matrix.threads {
+                    let cfg = base.clone().with_backend(backend).with_threads(threads);
+                    for _ in 0..matrix.warmup {
+                        run_solver_cached(registry, solver, &mut cache, &cfg)?;
+                    }
+                    let mut samples = Vec::with_capacity(matrix.trials);
+                    let mut first: Option<Run> = None;
+                    let mut deterministic = true;
+                    for _ in 0..matrix.trials {
+                        let run = run_solver_cached(registry, solver, &mut cache, &cfg)?;
+                        samples.push(run.wall_ms);
+                        match &first {
+                            None => first = Some(run),
+                            Some(f) => {
+                                deterministic &= f.canonical_json() == run.canonical_json();
+                            }
+                        }
+                    }
+                    let first = first.expect("trials >= 1 checked in validate");
+                    if !deterministic {
+                        return Err(format!(
+                            "solver '{solver}' on workload '{workload}' \
+                             (backend {}, threads {threads}) produced different canonical \
+                             JSON across trials — determinism contract violated",
+                            backend.as_str()
+                        ));
+                    }
+                    let stats = TrialStats::from_samples(&samples);
+                    records.push(BenchRecord {
+                        solver: solver.clone(),
+                        workload: workload.clone(),
+                        n: spec.n,
+                        nf: spec.nf,
+                        clusters: spec.clusters,
+                        backend,
+                        threads: first.threads,
+                        stats: stats.clone(),
+                        memory_bytes: first.memory_bytes,
+                        work: first.work,
+                        deterministic,
+                    });
+                    runs.push(first.with_trials(stats));
+                }
+            }
+        }
+    }
+    Ok((
+        BenchArtifact {
+            fingerprint: MachineFingerprint::detect(),
+            config: BenchConfig::from_run_config(base),
+            warmup: matrix.warmup,
+            records,
+        },
+        runs,
+    ))
+}
+
+/// One joined (baseline, current) cell in a comparison.
+#[derive(Debug, Clone)]
+pub struct ComparisonRow {
+    /// Cell identity (see [`BenchRecord::key`]).
+    pub key: String,
+    /// Baseline median wall-clock (ms).
+    pub baseline_ms: f64,
+    /// Current median wall-clock (ms).
+    pub current_ms: f64,
+}
+
+impl ComparisonRow {
+    /// Slowdown ratio `current / baseline`: `> 1` is slower than baseline,
+    /// `< 1` is faster. Infinite when the baseline median was 0 and the
+    /// current one is not.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_ms > 0.0 {
+            self.current_ms / self.baseline_ms
+        } else if self.current_ms > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    }
+
+    /// Human verdict against a regression threshold in percent.
+    pub fn verdict(&self, threshold_pct: f64) -> &'static str {
+        let ratio = self.ratio();
+        if ratio > 1.0 + threshold_pct / 100.0 {
+            "REGRESSED"
+        } else if ratio < 1.0 / (1.0 + threshold_pct / 100.0) {
+            "improved"
+        } else {
+            "ok"
+        }
+    }
+}
+
+/// The result of diffing two artifacts cell-by-cell.
+#[derive(Debug, Clone)]
+pub struct ComparisonReport {
+    /// Cells present in both artifacts, in the current artifact's order.
+    pub rows: Vec<ComparisonRow>,
+    /// Cell keys present only in the baseline (workload dropped/renamed, or
+    /// the current run measured a narrower matrix).
+    pub missing: Vec<String>,
+    /// Cell keys present only in the current artifact.
+    pub added: Vec<String>,
+}
+
+impl ComparisonReport {
+    /// The cells slower than baseline by more than `threshold_pct` percent.
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<&ComparisonRow> {
+        self.rows
+            .iter()
+            .filter(|row| row.verdict(threshold_pct) == "REGRESSED")
+            .collect()
+    }
+
+    /// Geometric-mean slowdown ratio over the joined cells (1.0 when there
+    /// are none) — the one-number summary printed under the table.
+    pub fn geomean_ratio(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self
+            .rows
+            .iter()
+            .map(|r| r.ratio().max(f64::MIN_POSITIVE).ln())
+            .sum();
+        (log_sum / self.rows.len() as f64).exp()
+    }
+}
+
+/// Joins two artifacts on cell identity and compares median wall-clocks.
+///
+/// Errors when the artifacts were measured under different solver
+/// configurations (seed, ε, `k`, policy, ablation knobs): the cells would
+/// join on identical keys while describing different instances and
+/// different work, so any ratio would be meaningless. Cells only on one
+/// side are reported (never silently dropped), not treated as regressions:
+/// a baseline regenerated on a wider matrix must not fail CI runs that
+/// measure a subset.
+pub fn compare(
+    baseline: &BenchArtifact,
+    current: &BenchArtifact,
+) -> Result<ComparisonReport, String> {
+    if baseline.config != current.config {
+        return Err(format!(
+            "artifacts were measured under different configurations and cannot be \
+             compared: baseline {:?} vs current {:?} \
+             (re-run with matching --seed/--eps/--k/--policy/ablation flags, or \
+             regenerate the baseline)",
+            baseline.config, current.config
+        ));
+    }
+    let mut rows = Vec::new();
+    let mut added = Vec::new();
+    for cur in &current.records {
+        match baseline.records.iter().find(|b| b.key() == cur.key()) {
+            Some(base) => rows.push(ComparisonRow {
+                key: cur.key(),
+                baseline_ms: base.stats.median_ms,
+                current_ms: cur.stats.median_ms,
+            }),
+            None => added.push(cur.key()),
+        }
+    }
+    let missing = baseline
+        .records
+        .iter()
+        .filter(|b| !current.records.iter().any(|c| c.key() == b.key()))
+        .map(|b| b.key())
+        .collect();
+    Ok(ComparisonReport {
+        rows,
+        missing,
+        added,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::standard_registry;
+
+    fn record(solver: &str, workload: &str, median_ms: f64) -> BenchRecord {
+        BenchRecord {
+            solver: solver.to_string(),
+            workload: workload.to_string(),
+            n: 64,
+            nf: 32,
+            clusters: 8,
+            backend: Backend::Dense,
+            threads: 1,
+            stats: TrialStats {
+                trials: 3,
+                min_ms: median_ms * 0.9,
+                median_ms,
+                mean_ms: median_ms,
+                stddev_ms: median_ms * 0.05,
+            },
+            memory_bytes: 64 * 32 * 8,
+            work: CostReport {
+                element_ops: 1000,
+                primitive_calls: 10,
+                sort_calls: 2,
+                rounds: 4,
+            },
+            deterministic: true,
+        }
+    }
+
+    fn artifact(records: Vec<BenchRecord>) -> BenchArtifact {
+        BenchArtifact {
+            fingerprint: MachineFingerprint {
+                cpus: 4,
+                commit: "deadbeef".to_string(),
+                os: "linux".to_string(),
+                arch: "x86_64".to_string(),
+            },
+            config: BenchConfig::from_run_config(&RunConfig::new(0.1).with_seed(5).with_k(3)),
+            warmup: 1,
+            records,
+        }
+    }
+
+    #[test]
+    fn artifact_json_round_trips() {
+        let art = artifact(vec![
+            record("greedy", "uniform", 2.5),
+            record("kcenter", "clustered", 1.25),
+        ]);
+        let text = art.to_json();
+        assert!(text.contains(BENCH_V2_SCHEMA));
+        assert!(text.contains("\"machine\""));
+        assert!(text.contains("\"element_ops\":1000"));
+        let back = BenchArtifact::parse(&text).unwrap();
+        assert_eq!(back, art);
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let v1 = r#"{"schema":"parfaclo.bench.v1","records":[]}"#;
+        let err = BenchArtifact::parse(v1).unwrap_err();
+        assert!(
+            err.contains("parfaclo.bench.v1") && err.contains(BENCH_V2_SCHEMA),
+            "error should name both schemas: {err}"
+        );
+        assert!(BenchArtifact::parse("{}").is_err());
+        assert!(BenchArtifact::parse("not json").is_err());
+    }
+
+    #[test]
+    fn comparator_classifies_improvement_and_regression() {
+        let base = artifact(vec![
+            record("greedy", "uniform", 10.0),
+            record("kcenter", "uniform", 10.0),
+            record("maxdom", "uniform", 10.0),
+        ]);
+        let cur = artifact(vec![
+            record("greedy", "uniform", 4.0),   // 2.5x faster
+            record("kcenter", "uniform", 10.5), // noise
+            record("maxdom", "uniform", 30.0),  // 3x slower
+        ]);
+        let report = compare(&base, &cur).unwrap();
+        assert_eq!(report.rows.len(), 3);
+        assert!(report.missing.is_empty() && report.added.is_empty());
+        assert_eq!(report.rows[0].verdict(50.0), "improved");
+        assert_eq!(report.rows[1].verdict(50.0), "ok");
+        assert_eq!(report.rows[2].verdict(50.0), "REGRESSED");
+        let regressions = report.regressions(50.0);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].key.starts_with("maxdom/"));
+        // A generous-enough threshold accepts the 3x slowdown.
+        assert!(report.regressions(250.0).is_empty());
+        assert!((report.rows[2].ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparator_reports_missing_and_added_cells() {
+        let base = artifact(vec![
+            record("greedy", "uniform", 10.0),
+            record("greedy", "clustered", 10.0),
+        ]);
+        let cur = artifact(vec![
+            record("greedy", "uniform", 10.0),
+            record("greedy", "grid", 10.0),
+        ]);
+        let report = compare(&base, &cur).unwrap();
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(
+            report.missing,
+            vec![record("greedy", "clustered", 0.0).key()]
+        );
+        assert_eq!(report.added, vec![record("greedy", "grid", 0.0).key()]);
+        // Missing cells are informational, never regressions.
+        assert!(report.regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn comparator_handles_zero_baselines_and_geomean() {
+        let base = artifact(vec![record("greedy", "uniform", 0.0)]);
+        let mut cur = artifact(vec![record("greedy", "uniform", 5.0)]);
+        let report = compare(&base, &cur).unwrap();
+        assert_eq!(report.rows[0].ratio(), f64::INFINITY);
+        assert_eq!(report.rows[0].verdict(400.0), "REGRESSED");
+
+        cur.records[0].stats.median_ms = 0.0;
+        let report = compare(&base, &cur).unwrap();
+        assert_eq!(report.rows[0].ratio(), 1.0, "0 vs 0 is unchanged");
+
+        let base = artifact(vec![
+            record("a", "uniform", 10.0),
+            record("b", "uniform", 10.0),
+        ]);
+        let cur = artifact(vec![
+            record("a", "uniform", 20.0),
+            record("b", "uniform", 5.0),
+        ]);
+        let report = compare(&base, &cur).unwrap();
+        assert!((report.geomean_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_matrix_measures_and_self_certifies() {
+        let registry = standard_registry();
+        let matrix = BenchMatrix {
+            solvers: vec!["greedy".to_string(), "kcenter".to_string()],
+            workloads: vec!["uniform".to_string()],
+            n: 24,
+            nf: 12,
+            backends: vec![Backend::Dense],
+            threads: vec![1, 2],
+            warmup: 1,
+            trials: 3,
+        };
+        let base = RunConfig::new(0.1).with_seed(5).with_k(3);
+        let (artifact, runs) = run_matrix(&registry, &matrix, &base).unwrap();
+        assert_eq!(artifact.records.len(), matrix.cells());
+        assert_eq!(runs.len(), matrix.cells());
+        for rec in &artifact.records {
+            assert!(rec.deterministic, "{} not byte-deterministic", rec.key());
+            assert_eq!(rec.stats.trials, 3);
+            assert!(rec.stats.min_ms <= rec.stats.median_ms + 1e-12);
+            assert!(rec.work.element_ops > 0, "{} charged no work", rec.key());
+        }
+        for run in &runs {
+            assert_eq!(run.trials.as_ref().map(|t| t.trials), Some(3));
+        }
+        // Self-comparison: same artifact on both sides has no regressions
+        // at any threshold, ratio exactly 1 per cell.
+        let report = compare(&artifact, &artifact).unwrap();
+        assert_eq!(report.rows.len(), matrix.cells());
+        assert!(report.regressions(0.0).is_empty());
+        assert!(report.rows.iter().all(|r| r.ratio() == 1.0));
+        // And the serialised artifact round-trips.
+        let back = BenchArtifact::parse(&artifact.to_json()).unwrap();
+        assert_eq!(back, artifact);
+    }
+
+    #[test]
+    fn run_matrix_rejects_degenerate_input() {
+        let registry = standard_registry();
+        let empty = BenchMatrix {
+            solvers: Vec::new(),
+            ..BenchMatrix::default()
+        };
+        assert!(run_matrix(&registry, &empty, &RunConfig::default()).is_err());
+
+        let zero_trials = BenchMatrix {
+            trials: 0,
+            ..BenchMatrix::default()
+        };
+        assert!(run_matrix(&registry, &zero_trials, &RunConfig::default()).is_err());
+
+        let bad_workload = BenchMatrix {
+            workloads: vec!["mystery".to_string()],
+            ..BenchMatrix::default()
+        };
+        assert!(run_matrix(&registry, &bad_workload, &RunConfig::default()).is_err());
+
+        let bad_solver = BenchMatrix {
+            solvers: vec!["ghost".to_string()],
+            workloads: vec!["uniform".to_string()],
+            ..BenchMatrix::default()
+        };
+        assert!(run_matrix(&registry, &bad_solver, &RunConfig::default()).is_err());
+    }
+
+    #[test]
+    fn default_matrix_spans_the_layers() {
+        let m = BenchMatrix::default();
+        assert_eq!(m.cells(), 4 * 2 * 2 * 2);
+        assert!(m.backends.contains(&Backend::Implicit));
+        assert!(m.threads.contains(&1) && m.threads.len() > 1);
+    }
+
+    #[test]
+    fn comparator_rejects_mismatched_configurations() {
+        let base = artifact(vec![record("greedy", "uniform", 10.0)]);
+        let mut cur = artifact(vec![record("greedy", "uniform", 10.0)]);
+        cur.config.seed = 99;
+        let err = compare(&base, &cur).unwrap_err();
+        assert!(err.contains("different configurations"), "{err}");
+
+        let mut cur = artifact(vec![record("greedy", "uniform", 10.0)]);
+        cur.config.k = 7;
+        assert!(compare(&base, &cur).is_err(), "k change must not join");
+
+        // Identical configurations compare fine.
+        let cur = artifact(vec![record("greedy", "uniform", 10.0)]);
+        assert!(compare(&base, &cur).is_ok());
+    }
+
+    #[test]
+    fn bench_config_round_trips_and_is_required() {
+        let cfg = BenchConfig::from_run_config(
+            &RunConfig::new(0.25)
+                .with_seed(3)
+                .with_k(5)
+                .with_policy(ExecPolicy::Tuned { grain: 64 })
+                .with_threshold(1.5)
+                .with_preprocess(false),
+        );
+        assert_eq!(cfg.policy, "tuned:64");
+        let back = BenchConfig::from_json_value(
+            &JsonValue::parse(&cfg.to_json_value().to_string()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, cfg);
+        // An artifact without a config section is rejected at parse time.
+        let art = artifact(vec![]);
+        let stripped = art
+            .to_json()
+            .replace(&format!(",\"config\":{}", art.config.to_json_value()), "");
+        let err = BenchArtifact::parse(&stripped).unwrap_err();
+        assert!(err.contains("config"), "{err}");
+    }
+
+    #[test]
+    fn workload_resolution_keeps_preset_dimensions_and_rejects_duplicates() {
+        let matrix = BenchMatrix {
+            workloads: vec![
+                "uniform".to_string(),
+                "large".to_string(),
+                "clustered:n=128".to_string(),
+            ],
+            ..BenchMatrix::default()
+        };
+        let specs = resolve_workloads(&matrix).unwrap();
+        // Bare name: matrix dimensions.
+        assert_eq!((specs[0].n, specs[0].nf), (64, 32));
+        // Preset: its own dimensions, not silently shrunk to the matrix's.
+        assert_eq!(specs[1].workload, "uniform");
+        assert_eq!((specs[1].n, specs[1].nf), (100_000, 100));
+        // Explicit spec: its own dimensions.
+        assert_eq!((specs[2].workload.as_str(), specs[2].n), ("clustered", 128));
+
+        // Duplicates — textual or after resolution — are rejected.
+        for dup in [
+            vec!["uniform".to_string(), "uniform".to_string()],
+            vec!["uniform".to_string(), "uniform:n=64,nf=32".to_string()],
+        ] {
+            let matrix = BenchMatrix {
+                workloads: dup.clone(),
+                ..BenchMatrix::default()
+            };
+            let err = resolve_workloads(&matrix).unwrap_err();
+            assert!(err.contains("duplicate"), "{dup:?}: {err}");
+        }
+    }
+}

@@ -11,7 +11,8 @@
 //! parfaclo ablation --gen uniform:n=128,nf=64 --json ablation.json
 //! ```
 
-use parfaclo_api::{ProblemKind, Registry, Run, RunConfig};
+use parfaclo_api::{Backend, ProblemKind, Registry, Run, RunConfig};
+use parfaclo_bench::bench::{compare, run_matrix, BenchArtifact, BenchMatrix};
 use parfaclo_bench::runner::{
     measure_speedup, run_solver, run_solver_cached, runs_to_json, speedup_to_json, table_header,
     table_row, GenSpec, InstanceCache, SpeedupRecord,
@@ -34,10 +35,26 @@ USAGE:
         Run a set of solvers (default: all) over the standard workload
         suite. Always sweeps all five workloads; --gen contributes only
         its dimensions (n, nf, c) and seed, not its workload name.
-        With --emit-bench <path>, every solver/workload pair is run at
-        threads=1 and threads=N (N from --threads, default: all cores)
-        and a parfaclo.bench.v1 speedup artifact is written to <path>;
-        the two runs are also checked for byte-identical canonical JSON.
+        With --emit-bench <path> (deprecated — prefer `parfaclo bench`,
+        which adds warmup, repeated trials and statistics), every
+        solver/workload pair is run at threads=1 and threads=N (N from
+        --threads, default: all cores) and a parfaclo.bench.v1 speedup
+        artifact is written to <path>; the two runs are also checked for
+        byte-identical canonical JSON. Refuses to overwrite an existing
+        artifact unless --force is passed.
+
+    parfaclo bench [options]
+        The measurement subsystem: run a (solver x workload x backend x
+        thread count) matrix with --warmup untimed runs and --trials
+        timed trials per cell, recording min/median/mean/stddev
+        wall-clock, memory_bytes and the meter's work counters, with a
+        self-certifying determinism check (canonical JSON byte-compared
+        across trials). --out writes a parfaclo.bench.v2 artifact with
+        a machine fingerprint (cpus, commit, os/arch). --baseline diffs
+        the fresh measurements against a previously written artifact
+        and prints a per-cell speedup/regression table; with
+        --fail-on-regress <pct> the exit code is non-zero if any cell
+        is slower than baseline by more than <pct> percent.
 
     parfaclo ablation [options]
         Run the greedy algorithm under every preprocess/subselection
@@ -66,13 +83,32 @@ OPTIONS:
                         results are identical at any count   [default: ambient]
     --no-preprocess     Disable round-bounding preprocessing (ablation)
     --no-subselection   Disable greedy subselection vote (ablation)
-    --size <n>          Suite node count; overrides --gen's n,
+    --size <n>          Suite/bench node count; overrides --gen's n,
                         other --gen keys are kept        [default: 64]
-    --solvers <a,b,c>   Suite solver subset              [default: all]
+    --solvers <a,b,c>   Suite/bench solver subset        [default: all (suite);
+                        greedy,primal-dual,kcenter,maxdom (bench)]
     --json <path>       Also write the run records as a JSON array
-    --emit-bench <path> (suite only) Write the threads=1 vs threads=N
-                        speedup artifact (BENCH_speedup.json)
+    --emit-bench <path> (suite only, deprecated — prefer `parfaclo bench`)
+                        Write the threads=1 vs threads=N speedup
+                        artifact (BENCH_speedup.json)
+    --force             Allow --emit-bench / bench --out to overwrite an
+                        existing artifact file
     --quiet             Suppress the human-readable table
+
+BENCH OPTIONS (parfaclo bench only):
+    --workloads <a,b>   Workload entries: bare names run at --size's
+                        dimensions; the large/xlarge presets and
+                        name:key=value specs keep their own
+                        [default: uniform,clustered]
+    --backends <a,b>    Backend subset (dense,implicit)  [default: dense,implicit]
+    --thread-list <a,b> Thread counts to sweep           [default: 1,4]
+    --warmup <n>        Untimed warmup runs per cell     [default: 1]
+    --trials <n>        Timed trials per cell            [default: 3]
+    --out <path>        Write the parfaclo.bench.v2 artifact
+    --baseline <path>   Compare against a previous artifact
+    --fail-on-regress <pct>
+                        Exit non-zero if any cell is more than <pct> %
+                        slower than the baseline (e.g. 300 = 4x)
 ";
 
 fn main() -> ExitCode {
@@ -101,6 +137,24 @@ struct Options {
     json: Option<String>,
     emit_bench: Option<String>,
     quiet: bool,
+    force: bool,
+    /// bench: workload subset.
+    workloads: Option<Vec<String>>,
+    /// bench: backend subset.
+    backends: Option<Vec<Backend>>,
+    /// bench: thread counts to sweep.
+    thread_list: Option<Vec<usize>>,
+    /// bench: untimed warmup runs per cell.
+    warmup: usize,
+    /// bench: timed trials per cell.
+    trials: usize,
+    /// bench: artifact output path.
+    out: Option<String>,
+    /// bench: baseline artifact to compare against.
+    baseline: Option<String>,
+    /// bench: regression threshold (percent slower than baseline) that
+    /// flips the exit code.
+    fail_on_regress: Option<f64>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -114,6 +168,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut json = None;
     let mut emit_bench = None;
     let mut quiet = false;
+    let mut force = false;
+    let mut workloads = None;
+    let mut backends = None;
+    let mut thread_list = None;
+    let mut warmup = 1usize;
+    let mut trials = 3usize;
+    let mut out = None;
+    let mut baseline = None;
+    let mut fail_on_regress = None;
 
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -201,6 +264,59 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--json" => json = Some(value("--json")?.clone()),
             "--emit-bench" => emit_bench = Some(value("--emit-bench")?.clone()),
             "--quiet" => quiet = true,
+            "--force" => force = true,
+            "--workloads" => {
+                workloads = Some(
+                    value("--workloads")?
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--backends" => {
+                backends = Some(
+                    value("--backends")?
+                        .split(',')
+                        .map(|s| s.trim().parse::<Backend>())
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            "--thread-list" => {
+                let list: Vec<usize> = value("--thread-list")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| "invalid --thread-list (expected e.g. 1,4)".to_string())?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err("--thread-list needs counts >= 1".to_string());
+                }
+                thread_list = Some(list);
+            }
+            "--warmup" => {
+                warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|_| "invalid --warmup".to_string())?
+            }
+            "--trials" => {
+                trials = value("--trials")?
+                    .parse()
+                    .map_err(|_| "invalid --trials".to_string())?;
+                if trials == 0 {
+                    return Err("--trials must be at least 1".to_string());
+                }
+            }
+            "--out" => out = Some(value("--out")?.clone()),
+            "--baseline" => baseline = Some(value("--baseline")?.clone()),
+            "--fail-on-regress" => {
+                let pct: f64 = value("--fail-on-regress")?
+                    .parse()
+                    .map_err(|_| "invalid --fail-on-regress".to_string())?;
+                if !pct.is_finite() || pct < 0.0 {
+                    return Err("--fail-on-regress must be a non-negative percentage".to_string());
+                }
+                fail_on_regress = Some(pct);
+            }
             other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
         }
     }
@@ -215,6 +331,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         json,
         emit_bench,
         quiet,
+        force,
+        workloads,
+        backends,
+        thread_list,
+        warmup,
+        trials,
+        out,
+        baseline,
+        fail_on_regress,
     })
 }
 
@@ -228,6 +353,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         "list" => cmd_list(&registry),
         "run" => cmd_run(&registry, parse_options(&args[1..])?),
         "suite" => cmd_suite(&registry, parse_options(&args[1..])?),
+        "bench" => cmd_bench(&registry, parse_options(&args[1..])?),
         "ablation" => cmd_ablation(&registry, parse_options(&args[1..])?),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -385,19 +511,207 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
                 bad.solver, bad.workload, bad.threads
             ));
         }
-        std::fs::write(path, speedup_to_json(&records))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        write_artifact(path, &speedup_to_json(&records), opts.force, true)?;
         if !opts.quiet {
             let mean_speedup = records.iter().map(SpeedupRecord::speedup).sum::<f64>()
                 / records.len().max(1) as f64;
             println!(
                 "wrote {} speedup record(s) to {path} (threads = {bench_threads}, \
-                 mean self-relative speedup {mean_speedup:.2}x, all byte-deterministic)\n",
+                 mean self-relative speedup {mean_speedup:.2}x, all byte-deterministic)\n\
+                 note: --emit-bench is deprecated; `parfaclo bench` adds warmup, repeated \
+                 trials and baseline comparison\n",
                 records.len(),
             );
         }
     }
     emit(&runs, opts.json.as_deref(), opts.quiet)
+}
+
+/// Writes an artifact file, refusing to clobber an existing one unless the
+/// user passed `--force` (a silently overwritten baseline is a lost
+/// measurement).
+fn write_artifact(path: &str, payload: &str, force: bool, quiet: bool) -> Result<(), String> {
+    if !force && std::path::Path::new(path).exists() {
+        return Err(format!(
+            "refusing to overwrite existing artifact '{path}' (pass --force to replace it)"
+        ));
+    }
+    std::fs::write(path, payload).map_err(|e| format!("writing {path}: {e}"))?;
+    if !quiet {
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
+    // A gate with nothing to gate against is a CI invocation bug, not a
+    // no-op: fail loudly instead of exiting green forever.
+    if opts.fail_on_regress.is_some() && opts.baseline.is_none() {
+        return Err("--fail-on-regress needs --baseline <artifact> to compare against".to_string());
+    }
+    let mut matrix = BenchMatrix::default();
+    if let Some(solvers) = &opts.solvers {
+        matrix.solvers = solvers.clone();
+    }
+    if let Some(workloads) = &opts.workloads {
+        matrix.workloads = workloads.clone();
+    }
+    if let Some(backends) = &opts.backends {
+        matrix.backends = backends.clone();
+    }
+    // --thread-list defines the sweep; a bare --threads pins the sweep to
+    // that single count. Passing both is ambiguous, not silently resolved.
+    match (&opts.thread_list, opts.cfg.threads) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--threads and --thread-list conflict for bench; use --thread-list \
+                 to sweep several counts or --threads for a single one"
+                    .to_string(),
+            )
+        }
+        (Some(list), None) => matrix.threads = list.clone(),
+        (None, Some(n)) => matrix.threads = vec![n],
+        (None, None) => {}
+    }
+    // Same precedence as `suite`: --gen contributes its dimensions, an
+    // explicit --size overrides the node count. A --gen seed would be
+    // invisible to the comparator's cell keys, so it must come in as the
+    // run seed (recorded in the artifact's config section) instead.
+    if opts.gen_given {
+        if opts.gen.seed.is_some() {
+            return Err(
+                "--gen seed=... is not supported by bench; pass the seed as --seed \
+                 so it is recorded in the artifact's config section"
+                    .to_string(),
+            );
+        }
+        matrix.n = opts.gen.n;
+        matrix.nf = opts.gen.nf;
+    }
+    if opts.size_given {
+        matrix.n = opts.size;
+        if !opts.gen_given {
+            matrix.nf = (opts.size / 2).max(1);
+        }
+    }
+    matrix.warmup = opts.warmup;
+    matrix.trials = opts.trials;
+
+    if !opts.quiet {
+        println!(
+            "bench: {} solvers x {} workloads x {} backends x {} thread counts \
+             = {} cells, {} warmup + {} trials each, n = {}, nf = {}\n",
+            matrix.solvers.len(),
+            matrix.workloads.len(),
+            matrix.backends.len(),
+            matrix.threads.len(),
+            matrix.cells(),
+            matrix.warmup,
+            matrix.trials,
+            matrix.n,
+            matrix.nf,
+        );
+    }
+    let (artifact, runs) = run_matrix(registry, &matrix, &opts.cfg)?;
+    if !opts.quiet {
+        let table = Table::new(&[
+            "solver",
+            "workload",
+            "backend",
+            "thr",
+            "min_ms",
+            "median_ms",
+            "mean_ms",
+            "stddev",
+            "mem_bytes",
+            "work",
+        ]);
+        for rec in &artifact.records {
+            table.row(&[
+                rec.solver.clone(),
+                rec.workload.clone(),
+                rec.backend.as_str().to_string(),
+                rec.threads.to_string(),
+                format!("{:.3}", rec.stats.min_ms),
+                format!("{:.3}", rec.stats.median_ms),
+                format!("{:.3}", rec.stats.mean_ms),
+                format!("{:.3}", rec.stats.stddev_ms),
+                rec.memory_bytes.to_string(),
+                rec.work.element_ops.to_string(),
+            ]);
+        }
+        println!(
+            "\nall {} cells byte-deterministic across {} trials ({})",
+            artifact.records.len(),
+            matrix.trials,
+            artifact.fingerprint.describe(),
+        );
+    }
+    if let Some(path) = &opts.out {
+        write_artifact(path, &artifact.to_json(), opts.force, opts.quiet)?;
+    }
+    // quiet=true: the bench table above already summarised the cells; emit
+    // only handles the --json output here.
+    emit(&runs, opts.json.as_deref(), true)?;
+    if let Some(path) = &opts.baseline {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
+        let base = BenchArtifact::parse(&text).map_err(|e| format!("baseline {path}: {e}"))?;
+        let report = compare(&base, &artifact)?;
+        // Display verdicts use the gating threshold when given, else a
+        // generous default that only flags clear shifts on shared hardware.
+        let display_pct = opts.fail_on_regress.unwrap_or(100.0);
+        if !opts.quiet {
+            println!(
+                "\ncomparison vs {path}\n  baseline: {}\n  current:  {}\n",
+                base.fingerprint.describe(),
+                artifact.fingerprint.describe(),
+            );
+            let table = Table::new(&["cell", "base_ms", "cur_ms", "ratio", "verdict"]);
+            for row in &report.rows {
+                table.row(&[
+                    row.key.clone(),
+                    format!("{:.3}", row.baseline_ms),
+                    format!("{:.3}", row.current_ms),
+                    format!("{:.3}", row.ratio()),
+                    row.verdict(display_pct).to_string(),
+                ]);
+            }
+            for key in &report.missing {
+                println!("missing from current run (in baseline only): {key}");
+            }
+            for key in &report.added {
+                println!("new cell (not in baseline): {key}");
+            }
+            println!(
+                "\ngeomean ratio {:.3} over {} joined cell(s); {} regression(s) past {}%",
+                report.geomean_ratio(),
+                report.rows.len(),
+                report.regressions(display_pct).len(),
+                display_pct,
+            );
+        }
+        if let Some(pct) = opts.fail_on_regress {
+            let regressions = report.regressions(pct);
+            if !regressions.is_empty() {
+                let worst = regressions
+                    .iter()
+                    .map(|r| r.ratio())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                return Err(format!(
+                    "{} cell(s) regressed more than {pct}% vs {path} (worst {:.2}x): {}",
+                    regressions.len(),
+                    worst,
+                    regressions
+                        .iter()
+                        .map(|r| r.key.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn cmd_ablation(registry: &Registry, opts: Options) -> Result<(), String> {

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod registry;
 pub mod runner;
 

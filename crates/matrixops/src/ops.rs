@@ -233,12 +233,12 @@ pub fn distribute_rows(
         values
             .par_iter()
             .with_min_len(ELEMENTWISE_GRAIN / cols.max(1) + 1)
-            .flat_map_iter(|&v| std::iter::repeat_n(v, cols))
+            .flat_map_iter(|&v| std::iter::repeat(v).take(cols))
             .collect()
     } else {
         values
             .iter()
-            .flat_map(|&v| std::iter::repeat_n(v, cols))
+            .flat_map(|&v| std::iter::repeat(v).take(cols))
             .collect()
     }
 }

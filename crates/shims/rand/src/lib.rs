@@ -136,6 +136,20 @@ macro_rules! impl_int_ranges {
 
 impl_int_ranges!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
 
+/// Bit-level equivalent of `f64::next_down`, which is only stable since
+/// Rust 1.86 (the workspace MSRV is older): the largest float strictly
+/// below `x`, with NaN/-∞ passed through.
+fn next_down(x: f64) -> f64 {
+    if x.is_nan() || x == f64::NEG_INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return -f64::from_bits(1);
+    }
+    let bits = x.to_bits();
+    f64::from_bits(if x > 0.0 { bits - 1 } else { bits + 1 })
+}
+
 impl SampleRange<f64> for std::ops::Range<f64> {
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
         assert!(self.start < self.end, "cannot sample from empty range");
@@ -144,7 +158,7 @@ impl SampleRange<f64> for std::ops::Range<f64> {
         // `start + u * span` can round up to exactly `end` even though
         // u < 1; the range is half-open, so clamp just below the bound.
         if x >= self.end {
-            self.end.next_down().max(self.start)
+            next_down(self.end).max(self.start)
         } else {
             x
         }
@@ -276,5 +290,37 @@ mod tests {
         assert!(empty.choose(&mut rng).is_none());
         let v = [7u8, 8, 9];
         assert!(v.contains(v.choose(&mut rng).unwrap()));
+    }
+
+    #[test]
+    fn next_down_is_the_adjacent_float_below() {
+        // (Spelled out rather than compared against `f64::next_down`, which
+        // is stable only since 1.86 — newer than the workspace MSRV.)
+        for x in [
+            1.0,
+            -1.0,
+            1.5e308,
+            -1.5e-308,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            std::f64::consts::PI,
+        ] {
+            let down = super::next_down(x);
+            assert!(down < x, "next_down({x}) = {down} is not below");
+            // Adjacent: nothing representable fits strictly in between.
+            let mid = f64::from_bits(if down > 0.0 {
+                down.to_bits() + 1
+            } else {
+                down.to_bits() - 1
+            });
+            assert!(mid >= x, "next_down({x}) skipped over {mid}");
+        }
+        // Both zeros step to the smallest negative subnormal.
+        assert_eq!(super::next_down(0.0), -5e-324);
+        assert_eq!(super::next_down(-0.0), -5e-324);
+        // The edge cases pass through / saturate.
+        assert_eq!(super::next_down(f64::NEG_INFINITY), f64::NEG_INFINITY);
+        assert_eq!(super::next_down(f64::INFINITY), f64::MAX);
+        assert!(super::next_down(f64::NAN).is_nan());
     }
 }
