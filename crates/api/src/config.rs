@@ -44,10 +44,13 @@ pub struct RunConfig {
     /// Which distance backend generated instances use: `Dense` materialises
     /// the `|C| x |F|` matrix (`O(m)` memory, the historical default);
     /// `Implicit` stores only the points and computes distances on demand
-    /// (`O(|C| + |F|)` memory — required for the 100k–1M-client presets).
-    /// Both backends produce byte-identical solver output for the same
-    /// workload and seed, so this is a memory/latency knob, not a semantic
-    /// one.
+    /// (`O(|C| + |F|)` memory — required for the 100k–1M-client presets);
+    /// `Spatial` adds deterministic exact kd-tree/grid indexes over the
+    /// points so nearest/range queries run sublinearly instead of as O(n)
+    /// sweeps (still `O(|C| + |F|)` memory — the backend that makes the
+    /// 10M-point `xxlarge` preset practical). All backends produce
+    /// byte-identical solver output for the same workload and seed, so this
+    /// is a memory/latency knob, not a semantic one.
     pub backend: Backend,
 }
 

@@ -17,8 +17,9 @@ use parfaclo_api::{Backend, Registry, Run, RunConfig, TrialStats};
 use parfaclo_matrixops::{CostReport, ExecPolicy};
 
 /// Schema tag of the matrix-benchmark artifact; bump on shape changes.
-/// (`parfaclo.bench.v1` is the older `suite --emit-bench` speedup artifact:
-/// one-shot threads=1 vs threads=N wall-clocks with no trial statistics.)
+/// (`parfaclo.bench.v1` was the speedup artifact of the removed
+/// `suite --emit-bench` path: one-shot threads=1 vs threads=N wall-clocks
+/// with no trial statistics. Parsing rejects it with a pointer here.)
 pub const BENCH_V2_SCHEMA: &str = "parfaclo.bench.v2";
 
 /// Where the measurements were taken: enough to judge whether two artifacts
@@ -224,19 +225,21 @@ pub struct BenchMatrix {
 
 impl Default for BenchMatrix {
     /// The committed-baseline matrix: one solver per problem family plus the
-    /// second facility-location algorithm, two workloads, both backends,
-    /// threads {1, 4} — small enough to run in seconds, wide enough to touch
-    /// every layer (solver families, generator presets, both distance
-    /// backends, pool sizes).
+    /// second facility-location algorithm, two workloads, all three distance
+    /// backends, threads {1, 4} — small enough to run in seconds, wide
+    /// enough to touch every layer (solver families, generator presets,
+    /// every oracle backend, pool sizes). `n = 128` deliberately exceeds
+    /// the spatial planner's flat-scan cutoff (64), so the spatial cells
+    /// exercise — and byte-certify — the real grid index, not the fallback.
     fn default() -> Self {
         BenchMatrix {
             solvers: ["greedy", "primal-dual", "kcenter", "maxdom"]
                 .map(String::from)
                 .to_vec(),
             workloads: ["uniform", "clustered"].map(String::from).to_vec(),
-            n: 64,
-            nf: 32,
-            backends: vec![Backend::Dense, Backend::Implicit],
+            n: 128,
+            nf: 64,
+            backends: vec![Backend::Dense, Backend::Implicit, Backend::Spatial],
             threads: vec![1, 4],
             warmup: 1,
             trials: 3,
@@ -911,8 +914,9 @@ mod tests {
     #[test]
     fn default_matrix_spans_the_layers() {
         let m = BenchMatrix::default();
-        assert_eq!(m.cells(), 4 * 2 * 2 * 2);
+        assert_eq!(m.cells(), 4 * 2 * 3 * 2);
         assert!(m.backends.contains(&Backend::Implicit));
+        assert!(m.backends.contains(&Backend::Spatial));
         assert!(m.threads.contains(&1) && m.threads.len() > 1);
     }
 
@@ -970,7 +974,7 @@ mod tests {
         };
         let specs = resolve_workloads(&matrix).unwrap();
         // Bare name: matrix dimensions.
-        assert_eq!((specs[0].n, specs[0].nf), (64, 32));
+        assert_eq!((specs[0].n, specs[0].nf), (128, 64));
         // Preset: its own dimensions, not silently shrunk to the matrix's.
         assert_eq!(specs[1].workload, "uniform");
         assert_eq!((specs[1].n, specs[1].nf), (100_000, 100));
@@ -980,7 +984,7 @@ mod tests {
         // Duplicates — textual or after resolution — are rejected.
         for dup in [
             vec!["uniform".to_string(), "uniform".to_string()],
-            vec!["uniform".to_string(), "uniform:n=64,nf=32".to_string()],
+            vec!["uniform".to_string(), "uniform:n=128,nf=64".to_string()],
         ] {
             let matrix = BenchMatrix {
                 workloads: dup.clone(),

@@ -14,8 +14,7 @@
 use parfaclo_api::{Backend, ProblemKind, Registry, Run, RunConfig};
 use parfaclo_bench::bench::{compare, run_matrix, BenchArtifact, BenchMatrix};
 use parfaclo_bench::runner::{
-    measure_speedup, run_solver, run_solver_cached, runs_to_json, speedup_to_json, table_header,
-    table_row, GenSpec, InstanceCache, SpeedupRecord,
+    run_solver, run_solver_cached, runs_to_json, table_header, table_row, GenSpec, InstanceCache,
 };
 use parfaclo_bench::{reset_sigpipe, standard_registry, Table};
 use parfaclo_matrixops::ExecPolicy;
@@ -35,13 +34,8 @@ USAGE:
         Run a set of solvers (default: all) over the standard workload
         suite. Always sweeps all five workloads; --gen contributes only
         its dimensions (n, nf, c) and seed, not its workload name.
-        With --emit-bench <path> (deprecated — prefer `parfaclo bench`,
-        which adds warmup, repeated trials and statistics), every
-        solver/workload pair is run at threads=1 and threads=N (N from
-        --threads, default: all cores) and a parfaclo.bench.v1 speedup
-        artifact is written to <path>; the two runs are also checked for
-        byte-identical canonical JSON. Refuses to overwrite an existing
-        artifact unless --force is passed.
+        (The old --emit-bench speedup artifact has been removed; use
+        `parfaclo bench --thread-list 1,N --out <path>` instead.)
 
     parfaclo bench [options]
         The measurement subsystem: run a (solver x workload x backend x
@@ -64,16 +58,20 @@ OPTIONS:
     --gen <spec>        Generator spec, e.g. uniform:n=2000,k=40
                         (workloads: uniform|clustered|grid|line|planted,
                         plus the implicit-scale presets large (n=100000,
-                        nf=100) and xlarge (n=1000000, nf=50);
+                        nf=100) and xlarge (n=1000000, nf=50) and the
+                        spatial-scale preset xxlarge (n=10000000, nf=100);
                         keys: n, nf|k, c, seed)          [default: uniform:n=200]
     --backend <b>       Instance distance backend: dense materialises the
                         |C| x |F| matrix (O(m) memory); implicit stores only
                         the points and computes distances on demand
-                        (O(|C|+|F|) memory — required for the large presets,
-                        which pair with the facility-location solvers; the
+                        (O(|C|+|F|) memory, but every structured query is an
+                        O(n) sweep); spatial adds deterministic exact
+                        kd-tree/grid indexes over the points so nearest/range
+                        queries run sublinearly (O(|C|+|F|) memory — the
+                        backend that makes xxlarge practical; the
                         clustering/dominator probes still need O(n²)
                         transients at any backend).
-                        Results are byte-identical either way [default: dense]
+                        Results are byte-identical in all cases [default: dense]
     --eps <f>           Slack parameter epsilon > 0      [default: 0.1]
     --seed <n>          RNG seed                         [default: 0]
     --k <n>             Centers for clustering solvers   [default: 8]
@@ -88,19 +86,17 @@ OPTIONS:
     --solvers <a,b,c>   Suite/bench solver subset        [default: all (suite);
                         greedy,primal-dual,kcenter,maxdom (bench)]
     --json <path>       Also write the run records as a JSON array
-    --emit-bench <path> (suite only, deprecated — prefer `parfaclo bench`)
-                        Write the threads=1 vs threads=N speedup
-                        artifact (BENCH_speedup.json)
-    --force             Allow --emit-bench / bench --out to overwrite an
-                        existing artifact file
+    --force             Allow bench --out to overwrite an existing
+                        artifact file
     --quiet             Suppress the human-readable table
 
 BENCH OPTIONS (parfaclo bench only):
     --workloads <a,b>   Workload entries: bare names run at --size's
-                        dimensions; the large/xlarge presets and
+                        dimensions; the large/xlarge/xxlarge presets and
                         name:key=value specs keep their own
                         [default: uniform,clustered]
-    --backends <a,b>    Backend subset (dense,implicit)  [default: dense,implicit]
+    --backends <a,b>    Backend subset (dense,implicit,spatial)
+                        [default: dense,implicit,spatial]
     --thread-list <a,b> Thread counts to sweep           [default: 1,4]
     --warmup <n>        Untimed warmup runs per cell     [default: 1]
     --trials <n>        Timed trials per cell            [default: 3]
@@ -135,7 +131,6 @@ struct Options {
     /// Whether --size was passed explicitly (overrides --gen's n in suite).
     size_given: bool,
     json: Option<String>,
-    emit_bench: Option<String>,
     quiet: bool,
     force: bool,
     /// bench: workload subset.
@@ -166,7 +161,6 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut size = 64usize;
     let mut size_given = false;
     let mut json = None;
-    let mut emit_bench = None;
     let mut quiet = false;
     let mut force = false;
     let mut workloads = None;
@@ -262,7 +256,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 size_given = true;
             }
             "--json" => json = Some(value("--json")?.clone()),
-            "--emit-bench" => emit_bench = Some(value("--emit-bench")?.clone()),
+            // Removed in favour of `parfaclo bench` (which measures the same
+            // threads=1-vs-N comparison with warmup, repeated trials and a
+            // baseline comparator). A hard error beats silently ignoring a
+            // flag that used to write artifacts.
+            "--emit-bench" => {
+                return Err(
+                    "--emit-bench has been removed; use `parfaclo bench --thread-list 1,N \
+                     --out <path>` for the speedup matrix (it adds warmup, repeated trials \
+                     and baseline comparison)"
+                        .to_string(),
+                )
+            }
             "--quiet" => quiet = true,
             "--force" => force = true,
             "--workloads" => {
@@ -329,7 +334,6 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         size,
         size_given,
         json,
-        emit_bench,
         quiet,
         force,
         workloads,
@@ -470,12 +474,7 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
         );
     }
     let workloads = ["uniform", "clustered", "grid", "line", "planted"];
-    let bench_threads = opts
-        .cfg
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
     let mut runs = Vec::new();
-    let mut records: Vec<SpeedupRecord> = Vec::new();
     for workload in workloads {
         let spec = GenSpec {
             workload: workload.to_string(),
@@ -486,14 +485,7 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
         };
         let mut cache = InstanceCache::new(&spec, opts.cfg.seed, opts.cfg.backend);
         for name in &names {
-            if opts.emit_bench.is_some() {
-                let (run, record) =
-                    measure_speedup(registry, name, &spec, &mut cache, &opts.cfg, bench_threads)?;
-                runs.push(run);
-                records.push(record);
-            } else {
-                runs.push(run_solver_cached(registry, name, &mut cache, &opts.cfg)?);
-            }
+            runs.push(run_solver_cached(registry, name, &mut cache, &opts.cfg)?);
         }
     }
     if !opts.quiet {
@@ -502,27 +494,6 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
             names.len(),
             workloads.len(),
         );
-    }
-    if let Some(path) = &opts.emit_bench {
-        if let Some(bad) = records.iter().find(|r| !r.deterministic) {
-            return Err(format!(
-                "solver '{}' on workload '{}' produced different results at \
-                 threads=1 and threads={} — determinism contract violated",
-                bad.solver, bad.workload, bad.threads
-            ));
-        }
-        write_artifact(path, &speedup_to_json(&records), opts.force, true)?;
-        if !opts.quiet {
-            let mean_speedup = records.iter().map(SpeedupRecord::speedup).sum::<f64>()
-                / records.len().max(1) as f64;
-            println!(
-                "wrote {} speedup record(s) to {path} (threads = {bench_threads}, \
-                 mean self-relative speedup {mean_speedup:.2}x, all byte-deterministic)\n\
-                 note: --emit-bench is deprecated; `parfaclo bench` adds warmup, repeated \
-                 trials and baseline comparison\n",
-                records.len(),
-            );
-        }
     }
     emit(&runs, opts.json.as_deref(), opts.quiet)
 }

@@ -4,7 +4,6 @@
 //! Kept in the library (rather than the binary) so the conformance tests can
 //! exercise exactly the code path the CLI runs.
 
-use parfaclo_api::json::{JsonObject, JsonValue};
 use parfaclo_api::{AnyInstance, Backend, ProblemKind, Registry, Run, RunConfig};
 use parfaclo_metric::gen::{self, GenParams};
 
@@ -13,9 +12,12 @@ use parfaclo_metric::gen::{self, GenParams};
 /// Grammar: `<workload>[:key=value[,key=value]*]` with workloads `uniform`,
 /// `clustered`, `grid`, `line`, `planted`, the large presets `large`
 /// (uniform, n=100000, nf=100) and `xlarge` (uniform, n=1000000, nf=50) —
-/// both sized for the implicit backend; the dense matrix at these scales is
-/// 80 MB–400 MB for facility location and entirely out of reach for square
-/// clustering instances — and keys
+/// both sized for the implicit/spatial backends; the dense matrix at these
+/// scales is 80 MB–400 MB for facility location and entirely out of reach
+/// for square clustering instances — plus `xxlarge` (uniform, n=10000000,
+/// nf=100), which only the spatial backend makes practical (the implicit
+/// backend's O(n) sweeps put every structured query at 10M distance
+/// evaluations) — and keys
 ///
 /// * `n` — number of clients / nodes (default 200),
 /// * `nf` (alias `k`) — number of candidate facilities for facility-location
@@ -61,6 +63,13 @@ impl GenSpec {
                 clusters: 8,
                 seed: None,
             },
+            "xxlarge" => GenSpec {
+                workload: "uniform".to_string(),
+                n: 10_000_000,
+                nf: 100,
+                clusters: 8,
+                seed: None,
+            },
             "uniform" | "clustered" | "grid" | "line" | "planted" => GenSpec {
                 workload,
                 n: 200,
@@ -71,7 +80,7 @@ impl GenSpec {
             _ => {
                 return Err(format!(
                     "unknown workload '{workload}' \
-                     (expected uniform|clustered|grid|line|planted|large|xlarge)"
+                     (expected uniform|clustered|grid|line|planted|large|xlarge|xxlarge)"
                 ))
             }
         };
@@ -119,13 +128,33 @@ impl GenSpec {
 
     /// Generates the instance variant the given problem family consumes,
     /// under the requested distance backend. The dense path reports
-    /// overflowing matrix shapes as a typed error instead of aborting.
+    /// overflowing matrix shapes as a typed error instead of aborting, and
+    /// refuses matrices past [`DENSE_BYTES_CAP`] with a pointer at the
+    /// point-backed backends (the `xxlarge` preset under the default dense
+    /// backend would otherwise attempt an unguarded 8 GB allocation and be
+    /// OOM-killed instead of erroring helpfully).
     pub fn instance(
         &self,
         problem: ProblemKind,
         fallback_seed: u64,
         backend: Backend,
     ) -> Result<AnyInstance, String> {
+        if backend == Backend::Dense {
+            let cols = match problem {
+                ProblemKind::FacilityLocation => self.nf,
+                ProblemKind::KClustering | ProblemKind::DominatorSet => self.n,
+            };
+            let bytes = (self.n as u128) * (cols as u128) * 8;
+            if bytes > DENSE_BYTES_CAP as u128 {
+                return Err(format!(
+                    "the dense backend would materialise a {:.1} GiB distance matrix \
+                     ({} x {cols}); use --backend implicit or --backend spatial, which \
+                     stay O(points) at any size (e.g. `--gen xxlarge --backend spatial`)",
+                    bytes as f64 / (1u64 << 30) as f64,
+                    self.n,
+                ));
+            }
+        }
         let params = self.params(fallback_seed);
         match problem {
             ProblemKind::FacilityLocation => {
@@ -137,6 +166,13 @@ impl GenSpec {
         }
     }
 }
+
+/// Largest dense distance matrix the CLI will materialise (4 GiB). The
+/// limit lives in the runner, not the metric library: programmatic callers
+/// of `try_facility_location` keep the overflow-only check, but a CLI
+/// invocation hitting this is virtually always a missing `--backend`
+/// choice, not a deliberate half-memory allocation.
+pub const DENSE_BYTES_CAP: u64 = 4 << 30;
 
 fn parse_usize(value: &str, key: &str) -> Result<usize, String> {
     value
@@ -265,104 +301,6 @@ pub fn table_header() -> Vec<&'static str> {
     ]
 }
 
-/// Schema tag for the speedup artifact (`BENCH_speedup.json`); bump on
-/// shape changes.
-pub const BENCH_SCHEMA: &str = "parfaclo.bench.v1";
-
-/// One threads=1 vs threads=N wall-clock comparison of a solver on one
-/// workload, plus the byte-determinism verdict for the pair.
-#[derive(Debug, Clone)]
-pub struct SpeedupRecord {
-    /// Registry name of the solver measured.
-    pub solver: String,
-    /// Workload name the instance was generated from.
-    pub workload: String,
-    /// Instance client/node count.
-    pub n: usize,
-    /// Thread count of the parallel leg.
-    pub threads: usize,
-    /// Wall-clock milliseconds at threads = 1.
-    pub wall_ms_t1: f64,
-    /// Wall-clock milliseconds at `threads`.
-    pub wall_ms_tn: f64,
-    /// Whether the two runs' canonical JSON was byte-identical (it must be;
-    /// recorded so the artifact is self-certifying).
-    pub deterministic: bool,
-    /// Distance backend the instance was served by.
-    pub backend: Backend,
-    /// The oracle's `memory_bytes()` estimate for the instance, so BENCH
-    /// artifacts track memory scaling alongside wall-clock speedup.
-    pub memory_bytes: u64,
-}
-
-impl SpeedupRecord {
-    /// Self-relative speedup `t1 / tN` (0 when the parallel leg measured 0 ms).
-    pub fn speedup(&self) -> f64 {
-        if self.wall_ms_tn > 0.0 {
-            self.wall_ms_t1 / self.wall_ms_tn
-        } else {
-            0.0
-        }
-    }
-}
-
-/// Runs `solver` twice on the cached instance — once pinned to 1 thread,
-/// once to `threads` — and returns the parallel run plus the comparison
-/// record. Two extra warm-up aspects are deliberate: the instance comes from
-/// the shared cache (no generation time in either leg), and the sequential
-/// leg runs first so allocator warm-up, if anything, biases *against* the
-/// parallel leg.
-pub fn measure_speedup(
-    registry: &Registry,
-    solver: &str,
-    spec: &GenSpec,
-    cache: &mut InstanceCache<'_>,
-    cfg: &RunConfig,
-    threads: usize,
-) -> Result<(Run, SpeedupRecord), String> {
-    let seq = run_solver_cached(registry, solver, cache, &cfg.clone().with_threads(1))?;
-    let par = run_solver_cached(registry, solver, cache, &cfg.clone().with_threads(threads))?;
-    let record = SpeedupRecord {
-        solver: solver.to_string(),
-        workload: spec.workload.clone(),
-        n: spec.n,
-        threads: par.threads,
-        wall_ms_t1: seq.wall_ms,
-        wall_ms_tn: par.wall_ms,
-        deterministic: seq.canonical_json() == par.canonical_json(),
-        backend: par.backend,
-        memory_bytes: par.memory_bytes,
-    };
-    Ok((par, record))
-}
-
-/// Serialises speedup records as the `BENCH_speedup.json` artifact: an
-/// envelope with the schema tag and one record per solver/workload pair.
-pub fn speedup_to_json(records: &[SpeedupRecord]) -> String {
-    let rows: Vec<JsonValue> = records
-        .iter()
-        .map(|r| {
-            JsonObject::new()
-                .string("solver", &r.solver)
-                .string("workload", &r.workload)
-                .uint("n", r.n as u64)
-                .uint("threads", r.threads as u64)
-                .number("wall_ms_t1", r.wall_ms_t1)
-                .number("wall_ms_tn", r.wall_ms_tn)
-                .number("speedup", r.speedup())
-                .bool("deterministic", r.deterministic)
-                .string("backend", r.backend.as_str())
-                .uint("memory_bytes", r.memory_bytes)
-                .build()
-        })
-        .collect();
-    JsonObject::new()
-        .string("schema", BENCH_SCHEMA)
-        .field("records", JsonValue::Array(rows))
-        .build()
-        .to_string()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,41 +324,83 @@ mod tests {
         let xl = GenSpec::parse("xlarge").unwrap();
         assert_eq!(xl.n, 1_000_000);
         assert_eq!(xl.nf, 50);
+        let xxl = GenSpec::parse("xxlarge").unwrap();
+        assert_eq!(xxl.workload, "uniform");
+        assert_eq!(xxl.n, 10_000_000);
+        assert_eq!(xxl.nf, 100);
         // Explicit keys override the preset's dimensions.
         let tuned = GenSpec::parse("large:nf=32,seed=9").unwrap();
         assert_eq!(tuned.n, 100_000);
         assert_eq!(tuned.nf, 32);
         assert_eq!(tuned.seed, Some(9));
+        let small_xxl = GenSpec::parse("xxlarge:n=1000").unwrap();
+        assert_eq!(small_xxl.n, 1000);
+        assert_eq!(small_xxl.nf, 100);
     }
 
     #[test]
-    fn implicit_backend_runs_match_dense_byte_for_byte() {
+    fn implicit_and_spatial_backend_runs_match_dense_byte_for_byte() {
         let registry = standard_registry();
-        let spec = GenSpec::parse("uniform:n=20,nf=8").unwrap();
+        let spec = GenSpec::parse("uniform:n=60,nf=24").unwrap();
         let base = RunConfig::new(0.1).with_seed(4).with_k(3);
         for name in ["greedy", "kcenter", "maxdom"] {
             let dense = run_solver(&registry, name, &spec, &base).unwrap();
-            let implicit = run_solver(
-                &registry,
-                name,
-                &spec,
-                &base.clone().with_backend(parfaclo_api::Backend::Implicit),
-            )
-            .unwrap();
-            assert_eq!(dense.backend, parfaclo_api::Backend::Dense);
-            assert_eq!(implicit.backend, parfaclo_api::Backend::Implicit);
-            assert!(
-                implicit.memory_bytes < dense.memory_bytes,
-                "{name}: implicit {} >= dense {}",
-                implicit.memory_bytes,
-                dense.memory_bytes
-            );
-            assert_eq!(
-                dense.canonical_json(),
-                implicit.canonical_json(),
-                "{name}: backends diverged"
-            );
+            for backend in [
+                parfaclo_api::Backend::Implicit,
+                parfaclo_api::Backend::Spatial,
+            ] {
+                let other = run_solver(&registry, name, &spec, &base.clone().with_backend(backend))
+                    .unwrap();
+                assert_eq!(dense.backend, parfaclo_api::Backend::Dense);
+                assert_eq!(other.backend, backend);
+                assert!(
+                    other.memory_bytes < dense.memory_bytes,
+                    "{name}/{backend}: {} >= dense {}",
+                    other.memory_bytes,
+                    dense.memory_bytes
+                );
+                assert_eq!(
+                    dense.canonical_json(),
+                    other.canonical_json(),
+                    "{name}: {backend} diverged from dense"
+                );
+            }
         }
+    }
+
+    /// The xxlarge-on-default-dense footgun: a matrix past the 4 GiB cap
+    /// must come back as a typed error pointing at the point-backed
+    /// backends — never as an attempted allocation.
+    #[test]
+    fn oversized_dense_matrix_is_refused_with_a_backend_pointer() {
+        let spec = GenSpec::parse("xxlarge").unwrap();
+        let err = spec
+            .instance(
+                ProblemKind::FacilityLocation,
+                0,
+                parfaclo_api::Backend::Dense,
+            )
+            .unwrap_err();
+        assert!(
+            err.contains("spatial"),
+            "error must point at spatial: {err}"
+        );
+        assert!(err.contains("GiB"), "error must name the size: {err}");
+        // The square clustering matrix trips the cap at much smaller n.
+        let spec = GenSpec::parse("uniform:n=30000").unwrap();
+        assert!(spec
+            .instance(ProblemKind::KClustering, 0, parfaclo_api::Backend::Dense)
+            .is_err());
+        // The point-backed backends are untouched by the cap (shape check
+        // only — no generation at 10M points in a unit test).
+        let spec = GenSpec::parse("xxlarge:n=1000").unwrap();
+        assert!(spec
+            .instance(
+                ProblemKind::FacilityLocation,
+                0,
+                parfaclo_api::Backend::Spatial
+            )
+            .is_ok());
     }
 
     #[test]
@@ -484,32 +464,6 @@ mod tests {
             let fresh = run_solver(&registry, name, &spec, &cfg).unwrap();
             assert_eq!(cached.canonical_json(), fresh.canonical_json(), "{name}");
         }
-    }
-
-    #[test]
-    fn speedup_records_are_deterministic_and_serialise() {
-        let registry = standard_registry();
-        let spec = GenSpec::parse("uniform:n=24,nf=12").unwrap();
-        let cfg = RunConfig::new(0.1).with_seed(5).with_k(3);
-        let mut cache = InstanceCache::new(&spec, cfg.seed, cfg.backend);
-        let mut records = Vec::new();
-        for name in ["greedy", "kcenter", "maxdom"] {
-            let (run, record) =
-                measure_speedup(&registry, name, &spec, &mut cache, &cfg, 4).unwrap();
-            assert_eq!(run.threads, 4, "{name}: parallel leg thread stamp");
-            assert!(
-                record.deterministic,
-                "{name}: threads=1 vs threads=4 output diverged"
-            );
-            records.push(record);
-        }
-        let json = speedup_to_json(&records);
-        assert!(json.contains(BENCH_SCHEMA));
-        assert_eq!(json.matches("\"deterministic\":true").count(), 3);
-        assert_eq!(json.matches("\"backend\":\"dense\"").count(), 3);
-        assert_eq!(json.matches("\"memory_bytes\":").count(), 3);
-        // The dense 24 x 12 facility-location instance is exactly 24*12*8 bytes.
-        assert!(records.iter().any(|r| r.memory_bytes == 24 * 12 * 8));
     }
 
     #[test]

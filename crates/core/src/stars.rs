@@ -81,7 +81,26 @@ pub fn cheapest_maximal_star(
         if !remaining[j] {
             continue;
         }
-        dist_sum += inst.dist(j, i);
+        let d = inst.dist(j, i);
+        // Early termination: distances arrive in non-decreasing order, so
+        // once `d > best_price` every later prefix price exceeds
+        // `best_price` in real arithmetic (price_{k+1} is the k-weighted
+        // average of price_k and d_{k+1}, and all later distances are >= d —
+        // the unimodality behind Fact 4.2), turning the scan into
+        // O(|star|) distance evaluations instead of O(|C|), on every
+        // backend. Strictly greater only: a distance *equal* to the best
+        // price still extends the maximal star at the same price. Defined
+        // behaviour on sub-ulp edges: a full scan's rounded price can dip
+        // back to == best_price even though the real price is larger; this
+        // scan resolves such artificial ties by the real-arithmetic
+        // semantics (the star is not extended). Identical everywhere it
+        // matters: deterministic, and invariant across backends, thread
+        // counts and policies, since every configuration runs this exact
+        // loop on bit-identical distances.
+        if d > best_price {
+            break;
+        }
+        dist_sum += d;
         k += 1;
         clients_in_order.push(j);
         let price = (fcost + dist_sum) / k as f64;
@@ -174,6 +193,32 @@ mod tests {
         assert_eq!(star.clients, vec![1]);
         assert!((star.price - 5.0).abs() < 1e-12);
         assert!(cheapest_maximal_star(&inst, 0, 3.0, &order, &[false; 4]).is_none());
+    }
+
+    /// Pins the defined behaviour of the early-terminated scan on sub-ulp
+    /// near-ties: a distance strictly above the best price never extends
+    /// the star, even where a full scan's *rounded* next price would have
+    /// dipped back to exactly the best price (real arithmetic says it is
+    /// strictly larger). Deterministic and backend/thread/policy-invariant
+    /// either way; this test documents which semantics is canonical.
+    #[test]
+    fn sub_ulp_near_ties_resolve_by_real_arithmetic() {
+        let eps = f64::EPSILON;
+        let inst = FlInstance::new(
+            vec![0.0],
+            DistanceMatrix::from_rows(2, 1, vec![1.0, 1.0 + eps]),
+        );
+        let order = vec![0u32, 1];
+        let star = cheapest_maximal_star(&inst, 0, 0.0, &order, &[true, true]).unwrap();
+        // (1.0 + (1.0 + eps)) / 2 rounds to exactly 1.0, but the real value
+        // exceeds 1.0 — the scan stops at the 1-client star of price 1.
+        assert_eq!(star.clients, vec![0]);
+        assert_eq!(star.price, 1.0);
+        // An *exact* tie still extends the star (maximality).
+        let tied = FlInstance::new(vec![0.0], DistanceMatrix::from_rows(2, 1, vec![1.0, 1.0]));
+        let star = cheapest_maximal_star(&tied, 0, 0.0, &order, &[true, true]).unwrap();
+        assert_eq!(star.clients, vec![0, 1]);
+        assert_eq!(star.price, 1.0);
     }
 
     #[test]

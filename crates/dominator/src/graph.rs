@@ -64,6 +64,48 @@ impl DenseGraph {
         DenseGraph { n, adj }
     }
 
+    /// Builds the threshold graph `H_α` directly from a square
+    /// [`DistanceOracle`]: bit-identical to
+    /// [`DenseGraph::from_threshold_fn`] over `oracle.dist`, but the spatial
+    /// backend serves each node's neighbourhood with one index range query
+    /// instead of an O(n) distance sweep — turning the O(n²) distance
+    /// evaluations of every k-center probe into O(n · query).
+    ///
+    /// [`DistanceOracle`]: parfaclo_metric::DistanceOracle
+    ///
+    /// # Panics
+    /// Panics if the oracle is not square.
+    pub fn from_threshold_oracle(oracle: &parfaclo_metric::Oracle, alpha: f64) -> Self {
+        use parfaclo_metric::DistanceOracle;
+        let n = oracle.rows();
+        assert_eq!(n, oracle.cols(), "threshold graphs need a square oracle");
+        if !oracle.has_sublinear_queries() {
+            return Self::from_threshold_fn(n, alpha, |a, b| oracle.dist(a, b));
+        }
+        // Density probe: on near-complete thresholds (the upper half of
+        // every k-center binary search) a range query returns ~n ids per
+        // node and pays an extra sort on top of the same n distance
+        // evaluations — strictly worse than the flat scan. One probe row
+        // decides for the whole graph; the choice never changes the bits,
+        // only who computes them.
+        if n > 0 && oracle.cols_within(0, alpha).len() * 2 > n {
+            return Self::from_threshold_fn(n, alpha, |a, b| oracle.dist(a, b));
+        }
+        // One range query per node (ascending neighbour ids, inclusive <=),
+        // written straight into that node's adjacency row in parallel — no
+        // intermediate neighbour-list vectors, whose total size approaches
+        // 8·n² bytes on near-complete thresholds.
+        let mut adj = vec![false; n * n];
+        adj.par_chunks_mut(n).enumerate().for_each(|(a, row)| {
+            for b in oracle.cols_within(a, alpha) {
+                if a != b {
+                    row[b] = true;
+                }
+            }
+        });
+        DenseGraph { n, adj }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {

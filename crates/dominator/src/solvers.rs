@@ -28,7 +28,7 @@ fn resolve_threshold(inst: &ClusterInstance, cfg: &RunConfig) -> f64 {
 }
 
 fn threshold_graph(inst: &ClusterInstance, threshold: f64) -> DenseGraph {
-    DenseGraph::from_threshold_fn(inst.n(), threshold, |a, b| inst.dist(a, b))
+    DenseGraph::from_threshold_oracle(inst.distances(), threshold)
 }
 
 /// Shared envelope for the set computations: threshold the instance into a

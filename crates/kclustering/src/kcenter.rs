@@ -71,7 +71,7 @@ pub fn parallel_kcenter(
     while lo <= hi {
         let mid = (lo + hi) / 2;
         probes += 1;
-        let g = DenseGraph::from_threshold_fn(n, distances[mid], |a, b| inst.dist(a, b));
+        let g = DenseGraph::from_threshold_oracle(inst.distances(), distances[mid]);
         meter.add_primitive((n * n) as u64);
         let dom = max_dom(
             &g,
@@ -94,8 +94,7 @@ pub fn parallel_kcenter(
     let (t_idx, centers) = best.unwrap_or_else(|| {
         // The largest threshold makes the whole graph one clique-square, so the
         // dominator set is a single node — always feasible.
-        let g =
-            DenseGraph::from_threshold_fn(n, *distances.last().unwrap(), |a, b| inst.dist(a, b));
+        let g = DenseGraph::from_threshold_oracle(inst.distances(), *distances.last().unwrap());
         let dom = max_dom(&g, seed, policy, &meter);
         (distances.len() - 1, dom.selected)
     });

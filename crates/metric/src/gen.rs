@@ -20,7 +20,7 @@
 
 use crate::distmat::{DistanceMatrix, SizeOverflowError};
 use crate::instance::{ClusterInstance, FlInstance};
-use crate::oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle};
+use crate::oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle, SpatialOracle};
 use crate::point::{DistanceKind, Point};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -352,6 +352,21 @@ impl InstanceGenerator {
         FlInstance::with_oracle(costs, Oracle::Implicit(oracle))
     }
 
+    /// Generates a **spatial-backend** facility-location instance: identical
+    /// points, spread and costs to the other backends for the same parameters and
+    /// seed (same RNG stream), plus deterministic spatial indexes over both point
+    /// sides so structured oracle queries run sublinearly. Memory stays
+    /// `O(|C| + |F|)` — the only backend that makes the 10M-point `xxlarge`
+    /// preset practical.
+    pub fn facility_location_spatial(&mut self) -> FlInstance {
+        let clients = self.sample_points(self.params.num_clients);
+        let facilities = self.sample_points(self.params.num_facilities);
+        let oracle = ImplicitMetric::between(clients, facilities, self.params.distance);
+        let spread = oracle.max_entry().max(1.0);
+        let costs = self.facility_costs(self.params.num_facilities, spread);
+        FlInstance::with_oracle(costs, Oracle::Spatial(SpatialOracle::from_implicit(oracle)))
+    }
+
     /// Generates a dense-backend clustering instance over `num_clients` nodes (the
     /// `num_facilities` parameter is ignored: every node is a potential center).
     ///
@@ -378,6 +393,14 @@ impl InstanceGenerator {
         let points = self.sample_points(self.params.num_clients);
         ClusterInstance::implicit(points, self.params.distance)
     }
+
+    /// Generates a **spatial-backend** clustering instance: same points as
+    /// [`InstanceGenerator::clustering`] for the same parameters and seed, stored
+    /// once with one shared deterministic spatial index (`O(n)` memory).
+    pub fn clustering_spatial(&mut self) -> ClusterInstance {
+        let points = self.sample_points(self.params.num_clients);
+        ClusterInstance::spatial(points, self.params.distance)
+    }
 }
 
 /// Convenience: generate a dense facility-location instance directly from parameters.
@@ -391,15 +414,22 @@ pub fn facility_location_implicit(params: GenParams) -> FlInstance {
     InstanceGenerator::new(params).facility_location_implicit()
 }
 
+/// Convenience: generate an implicit facility-location instance and wrap it with
+/// spatial indexes, directly from parameters.
+pub fn facility_location_spatial(params: GenParams) -> FlInstance {
+    InstanceGenerator::new(params).facility_location_spatial()
+}
+
 /// Convenience: generate a facility-location instance under the given backend.
-/// The dense path reports overflowing shapes as a typed error string; the implicit
-/// path has no shape limit.
+/// The dense path reports overflowing shapes as a typed error string; the
+/// implicit and spatial paths have no shape limit.
 pub fn facility_location_with(params: GenParams, backend: Backend) -> Result<FlInstance, String> {
     match backend {
         Backend::Dense => InstanceGenerator::new(params)
             .try_facility_location()
             .map_err(|e| e.to_string()),
         Backend::Implicit => Ok(facility_location_implicit(params)),
+        Backend::Spatial => Ok(facility_location_spatial(params)),
     }
 }
 
@@ -413,6 +443,12 @@ pub fn clustering_implicit(params: GenParams) -> ClusterInstance {
     InstanceGenerator::new(params).clustering_implicit()
 }
 
+/// Convenience: generate a spatial-backend clustering instance directly from
+/// parameters.
+pub fn clustering_spatial(params: GenParams) -> ClusterInstance {
+    InstanceGenerator::new(params).clustering_spatial()
+}
+
 /// Convenience: generate a clustering instance under the given backend (see
 /// [`facility_location_with`]).
 pub fn clustering_with(params: GenParams, backend: Backend) -> Result<ClusterInstance, String> {
@@ -421,6 +457,7 @@ pub fn clustering_with(params: GenParams, backend: Backend) -> Result<ClusterIns
             .try_clustering()
             .map_err(|e| e.to_string()),
         Backend::Implicit => Ok(clustering_implicit(params)),
+        Backend::Spatial => Ok(clustering_spatial(params)),
     }
 }
 
@@ -575,10 +612,49 @@ mod tests {
         let params = GenParams::grid(10, 5).with_seed(0);
         let d = facility_location_with(params, Backend::Dense).unwrap();
         let i = facility_location_with(params, Backend::Implicit).unwrap();
+        let s = facility_location_with(params, Backend::Spatial).unwrap();
         assert_eq!(d.dist(3, 2), i.dist(3, 2));
+        assert_eq!(d.dist(3, 2), s.dist(3, 2));
+        assert_eq!(s.backend(), Backend::Spatial);
         let cd = clustering_with(params, Backend::Dense).unwrap();
         let ci = clustering_with(params, Backend::Implicit).unwrap();
+        let cs = clustering_with(params, Backend::Spatial).unwrap();
         assert_eq!(cd.dist(1, 4), ci.dist(1, 4));
+        assert_eq!(cd.dist(1, 4), cs.dist(1, 4));
+    }
+
+    #[test]
+    fn spatial_generation_matches_dense_bit_for_bit() {
+        // Same RNG stream as the other constructors ⇒ identical points,
+        // spread, costs and distances — on every workload shape.
+        for wl in standard_suite(18, 9, 4) {
+            let dense = facility_location(wl.params);
+            let spatial = facility_location_spatial(wl.params);
+            assert_eq!(spatial.backend(), Backend::Spatial, "{}", wl.name);
+            assert_eq!(
+                dense.facility_costs(),
+                spatial.facility_costs(),
+                "{}",
+                wl.name
+            );
+            for j in 0..dense.num_clients() {
+                for i in 0..dense.num_facilities() {
+                    assert_eq!(
+                        dense.dist(j, i).to_bits(),
+                        spatial.dist(j, i).to_bits(),
+                        "workload {} entry ({j},{i})",
+                        wl.name
+                    );
+                }
+            }
+            let cd = clustering(wl.params);
+            let cs = clustering_spatial(wl.params);
+            for a in 0..cd.n() {
+                for b in 0..cd.n() {
+                    assert_eq!(cd.dist(a, b).to_bits(), cs.dist(a, b).to_bits());
+                }
+            }
+        }
     }
 
     #[test]

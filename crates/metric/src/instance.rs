@@ -1,7 +1,7 @@
 //! Problem instances: facility location and k-clustering.
 
 use crate::distmat::DistanceMatrix;
-use crate::oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle};
+use crate::oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle, SpatialOracle};
 use crate::point::{DistanceKind, Point};
 use crate::{ClientId, FacilityId, NodeId};
 
@@ -12,11 +12,14 @@ use crate::{ClientId, FacilityId, NodeId};
 /// with rows indexed by clients and columns by facilities. The instance size in the
 /// paper's work bounds is `m = |C| * |F|` ([`FlInstance::m`]).
 ///
-/// Distances are served by a [`DistanceOracle`] with two interchangeable backends:
-/// the classic dense `|C| x |F|` matrix ([`FlInstance::new`]) or an implicit
-/// geometric backend computing distances on demand from stored [`Point`]s
-/// ([`FlInstance::implicit`]) in `O(|C| + |F|)` memory. Both produce bit-identical
-/// distances for the same point set, so solvers behave identically under either.
+/// Distances are served by a [`DistanceOracle`] with three interchangeable
+/// backends: the classic dense `|C| x |F|` matrix ([`FlInstance::new`]), an
+/// implicit geometric backend computing distances on demand from stored
+/// [`Point`]s ([`FlInstance::implicit`]) in `O(|C| + |F|)` memory, or the
+/// index-accelerated spatial backend ([`FlInstance::spatial`]) answering
+/// nearest/range queries sublinearly at the same memory order. All produce
+/// bit-identical distances for the same point set, so solvers behave
+/// identically under any of them.
 ///
 /// Instances built by the generators also carry the underlying [`Point`]s, which is
 /// convenient for examples and for validating the metric axioms; instances built
@@ -79,6 +82,23 @@ impl FlInstance {
                 facility_points,
                 kind,
             )),
+        )
+    }
+
+    /// Creates a **spatial-backend** instance: the implicit point storage
+    /// plus deterministic exact spatial indexes over both sides, so
+    /// nearest/range queries run sublinearly instead of as O(n) sweeps.
+    /// Memory stays `O(|C| + |F|)`; every answer is bit-identical to the
+    /// other backends.
+    pub fn spatial(
+        facility_costs: Vec<f64>,
+        client_points: Vec<Point>,
+        facility_points: Vec<Point>,
+        kind: DistanceKind,
+    ) -> Self {
+        Self::with_oracle(
+            facility_costs,
+            Oracle::Spatial(SpatialOracle::between(client_points, facility_points, kind)),
         )
     }
 
@@ -171,29 +191,37 @@ impl FlInstance {
     }
 
     /// The client points, if the instance carries geometry (always for the
-    /// implicit backend).
+    /// implicit and spatial backends).
     pub fn client_points(&self) -> Option<&[Point]> {
         match &self.oracle {
-            Oracle::Implicit(im) => Some(im.from_points()),
             Oracle::Dense(_) => self.client_points.as_deref(),
+            other => other.as_implicit().map(ImplicitMetric::from_points),
         }
     }
 
     /// The facility points, if the instance carries geometry (always for the
-    /// implicit backend).
+    /// implicit and spatial backends).
     pub fn facility_points(&self) -> Option<&[Point]> {
         match &self.oracle {
-            Oracle::Implicit(im) => Some(im.to_points()),
             Oracle::Dense(_) => self.facility_points.as_deref(),
+            other => other.as_implicit().map(ImplicitMetric::to_points),
         }
     }
 
     /// `d(j, S) = min_{i in S} d(j, i)` — distance from client `j` to the closest open
-    /// facility in `open`, together with the argmin facility.
+    /// facility in `open`, together with the argmin facility (equidistant ties towards
+    /// the lowest facility index, per the oracle contract).
     ///
     /// Returns `None` if `open` is empty.
     pub fn closest_open(&self, j: ClientId, open: &[FacilityId]) -> Option<(FacilityId, f64)> {
         self.oracle.nearest_in_set(j, open)
+    }
+
+    /// [`FlInstance::closest_open`] for every client at once — one batched oracle
+    /// query, which the spatial backend serves with a single subset-index build plus
+    /// a sublinear lookup per client instead of `|C| × |open|` distance evaluations.
+    pub fn closest_open_all(&self, open: &[FacilityId]) -> Vec<Option<(FacilityId, f64)>> {
+        self.oracle.nearest_in_set_all(open)
     }
 
     /// Total cost (Equation (1) of the paper) of opening exactly the facilities in
@@ -205,14 +233,7 @@ impl FlInstance {
     /// of range.
     pub fn solution_cost(&self, open: &[FacilityId]) -> f64 {
         let facility: f64 = open.iter().map(|&i| self.facility_cost(i)).sum();
-        let connection: f64 = (0..self.num_clients())
-            .map(|j| {
-                self.closest_open(j, open)
-                    .expect("solution must open at least one facility")
-                    .1
-            })
-            .sum();
-        facility + connection
+        facility + self.connection_cost(open)
     }
 
     /// Facility-opening part of the cost of `open`.
@@ -222,24 +243,18 @@ impl FlInstance {
 
     /// Connection part of the cost of `open`.
     pub fn connection_cost(&self, open: &[FacilityId]) -> f64 {
-        (0..self.num_clients())
-            .map(|j| {
-                self.closest_open(j, open)
-                    .expect("solution must open at least one facility")
-                    .1
-            })
+        self.closest_open_all(open)
+            .into_iter()
+            .map(|c| c.expect("solution must open at least one facility").1)
             .sum()
     }
 
     /// The greedy client-to-facility assignment induced by an open set: every client is
     /// assigned to its closest open facility.
     pub fn closest_assignment(&self, open: &[FacilityId]) -> Vec<FacilityId> {
-        (0..self.num_clients())
-            .map(|j| {
-                self.closest_open(j, open)
-                    .expect("solution must open at least one facility")
-                    .0
-            })
+        self.closest_open_all(open)
+            .into_iter()
+            .map(|c| c.expect("solution must open at least one facility").0)
             .collect()
     }
 
@@ -309,6 +324,13 @@ impl ClusterInstance {
         Self::with_oracle(Oracle::Implicit(ImplicitMetric::symmetric(points, kind)))
     }
 
+    /// Creates a **spatial-backend** clustering instance: implicit point storage plus
+    /// one shared deterministic spatial index serving nearest/range queries
+    /// sublinearly. `O(n)` memory; answers bit-identical to the other backends.
+    pub fn spatial(points: Vec<Point>, kind: DistanceKind) -> Self {
+        Self::with_oracle(Oracle::Spatial(SpatialOracle::symmetric(points, kind)))
+    }
+
     /// Creates a clustering instance from a point set under Euclidean distance,
     /// materialising the dense matrix. Use [`ClusterInstance::implicit`] to keep
     /// memory at `O(n)` instead.
@@ -361,32 +383,41 @@ impl ClusterInstance {
     }
 
     /// The node points, if the instance carries geometry (always for the implicit
-    /// backend).
+    /// and spatial backends).
     pub fn points(&self) -> Option<&[Point]> {
         match &self.oracle {
-            Oracle::Implicit(im) => Some(im.from_points()),
             Oracle::Dense(_) => self.points.as_deref(),
+            other => other.as_implicit().map(ImplicitMetric::from_points),
         }
     }
 
-    /// `d(j, S)` and the closest center for node `j` under center set `centers`.
+    /// `d(j, S)` and the closest center for node `j` under center set `centers`
+    /// (equidistant ties towards the lowest center index, per the oracle contract).
     pub fn closest_center(&self, j: NodeId, centers: &[NodeId]) -> Option<(NodeId, f64)> {
         self.oracle.nearest_in_set(j, centers)
     }
 
+    /// [`ClusterInstance::closest_center`] for every node at once — one batched
+    /// oracle query (a single subset-index build on the spatial backend).
+    pub fn closest_center_all(&self, centers: &[NodeId]) -> Vec<Option<(NodeId, f64)>> {
+        self.oracle.nearest_in_set_all(centers)
+    }
+
     /// k-median objective: sum over nodes of the distance to the closest center.
     pub fn kmedian_cost(&self, centers: &[NodeId]) -> f64 {
-        (0..self.n())
-            .map(|j| self.closest_center(j, centers).expect("centers empty").1)
+        self.closest_center_all(centers)
+            .into_iter()
+            .map(|c| c.expect("centers empty").1)
             .sum()
     }
 
     /// k-means objective: sum over nodes of the **squared** distance to the closest
     /// center.
     pub fn kmeans_cost(&self, centers: &[NodeId]) -> f64 {
-        (0..self.n())
-            .map(|j| {
-                let d = self.closest_center(j, centers).expect("centers empty").1;
+        self.closest_center_all(centers)
+            .into_iter()
+            .map(|c| {
+                let d = c.expect("centers empty").1;
                 d * d
             })
             .sum()
@@ -394,15 +425,17 @@ impl ClusterInstance {
 
     /// k-center objective: maximum over nodes of the distance to the closest center.
     pub fn kcenter_cost(&self, centers: &[NodeId]) -> f64 {
-        (0..self.n())
-            .map(|j| self.closest_center(j, centers).expect("centers empty").1)
+        self.closest_center_all(centers)
+            .into_iter()
+            .map(|c| c.expect("centers empty").1)
             .fold(0.0, f64::max)
     }
 
     /// Node-to-center assignment mapping each node to its closest center.
     pub fn center_assignment(&self, centers: &[NodeId]) -> Vec<NodeId> {
-        (0..self.n())
-            .map(|j| self.closest_center(j, centers).expect("centers empty").0)
+        self.closest_center_all(centers)
+            .into_iter()
+            .map(|c| c.expect("centers empty").0)
             .collect()
     }
 }

@@ -13,12 +13,15 @@
 //!   in which every node is simultaneously a client and a potential center
 //!   ([`ClusterInstance`]).
 //!
-//! Distances are served through the [`oracle::DistanceOracle`] seam with two
+//! Distances are served through the [`oracle::DistanceOracle`] seam with three
 //! interchangeable backends: the paper's dense matrix ([`DistanceMatrix`], `O(|C|·|F|)`
-//! memory) and an implicit geometric backend ([`oracle::ImplicitMetric`], distances
+//! memory), an implicit geometric backend ([`oracle::ImplicitMetric`], distances
 //! computed on demand from stored points in `O(|C| + |F|)` memory — the
-//! production-scale path for 100k–1M clients). Both produce bit-identical distances
-//! for the same point set, so solver output is byte-identical under either.
+//! production-scale path for 100k–1M clients), and an index-accelerated spatial
+//! backend ([`oracle::SpatialOracle`], the implicit storage plus deterministic
+//! exact kd-tree/grid indexes serving nearest/range queries sublinearly — the
+//! path to 10M clients). All produce bit-identical distances for the same point
+//! set, so solver output is byte-identical under any backend.
 //!
 //! This crate provides those instance types, the geometric [`Point`] representation used
 //! to build them, a suite of synthetic [`gen`]erators standing in for the datasets the
@@ -55,7 +58,7 @@ pub mod validate;
 
 pub use distmat::{DistanceMatrix, SizeOverflowError};
 pub use instance::{ClusterInstance, FlInstance};
-pub use oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle};
+pub use oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle, SpatialOracle};
 pub use point::Point;
 
 /// Index of a facility within an [`FlInstance`] (column of the distance matrix).

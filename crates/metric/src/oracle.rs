@@ -1,36 +1,47 @@
-//! Distance oracles: uniform access to distances, dense or implicit.
+//! Distance oracles: uniform access to distances — dense, implicit or
+//! index-accelerated.
 //!
 //! The paper's algorithms only ever *read* distances — `d(j, i)` lookups,
 //! row/column scans, nearest-in-set queries — so nothing forces the
 //! `|C| × |F|` matrix to exist in memory. Following the move of Dhulipala,
 //! Blelloch & Shun (swap concrete containers for an implicit access
 //! interface and keep the algorithms unchanged), this module abstracts the
-//! distance source behind the [`DistanceOracle`] trait with two backends:
+//! distance source behind the [`DistanceOracle`] trait with three backends:
 //!
 //! * [`Oracle::Dense`] wraps the existing [`DistanceMatrix`] — `O(|C|·|F|)`
 //!   memory, `O(1)` lookups; the right choice up to a few thousand nodes.
 //! * [`Oracle::Implicit`] ([`ImplicitMetric`]) stores only the geometric
 //!   [`Point`]s and computes distances on demand — `O(|C| + |F|)` memory,
-//!   `O(dim)` lookups; the only feasible choice at 100k–1M clients.
+//!   `O(dim)` lookups; feasible at 100k–1M clients, but every structured
+//!   query (`nearest_in_set`, `row_min`, threshold neighbourhoods) is still
+//!   a full O(n) sweep.
+//! * [`Oracle::Spatial`] ([`SpatialOracle`]) wraps the same
+//!   [`ImplicitMetric`] **plus** deterministic exact spatial indexes from
+//!   `parfaclo-spatial` over each point side, answering the structured
+//!   queries sublinearly — the path that makes the 10M-point `xxlarge`
+//!   preset practical.
 //!
-//! Both backends produce **bit-identical** distances for instances built
+//! All backends produce **bit-identical** distances for instances built
 //! from the same point set (the dense matrix stores exactly the values
-//! `Point::distance` computes), so every solver in the workspace emits
-//! byte-identical canonical Run JSON under either backend. Whole-oracle
-//! sweeps (`max_entry`, `min_positive_entry`, `sorted_distinct_values`) run
-//! as deterministic blocked sweeps chunked by
+//! `Point::distance` computes, and the spatial indexes evaluate the same
+//! arithmetic), and every query resolves ties by the same canonical rule
+//! (lowest index wins), so every solver in the workspace emits
+//! byte-identical canonical Run JSON under any backend. Whole-oracle sweeps
+//! (`max_entry`, `min_positive_entry`, `sorted_distinct_values`) run as
+//! deterministic blocked sweeps chunked by
 //! [`rayon::deterministic_chunk_len`] — boundaries are a pure function of
 //! the element count, never the thread count — with partials combined
 //! left-to-right, preserving the workspace-wide determinism contract.
 
 use crate::distmat::DistanceMatrix;
 use crate::point::{DistanceKind, Point};
+use parfaclo_spatial::{SpatialIndex, SpatialMetric};
 use rayon::prelude::*;
 use std::sync::Arc;
 
 /// Which distance backend an instance carries. Stable string forms
-/// (`"dense"` / `"implicit"`) are used by the CLI, Run JSON timing metadata
-/// and the BENCH artifacts.
+/// (`"dense"` / `"implicit"` / `"spatial"`) are used by the CLI, Run JSON
+/// timing metadata and the BENCH artifacts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Backend {
     /// Distances materialised in a row-major [`DistanceMatrix`].
@@ -38,14 +49,18 @@ pub enum Backend {
     Dense,
     /// Distances computed on demand from stored [`Point`]s.
     Implicit,
+    /// Implicit distances plus exact spatial indexes serving the
+    /// structured queries sublinearly.
+    Spatial,
 }
 
 impl Backend {
-    /// Stable string form (`"dense"` / `"implicit"`).
+    /// Stable string form (`"dense"` / `"implicit"` / `"spatial"`).
     pub fn as_str(self) -> &'static str {
         match self {
             Backend::Dense => "dense",
             Backend::Implicit => "implicit",
+            Backend::Spatial => "spatial",
         }
     }
 }
@@ -63,11 +78,34 @@ impl std::str::FromStr for Backend {
         match s.trim().to_lowercase().as_str() {
             "dense" => Ok(Backend::Dense),
             "implicit" => Ok(Backend::Implicit),
+            "spatial" => Ok(Backend::Spatial),
             other => Err(format!(
-                "unknown backend '{other}' (expected dense|implicit)"
+                "unknown backend '{other}' (expected dense|implicit|spatial)"
             )),
         }
     }
+}
+
+/// The `SpatialMetric` computing bit-identical distances to a
+/// [`DistanceKind`] (same operations, same order — asserted by tests on
+/// both sides).
+fn spatial_metric(kind: DistanceKind) -> SpatialMetric {
+    match kind {
+        DistanceKind::Euclidean => SpatialMetric::Euclidean,
+        DistanceKind::SquaredEuclidean => SpatialMetric::SquaredEuclidean,
+        DistanceKind::Manhattan => SpatialMetric::Manhattan,
+        DistanceKind::Chebyshev => SpatialMetric::Chebyshev,
+    }
+}
+
+/// Flattens points into the coordinate array a [`SpatialIndex`] consumes.
+fn flatten(points: &[Point]) -> (Vec<f64>, usize) {
+    let dim = points.first().map_or(0, Point::dim);
+    let mut coords = Vec::with_capacity(points.len() * dim);
+    for p in points {
+        coords.extend_from_slice(p.coords());
+    }
+    (coords, dim)
 }
 
 /// Read-only access to a (rectangular) matrix of distances.
@@ -107,20 +145,57 @@ pub trait DistanceOracle {
         (0..self.rows()).map(|r| self.dist(r, col)).collect()
     }
 
-    /// `min_{c in set} d(row, c)` with the argmin, ties broken towards the
-    /// smaller column index. `None` if `set` is empty.
+    /// `min_{c in set} d(row, c)` with the argmin. `None` if `set` is empty.
+    ///
+    /// **Tie-breaking is part of the contract**: among equidistant columns
+    /// the *lowest column index* wins, regardless of the order the indices
+    /// appear in `set`. Every backend — scan-based or index-served — must
+    /// return the same `(index, distance)` pair bit for bit; this is the
+    /// specification the spatial backend's index queries are held to (and
+    /// what the equidistant-point regression tests assert).
     fn nearest_in_set(&self, row: usize, set: &[usize]) -> Option<(usize, f64)> {
         set.iter()
             .map(|&c| (c, self.dist(row, c)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
     }
 
+    /// [`DistanceOracle::nearest_in_set`] for **every row at once** against
+    /// one fixed set — the batched form the index-accelerated backend turns
+    /// into one subset-index build plus a sublinear query per row. Answers
+    /// are positionally identical to calling `nearest_in_set` per row.
+    fn nearest_in_set_all(&self, set: &[usize]) -> Vec<Option<(usize, f64)>> {
+        (0..self.rows())
+            .map(|r| self.nearest_in_set(r, set))
+            .collect()
+    }
+
     /// Minimum entry of a row together with the column index attaining it
-    /// (ties towards the smaller index); `None` for zero columns.
+    /// (ties towards the *smaller index* — same canonical rule as
+    /// [`DistanceOracle::nearest_in_set`]); `None` for zero columns.
     fn row_min(&self, row: usize) -> Option<(usize, f64)> {
         (0..self.cols())
             .map(|c| (c, self.dist(row, c)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
+    }
+
+    /// Row indices `r` with `d(r, col) <= radius` (inclusive), ascending —
+    /// the threshold-neighbourhood query behind the bipartite graph `H` of
+    /// Algorithm 4.1 and the dual-feasibility sums. O(rows) by scan here;
+    /// sublinear on the spatial backend.
+    fn rows_within(&self, col: usize, radius: f64) -> Vec<usize> {
+        (0..self.rows())
+            .filter(|&r| self.dist(r, col) <= radius)
+            .collect()
+    }
+
+    /// Column indices `c` with `d(row, c) <= radius` (inclusive), ascending
+    /// — the threshold-graph neighbourhood (`H_α` of Section 6.1) of a node
+    /// on square oracles. O(cols) by scan here; sublinear on the spatial
+    /// backend.
+    fn cols_within(&self, row: usize, radius: f64) -> Vec<usize> {
+        (0..self.cols())
+            .filter(|&c| self.dist(row, c) <= radius)
+            .collect()
     }
 
     /// Maximum entry over the whole oracle (0.0 when empty).
@@ -141,6 +216,21 @@ pub trait DistanceOracle {
 
     /// Which backend answers the queries.
     fn backend(&self) -> Backend;
+
+    /// Whether the structured queries ([`nearest_in_set_all`],
+    /// [`rows_within`], [`cols_within`], [`row_min`]) are served sublinearly
+    /// by an index rather than by O(n) scans. Callers that keep a cheaper
+    /// scan-side short circuit (e.g. filtering a `remaining` mask *before*
+    /// computing distances) branch on this capability — never on the
+    /// concrete backend — and the answers are identical either way.
+    ///
+    /// [`nearest_in_set_all`]: DistanceOracle::nearest_in_set_all
+    /// [`rows_within`]: DistanceOracle::rows_within
+    /// [`cols_within`]: DistanceOracle::cols_within
+    /// [`row_min`]: DistanceOracle::row_min
+    fn has_sublinear_queries(&self) -> bool {
+        false
+    }
 }
 
 /// Runs `f` over `0..len` in deterministic blocks and combines the per-block
@@ -256,6 +346,12 @@ impl ImplicitMetric {
         self.kind
     }
 
+    /// Whether the row and column sides share one point allocation (true
+    /// for oracles built with [`ImplicitMetric::symmetric`]).
+    pub fn sides_shared(&self) -> bool {
+        Arc::ptr_eq(&self.from, &self.to)
+    }
+
     fn point_bytes(points: &[Point]) -> u64 {
         points
             .iter()
@@ -350,6 +446,196 @@ impl DistanceOracle for ImplicitMetric {
     }
 }
 
+/// The index-accelerated backend: an [`ImplicitMetric`] plus one exact
+/// [`SpatialIndex`] per point side.
+///
+/// Plain entry access and the whole-oracle sweeps delegate to the wrapped
+/// implicit metric unchanged (bit-identical values, identical blocked-sweep
+/// chunking). The structured queries are routed through the indexes:
+///
+/// * [`row_min`] — nearest-facility query against the column-side index;
+/// * [`nearest_in_set_all`] — one deterministic subset-index build over the
+///   set, then a sublinear nearest query per row;
+/// * [`rows_within`] / [`cols_within`] — range queries against the
+///   row/column-side index.
+///
+/// Every answer is bit-identical to the implicit backend's linear sweep,
+/// including the canonical lowest-index tie-breaking — `parfaclo-spatial`'s
+/// indexes compute the same distance arithmetic and never prune an
+/// equal-bound subtree. Index construction is itself deterministic (a pure
+/// function of the point set, at any thread count).
+///
+/// For symmetric (clustering) oracles the two sides share one index, which
+/// [`memory_bytes`] counts once.
+///
+/// [`row_min`]: DistanceOracle::row_min
+/// [`nearest_in_set_all`]: DistanceOracle::nearest_in_set_all
+/// [`rows_within`]: DistanceOracle::rows_within
+/// [`cols_within`]: DistanceOracle::cols_within
+/// [`memory_bytes`]: DistanceOracle::memory_bytes
+#[derive(Debug, Clone)]
+pub struct SpatialOracle {
+    metric: ImplicitMetric,
+    /// Index over the row-side (client) points.
+    row_index: Arc<SpatialIndex>,
+    /// Index over the column-side (facility) points; shares the row index
+    /// for symmetric oracles.
+    col_index: Arc<SpatialIndex>,
+}
+
+impl PartialEq for SpatialOracle {
+    fn eq(&self, other: &Self) -> bool {
+        // The indexes are a pure function of the points, so metric equality
+        // is oracle equality.
+        self.metric == other.metric
+    }
+}
+
+impl SpatialOracle {
+    /// Builds the indexes around an existing implicit metric.
+    pub fn from_implicit(metric: ImplicitMetric) -> Self {
+        let kind = spatial_metric(metric.kind());
+        let (from_coords, from_dim) = flatten(metric.from_points());
+        let row_index = Arc::new(SpatialIndex::build(from_coords, from_dim, kind));
+        let col_index = if metric.sides_shared() {
+            Arc::clone(&row_index)
+        } else {
+            let (to_coords, to_dim) = flatten(metric.to_points());
+            Arc::new(SpatialIndex::build(to_coords, to_dim, kind))
+        };
+        SpatialOracle {
+            metric,
+            row_index,
+            col_index,
+        }
+    }
+
+    /// Creates a rectangular index-accelerated oracle between two point
+    /// sets (same validation as [`ImplicitMetric::between`]).
+    pub fn between(from: Vec<Point>, to: Vec<Point>, kind: DistanceKind) -> Self {
+        Self::from_implicit(ImplicitMetric::between(from, to, kind))
+    }
+
+    /// Creates a square symmetric index-accelerated oracle over one point
+    /// set; both sides share one index.
+    pub fn symmetric(points: Vec<Point>, kind: DistanceKind) -> Self {
+        Self::from_implicit(ImplicitMetric::symmetric(points, kind))
+    }
+
+    /// The wrapped implicit metric.
+    pub fn implicit(&self) -> &ImplicitMetric {
+        &self.metric
+    }
+
+    /// The index over the row-side points.
+    pub fn row_index(&self) -> &SpatialIndex {
+        &self.row_index
+    }
+
+    /// The index over the column-side points.
+    pub fn col_index(&self) -> &SpatialIndex {
+        &self.col_index
+    }
+}
+
+impl DistanceOracle for SpatialOracle {
+    fn rows(&self) -> usize {
+        self.metric.rows()
+    }
+
+    fn cols(&self) -> usize {
+        self.metric.cols()
+    }
+
+    #[inline]
+    fn dist(&self, row: usize, col: usize) -> f64 {
+        self.metric.dist(row, col)
+    }
+
+    fn row_min(&self, row: usize) -> Option<(usize, f64)> {
+        if self.cols() == 0 {
+            return None;
+        }
+        self.col_index
+            .nearest(self.metric.from_points()[row].coords())
+    }
+
+    fn nearest_in_set_all(&self, set: &[usize]) -> Vec<Option<(usize, f64)>> {
+        if set.is_empty() {
+            return vec![None; self.rows()];
+        }
+        // One deterministic subset-index build over the set's points, ids
+        // mapped back to the caller's column indices so tie-breaking matches
+        // the scan rule (lowest column index wins)...
+        let to = self.metric.to_points();
+        let dim = to.first().map_or(0, Point::dim);
+        let mut coords = Vec::with_capacity(set.len() * dim);
+        let mut ids = Vec::with_capacity(set.len());
+        for &c in set {
+            coords.extend_from_slice(to[c].coords());
+            ids.push(u32::try_from(c).expect("column index fits u32"));
+        }
+        let index = SpatialIndex::build_with_ids(
+            coords,
+            dim,
+            spatial_metric(self.metric.kind()),
+            Some(ids),
+        );
+        // ...then a sublinear query per row, in deterministic row order.
+        let from = self.metric.from_points();
+        let chunk = rayon::deterministic_chunk_len(from.len(), 256);
+        from.par_iter()
+            .with_min_len(chunk)
+            .map(|p| index.nearest(p.coords()))
+            .collect()
+    }
+
+    fn rows_within(&self, col: usize, radius: f64) -> Vec<usize> {
+        if self.rows() == 0 {
+            return Vec::new();
+        }
+        self.row_index
+            .range(self.metric.to_points()[col].coords(), radius)
+    }
+
+    fn cols_within(&self, row: usize, radius: f64) -> Vec<usize> {
+        if self.cols() == 0 {
+            return Vec::new();
+        }
+        self.col_index
+            .range(self.metric.from_points()[row].coords(), radius)
+    }
+
+    fn max_entry(&self) -> f64 {
+        self.metric.max_entry()
+    }
+
+    fn min_positive_entry(&self) -> Option<f64> {
+        self.metric.min_positive_entry()
+    }
+
+    fn sorted_distinct_values(&self) -> Vec<f64> {
+        self.metric.sorted_distinct_values()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        let indexes = if Arc::ptr_eq(&self.row_index, &self.col_index) {
+            self.row_index.memory_bytes()
+        } else {
+            self.row_index.memory_bytes() + self.col_index.memory_bytes()
+        };
+        self.metric.memory_bytes() + indexes
+    }
+
+    fn backend(&self) -> Backend {
+        Backend::Spatial
+    }
+
+    fn has_sublinear_queries(&self) -> bool {
+        true
+    }
+}
+
 impl DistanceOracle for DistanceMatrix {
     fn rows(&self) -> usize {
         DistanceMatrix::rows(self)
@@ -401,7 +687,7 @@ impl DistanceOracle for DistanceMatrix {
     }
 }
 
-/// The concrete oracle stored inside every instance: one of the two
+/// The concrete oracle stored inside every instance: one of the three
 /// backends, dispatched statically per call.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Oracle {
@@ -409,6 +695,8 @@ pub enum Oracle {
     Dense(DistanceMatrix),
     /// Distances computed on demand from stored points.
     Implicit(ImplicitMetric),
+    /// Implicit distances plus exact spatial indexes.
+    Spatial(SpatialOracle),
 }
 
 impl Oracle {
@@ -416,15 +704,26 @@ impl Oracle {
     pub fn as_dense(&self) -> Option<&DistanceMatrix> {
         match self {
             Oracle::Dense(m) => Some(m),
-            Oracle::Implicit(_) => None,
+            _ => None,
         }
     }
 
-    /// The wrapped implicit metric, if this is the implicit backend.
+    /// The implicit metric behind the oracle: the wrapped one for the
+    /// implicit backend, the inner one for the spatial backend, `None` for
+    /// dense.
     pub fn as_implicit(&self) -> Option<&ImplicitMetric> {
         match self {
             Oracle::Dense(_) => None,
             Oracle::Implicit(im) => Some(im),
+            Oracle::Spatial(s) => Some(s.implicit()),
+        }
+    }
+
+    /// The wrapped spatial oracle, if this is the spatial backend.
+    pub fn as_spatial(&self) -> Option<&SpatialOracle> {
+        match self {
+            Oracle::Spatial(s) => Some(s),
+            _ => None,
         }
     }
 
@@ -449,6 +748,7 @@ macro_rules! delegate {
         match $self {
             Oracle::Dense(inner) => DistanceOracle::$m(inner $(, $arg)*),
             Oracle::Implicit(inner) => DistanceOracle::$m(inner $(, $arg)*),
+            Oracle::Spatial(inner) => DistanceOracle::$m(inner $(, $arg)*),
         }
     };
 }
@@ -483,8 +783,20 @@ impl DistanceOracle for Oracle {
         delegate!(self, nearest_in_set(row, set))
     }
 
+    fn nearest_in_set_all(&self, set: &[usize]) -> Vec<Option<(usize, f64)>> {
+        delegate!(self, nearest_in_set_all(set))
+    }
+
     fn row_min(&self, row: usize) -> Option<(usize, f64)> {
         delegate!(self, row_min(row))
+    }
+
+    fn rows_within(&self, col: usize, radius: f64) -> Vec<usize> {
+        delegate!(self, rows_within(col, radius))
+    }
+
+    fn cols_within(&self, row: usize, radius: f64) -> Vec<usize> {
+        delegate!(self, cols_within(row, radius))
     }
 
     fn max_entry(&self) -> f64 {
@@ -505,6 +817,10 @@ impl DistanceOracle for Oracle {
 
     fn backend(&self) -> Backend {
         delegate!(self, backend())
+    }
+
+    fn has_sublinear_queries(&self) -> bool {
+        delegate!(self, has_sublinear_queries())
     }
 }
 
@@ -533,6 +849,17 @@ mod tests {
             DistanceKind::Euclidean,
         ));
         (dense, implicit)
+    }
+
+    fn triple() -> (Oracle, Oracle, Oracle) {
+        let (dense, implicit) = pair();
+        let (clients, facilities) = points();
+        let spatial = Oracle::Spatial(SpatialOracle::between(
+            clients,
+            facilities,
+            DistanceKind::Euclidean,
+        ));
+        (dense, implicit, spatial)
     }
 
     #[test]
@@ -647,8 +974,140 @@ mod tests {
     fn backend_parses_and_displays() {
         assert_eq!("dense".parse::<Backend>().unwrap(), Backend::Dense);
         assert_eq!("Implicit".parse::<Backend>().unwrap(), Backend::Implicit);
+        assert_eq!("spatial".parse::<Backend>().unwrap(), Backend::Spatial);
         assert!("sparse".parse::<Backend>().is_err());
         assert_eq!(Backend::Implicit.to_string(), "implicit");
+        assert_eq!(Backend::Spatial.to_string(), "spatial");
         assert_eq!(Backend::default(), Backend::Dense);
+    }
+
+    /// Regression for the documented tie-breaking contract: among
+    /// equidistant columns the lowest index wins, on every backend,
+    /// regardless of the order the indices appear in the query set.
+    #[test]
+    fn equidistant_ties_resolve_to_lowest_index_on_every_backend() {
+        // Four facilities at distance exactly 5 from both clients, plus a
+        // far decoy; every column pair is an exact tie.
+        let clients = vec![Point::xy(0.0, 0.0), Point::xy(0.0, 0.0)];
+        let facilities = vec![
+            Point::xy(3.0, 4.0),
+            Point::xy(4.0, 3.0),
+            Point::xy(-3.0, 4.0),
+            Point::xy(0.0, 5.0),
+            Point::xy(90.0, 90.0),
+        ];
+        let backends = [
+            Oracle::Dense(DistanceMatrix::between(
+                &clients,
+                &facilities,
+                DistanceKind::Euclidean,
+            )),
+            Oracle::Implicit(ImplicitMetric::between(
+                clients.clone(),
+                facilities.clone(),
+                DistanceKind::Euclidean,
+            )),
+            Oracle::Spatial(SpatialOracle::between(
+                clients,
+                facilities,
+                DistanceKind::Euclidean,
+            )),
+        ];
+        for o in &backends {
+            // Set order must not matter: {3, 1} ties at 5.0 → index 1 wins.
+            assert_eq!(
+                o.nearest_in_set(0, &[3, 1]),
+                Some((1, 5.0)),
+                "{:?}",
+                o.backend()
+            );
+            assert_eq!(
+                o.nearest_in_set(0, &[1, 3]),
+                Some((1, 5.0)),
+                "{:?}",
+                o.backend()
+            );
+            // Full-row minimum: all of 0..4 tie at 5.0 → index 0 wins.
+            assert_eq!(o.row_min(1), Some((0, 5.0)), "{:?}", o.backend());
+            // Batched form agrees positionally with the per-row query.
+            assert_eq!(
+                o.nearest_in_set_all(&[4, 2, 3]),
+                vec![Some((2, 5.0)), Some((2, 5.0))],
+                "{:?}",
+                o.backend()
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_backend_agrees_with_dense_and_implicit_on_every_query() {
+        let (dense, implicit, spatial) = triple();
+        assert_eq!(spatial.rows(), dense.rows());
+        assert_eq!(spatial.cols(), dense.cols());
+        assert_eq!(spatial.backend(), Backend::Spatial);
+        assert_eq!(spatial.max_entry(), dense.max_entry());
+        assert_eq!(spatial.min_positive_entry(), dense.min_positive_entry());
+        assert_eq!(
+            spatial.sorted_distinct_values(),
+            dense.sorted_distinct_values()
+        );
+        let radius = spatial.max_entry() * 0.4;
+        for r in 0..dense.rows() {
+            assert_eq!(spatial.row_to_vec(r), dense.row_to_vec(r));
+            assert_eq!(spatial.row_min(r), dense.row_min(r), "row {r}");
+            assert_eq!(
+                spatial.nearest_in_set(r, &[4, 1, 2]),
+                dense.nearest_in_set(r, &[4, 1, 2])
+            );
+            assert_eq!(
+                spatial.cols_within(r, radius),
+                dense.cols_within(r, radius),
+                "row {r}"
+            );
+        }
+        for c in 0..dense.cols() {
+            assert_eq!(
+                spatial.rows_within(c, radius),
+                implicit.rows_within(c, radius),
+                "col {c}"
+            );
+        }
+        for set in [vec![0usize], vec![2, 0, 4], vec![1, 2, 3, 4, 0]] {
+            assert_eq!(
+                spatial.nearest_in_set_all(&set),
+                dense.nearest_in_set_all(&set),
+                "set {set:?}"
+            );
+        }
+        assert_eq!(spatial.nearest_in_set_all(&[]), vec![None; spatial.rows()]);
+    }
+
+    #[test]
+    fn spatial_symmetric_shares_one_index() {
+        let pts: Vec<Point> = (0..40)
+            .map(|i| Point::xy(i as f64, (i % 5) as f64))
+            .collect();
+        let sym = SpatialOracle::symmetric(pts.clone(), DistanceKind::Euclidean);
+        assert!(Arc::ptr_eq(&sym.row_index, &sym.col_index));
+        let split = SpatialOracle::between(pts.clone(), pts, DistanceKind::Euclidean);
+        assert!(!Arc::ptr_eq(&split.row_index, &split.col_index));
+        // Shared sides: points and index each counted once.
+        assert!(sym.memory_bytes() < split.memory_bytes());
+        // Both answer identically.
+        for row in [0usize, 7, 39] {
+            assert_eq!(
+                DistanceOracle::row_min(&sym, row),
+                DistanceOracle::row_min(&split, row)
+            );
+        }
+    }
+
+    #[test]
+    fn spatial_memory_includes_index_but_stays_point_sized() {
+        let (dense, implicit, spatial) = triple();
+        assert!(spatial.memory_bytes() > implicit.memory_bytes());
+        // Index overhead is O(points), far under the dense matrix for any
+        // instance where the matrix dominates.
+        assert!(spatial.memory_bytes() < dense.memory_bytes() + implicit.memory_bytes() * 8);
     }
 }

@@ -1,0 +1,334 @@
+//! A deterministic median-split kd-tree.
+//!
+//! Construction partitions the point positions by the widest bounding-box
+//! axis, splitting at the exact median under the total order
+//! `(coordinate, position)` — the structure is a pure function of the input
+//! point set, independent of thread count (parallel construction only
+//! splits the recursion across workers; each range is partitioned
+//! sequentially). Queries are exact: pruning uses the computed
+//! [`SpatialMetric::axis_lower_bound`], which never exceeds the computed
+//! distance of a point beyond the splitting plane, and subtrees are skipped
+//! only on a strictly larger bound — so equal-distance points are always
+//! reachable and ties resolve to the lowest id, matching a brute-force scan
+//! byte for byte.
+
+use crate::metric::SpatialMetric;
+use crate::query::{Accumulator, Best, KBest};
+
+/// Ranges at or below this length are scanned as leaves.
+const LEAF: usize = 16;
+
+/// Ranges longer than this build their two subtrees on the fork-join pool.
+const PAR_BUILD: usize = 4096;
+
+/// A median-split kd-tree over a flat coordinate array.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dim: usize,
+    metric: SpatialMetric,
+    /// Point coordinates in original position order (`n * dim`).
+    coords: Vec<f64>,
+    /// Caller ids per position; `None` means position == id.
+    ids: Option<Vec<u32>>,
+    /// Tree order → original position. The implicit tree over a range
+    /// `[start, end)` pivots at `mid = start + len / 2`; `[start, mid)` and
+    /// `[mid + 1, end)` are the subtrees.
+    perm: Vec<u32>,
+    /// `axes[mid]` is the split axis of the node pivoted at tree position
+    /// `mid` (leaf entries are unused).
+    axes: Vec<u8>,
+}
+
+impl KdTree {
+    /// Builds the tree. `coords` holds `dim` coordinates per point; `ids`
+    /// maps positions to caller ids (`None` for the identity).
+    ///
+    /// # Panics
+    /// Panics if the coordinate count is not a multiple of `dim`, if
+    /// `dim == 0` with points present, if `dim > 255`, or if an ids vector
+    /// of the wrong length is supplied.
+    pub fn build(
+        coords: Vec<f64>,
+        dim: usize,
+        metric: SpatialMetric,
+        ids: Option<Vec<u32>>,
+    ) -> Self {
+        let n = crate::index::checked_point_count(&coords, dim, ids.as_deref());
+        assert!(dim <= u8::MAX as usize, "kd-tree supports at most 255 dims");
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut axes: Vec<u8> = vec![0; n];
+        build_range(&coords, dim, &mut perm, &mut axes);
+        KdTree {
+            dim,
+            metric,
+            coords,
+            ids,
+            perm,
+            axes,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    #[inline]
+    fn point(&self, pos: u32) -> &[f64] {
+        let p = pos as usize * self.dim;
+        &self.coords[p..p + self.dim]
+    }
+
+    #[inline]
+    fn id(&self, pos: u32) -> usize {
+        match &self.ids {
+            Some(ids) => ids[pos as usize] as usize,
+            None => pos as usize,
+        }
+    }
+
+    /// The nearest indexed point to `q` (its caller id and distance), ties
+    /// towards the lowest id; `None` when empty.
+    pub fn nearest(&self, q: &[f64]) -> Option<(usize, f64)> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let mut best = Best::new();
+        self.search(q, 0, self.perm.len(), &mut best);
+        best.into_result()
+    }
+
+    /// The `k` nearest indexed points to `q` in ascending `(distance, id)`
+    /// order (fewer when the index holds fewer than `k` points). Exact: the
+    /// result is the length-`k` prefix of the full distance-sorted scan.
+    pub fn k_nearest(&self, q: &[f64], k: usize) -> Vec<(usize, f64)> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let mut best = KBest::new(k);
+        if k > 0 {
+            self.search(q, 0, self.perm.len(), &mut best);
+        }
+        best.into_sorted()
+    }
+
+    /// The one branch-and-bound descent behind both nearest and k-nearest:
+    /// visit the nearer child first, then the farther child unless the
+    /// accumulator prunes its splitting-plane bound.
+    fn search<A: Accumulator>(&self, q: &[f64], start: usize, end: usize, acc: &mut A) {
+        if end - start <= LEAF {
+            for t in start..end {
+                let pos = self.perm[t];
+                acc.consider(self.metric.distance(q, self.point(pos)), self.id(pos));
+            }
+            return;
+        }
+        let mid = start + (end - start) / 2;
+        let axis = self.axes[mid] as usize;
+        let pivot = self.perm[mid];
+        acc.consider(self.metric.distance(q, self.point(pivot)), self.id(pivot));
+        let signed = q[axis] - self.point(pivot)[axis];
+        let (near, far) = if signed <= 0.0 {
+            ((start, mid), (mid + 1, end))
+        } else {
+            ((mid + 1, end), (start, mid))
+        };
+        self.search(q, near.0, near.1, acc);
+        if !acc.prunes(self.metric.axis_lower_bound(signed)) {
+            self.search(q, far.0, far.1, acc);
+        }
+    }
+
+    /// Caller ids of every indexed point within `radius` of `q`
+    /// (inclusive, `d <= radius`), ascending.
+    pub fn range(&self, q: &[f64], radius: f64) -> Vec<usize> {
+        assert_eq!(q.len(), self.dim, "query dimension mismatch");
+        let mut out = Vec::new();
+        self.range_range(q, radius, 0, self.perm.len(), &mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn range_range(&self, q: &[f64], radius: f64, start: usize, end: usize, out: &mut Vec<usize>) {
+        if end - start <= LEAF {
+            for t in start..end {
+                let pos = self.perm[t];
+                if self.metric.distance(q, self.point(pos)) <= radius {
+                    out.push(self.id(pos));
+                }
+            }
+            return;
+        }
+        let mid = start + (end - start) / 2;
+        let axis = self.axes[mid] as usize;
+        let pivot = self.perm[mid];
+        if self.metric.distance(q, self.point(pivot)) <= radius {
+            out.push(self.id(pivot));
+        }
+        let signed = q[axis] - self.point(pivot)[axis];
+        let (near, far) = if signed <= 0.0 {
+            ((start, mid), (mid + 1, end))
+        } else {
+            ((mid + 1, end), (start, mid))
+        };
+        self.range_range(q, radius, near.0, near.1, out);
+        if self.metric.axis_lower_bound(signed) <= radius {
+            self.range_range(q, radius, far.0, far.1, out);
+        }
+    }
+
+    /// Estimated resident bytes of the index structure (coordinates,
+    /// permutation, split axes, id map).
+    pub fn memory_bytes(&self) -> u64 {
+        (self.coords.len() * std::mem::size_of::<f64>()
+            + self.perm.len() * std::mem::size_of::<u32>()
+            + self.axes.len()
+            + self
+                .ids
+                .as_ref()
+                .map_or(0, |v| v.len() * std::mem::size_of::<u32>())) as u64
+    }
+}
+
+/// Recursively partitions `perm` (tree order) and records split axes.
+/// `axes` always covers exactly the same range as `perm`.
+fn build_range(coords: &[f64], dim: usize, perm: &mut [u32], axes: &mut [u8]) {
+    let len = perm.len();
+    if len <= LEAF {
+        return;
+    }
+    // Widest bounding-box axis of the points in this range (ties towards the
+    // lowest axis) — a pure function of the range's point set.
+    let mut axis = 0usize;
+    let mut widest = f64::NEG_INFINITY;
+    for a in 0..dim {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &pos in perm.iter() {
+            let c = coords[pos as usize * dim + a];
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        let extent = hi - lo;
+        if extent > widest {
+            widest = extent;
+            axis = a;
+        }
+    }
+    let mid = len / 2;
+    // Exact median under the total order (coordinate, position): the
+    // partition is unique, so the tree shape never depends on the incoming
+    // arrangement produced by a parent's partition step.
+    perm.select_nth_unstable_by(mid, |&a, &b| {
+        let ca = coords[a as usize * dim + axis];
+        let cb = coords[b as usize * dim + axis];
+        ca.partial_cmp(&cb).unwrap().then(a.cmp(&b))
+    });
+    axes[mid] = axis as u8;
+    let (perm_left, perm_rest) = perm.split_at_mut(mid);
+    let (axes_left, axes_rest) = axes.split_at_mut(mid);
+    let perm_right = &mut perm_rest[1..];
+    let axes_right = &mut axes_rest[1..];
+    if len > PAR_BUILD {
+        rayon::join(
+            || build_range(coords, dim, perm_left, axes_left),
+            || build_range(coords, dim, perm_right, axes_right),
+        );
+    } else {
+        build_range(coords, dim, perm_left, axes_left);
+        build_range(coords, dim, perm_right, axes_right);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_util::{brute_k_nearest, brute_nearest, brute_range, sample_coords};
+
+    #[test]
+    fn matches_brute_force_across_dims_and_metrics() {
+        for &dim in &[1usize, 2, 3, 10] {
+            for metric in [
+                SpatialMetric::Euclidean,
+                SpatialMetric::SquaredEuclidean,
+                SpatialMetric::Manhattan,
+                SpatialMetric::Chebyshev,
+            ] {
+                let coords = sample_coords(257, dim, 0xD1A0 + dim as u64);
+                let tree = KdTree::build(coords.clone(), dim, metric, None);
+                let queries = sample_coords(20, dim, 0x0FF5E7);
+                for q in queries.chunks(dim) {
+                    assert_eq!(
+                        tree.nearest(q),
+                        brute_nearest(&coords, dim, metric, q),
+                        "dim {dim} {metric:?}"
+                    );
+                    assert_eq!(
+                        tree.k_nearest(q, 7),
+                        brute_k_nearest(&coords, dim, metric, q, 7),
+                        "dim {dim} {metric:?}"
+                    );
+                    let r = metric.distance(q, &coords[..dim]);
+                    assert_eq!(
+                        tree.range(q, r),
+                        brute_range(&coords, dim, metric, q, r),
+                        "dim {dim} {metric:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_tie_break_to_lowest_id() {
+        // 50 copies of the same point plus a decoy: nearest must return id 0.
+        let mut coords = [1.0, 2.0].repeat(50);
+        coords.extend_from_slice(&[50.0, 50.0]);
+        let tree = KdTree::build(coords, 2, SpatialMetric::Euclidean, None);
+        assert_eq!(tree.nearest(&[1.0, 2.0]), Some((0, 0.0)));
+        let k = tree.k_nearest(&[0.0, 0.0], 3);
+        let ids: Vec<usize> = k.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(tree.range(&[1.0, 2.0], 0.0), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn custom_ids_flow_through() {
+        let coords = vec![0.0, 0.0, 10.0, 0.0, 20.0, 0.0];
+        let tree = KdTree::build(coords, 2, SpatialMetric::Euclidean, Some(vec![9, 4, 7]));
+        assert_eq!(tree.nearest(&[11.0, 0.0]), Some((4, 1.0)));
+        assert_eq!(tree.range(&[10.0, 0.0], 10.0), vec![4, 7, 9]);
+    }
+
+    #[test]
+    fn empty_and_single_point() {
+        let empty = KdTree::build(Vec::new(), 3, SpatialMetric::Euclidean, None);
+        assert!(empty.is_empty());
+        assert_eq!(empty.nearest(&[0.0, 0.0, 0.0]), None);
+        assert!(empty.k_nearest(&[0.0, 0.0, 0.0], 4).is_empty());
+        assert!(empty.range(&[0.0, 0.0, 0.0], 1e18).is_empty());
+
+        let one = KdTree::build(vec![2.0], 1, SpatialMetric::Manhattan, None);
+        assert_eq!(one.nearest(&[0.0]), Some((0, 2.0)));
+        assert_eq!(one.k_nearest(&[0.0], 5), vec![(0, 2.0)]);
+    }
+
+    #[test]
+    fn structure_is_thread_count_independent() {
+        // PAR_BUILD is exceeded, so subtrees build on the pool; the perm and
+        // axes arrays must come out identical at 1 and 4 workers.
+        let coords = sample_coords(6000, 2, 42);
+        let build = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| KdTree::build(coords.clone(), 2, SpatialMetric::Euclidean, None))
+        };
+        let a = build(1);
+        let b = build(4);
+        assert_eq!(a.perm, b.perm);
+        assert_eq!(a.axes, b.axes);
+    }
+}

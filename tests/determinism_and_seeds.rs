@@ -245,9 +245,10 @@ mod registry_conformance {
 
     /// The distance backend must never change any solver's output: for every
     /// registered solver, on two instance sizes and two seeds, the canonical
-    /// Run JSON produced from an implicit-backend instance is byte-identical
-    /// to the dense-backend run — while the reported oracle memory shrinks
-    /// from `O(n²)` (matrix) to `O(n)` (points).
+    /// Run JSON produced from an implicit- or spatial-backend instance is
+    /// byte-identical to the dense-backend run — while the reported oracle
+    /// memory stays `O(n)` (points, plus index structure for spatial)
+    /// instead of the `O(n²)` matrix.
     #[test]
     fn every_registered_solver_is_backend_invariant_byte_for_byte() {
         let registry = standard_registry();
@@ -257,36 +258,39 @@ mod registry_conformance {
                 let cfg = RunConfig::new(0.1).with_seed(seed).with_k(3);
                 for name in registry.names() {
                     let dense = run_solver(&registry, name, &spec, &cfg).expect(name);
-                    let implicit = run_solver(
-                        &registry,
-                        name,
-                        &spec,
-                        &cfg.clone().with_backend(Backend::Implicit),
-                    )
-                    .expect(name);
-                    assert_eq!(
-                        dense.canonical_json(),
-                        implicit.canonical_json(),
-                        "solver '{name}' output differs between backends \
-                         (spec {spec_str}, seed {seed})"
-                    );
                     assert_eq!(dense.backend, Backend::Dense);
-                    assert_eq!(implicit.backend, Backend::Implicit);
-                    // Implicit memory is O(points): a generous 64 bytes per
-                    // point covers coords + Point/Vec headers, independent of
-                    // n², while the dense backend reports the full matrix.
-                    let points = (dense.n + spec.nf) as u64;
-                    assert!(
-                        implicit.memory_bytes <= points * 64,
-                        "solver '{name}': implicit oracle ({} bytes) is not \
-                         O(|C| + |F|) for {points} points",
-                        implicit.memory_bytes
-                    );
                     assert_eq!(
                         dense.memory_bytes,
                         (dense.m * 8) as u64,
                         "solver '{name}': dense oracle must report the matrix size"
                     );
+                    for backend in [Backend::Implicit, Backend::Spatial] {
+                        let other =
+                            run_solver(&registry, name, &spec, &cfg.clone().with_backend(backend))
+                                .expect(name);
+                        assert_eq!(
+                            dense.canonical_json(),
+                            other.canonical_json(),
+                            "solver '{name}' output differs between dense and {backend} \
+                             (spec {spec_str}, seed {seed})"
+                        );
+                        assert_eq!(other.backend, backend);
+                        // Point-backed memory is O(points): a generous 64
+                        // bytes per point covers coords + Point/Vec headers
+                        // (spatial adds index arrays, also O(points) — budget
+                        // 64 more), independent of n².
+                        let points = (dense.n + spec.nf) as u64;
+                        let budget = match backend {
+                            Backend::Spatial => points * 128,
+                            _ => points * 64,
+                        };
+                        assert!(
+                            other.memory_bytes <= budget,
+                            "solver '{name}': {backend} oracle ({} bytes) is not \
+                             O(|C| + |F|) for {points} points",
+                            other.memory_bytes
+                        );
+                    }
                 }
             }
         }
