@@ -1,5 +1,6 @@
 //! The unified run configuration.
 
+use parfaclo_graph::GraphBackend;
 use parfaclo_matrixops::ExecPolicy;
 use parfaclo_metric::Backend;
 
@@ -52,6 +53,15 @@ pub struct RunConfig {
     /// byte-identical solver output for the same workload and seed, so this
     /// is a memory/latency knob, not a semantic one.
     pub backend: Backend,
+    /// Which representation the graph-touching solvers (dominator family,
+    /// k-center's threshold probes) build their threshold graphs in:
+    /// `Dense` materialises the `n × n` bit matrix (the paper's native cost
+    /// model, refused beyond 4 GiB); `Csr` stores offsets plus sorted
+    /// neighbour lists (`O(n + m)` memory — required for million-node
+    /// sparse metrics). Both produce byte-identical canonical output
+    /// wherever both can run, so like `backend` this is a memory/latency
+    /// knob, not a semantic one.
+    pub graph: GraphBackend,
 }
 
 impl RunConfig {
@@ -74,6 +84,7 @@ impl RunConfig {
             k: 4,
             threshold: None,
             backend: Backend::Dense,
+            graph: GraphBackend::Dense,
         }
     }
 
@@ -145,6 +156,12 @@ impl RunConfig {
         self.backend = backend;
         self
     }
+
+    /// Replaces the threshold-graph representation.
+    pub fn with_graph(mut self, graph: GraphBackend) -> Self {
+        self.graph = graph;
+        self
+    }
 }
 
 impl Default for RunConfig {
@@ -174,7 +191,8 @@ mod tests {
             .with_max_rounds(10)
             .with_k(7)
             .with_threshold(3.5)
-            .with_backend(Backend::Implicit);
+            .with_backend(Backend::Implicit)
+            .with_graph(GraphBackend::Csr);
         assert_eq!(cfg.epsilon, 0.25);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.policy, ExecPolicy::Sequential);
@@ -186,6 +204,7 @@ mod tests {
         assert_eq!(cfg.k, 7);
         assert_eq!(cfg.threshold, Some(3.5));
         assert_eq!(cfg.backend, Backend::Implicit);
+        assert_eq!(cfg.graph, GraphBackend::Csr);
     }
 
     #[test]
@@ -197,6 +216,7 @@ mod tests {
         assert!(cfg.threshold.is_none());
         assert!(cfg.threads.is_none(), "default inherits the ambient pool");
         assert_eq!(cfg.backend, Backend::Dense, "dense is the default backend");
+        assert_eq!(cfg.graph, GraphBackend::Dense, "dense graph by default");
     }
 
     #[test]

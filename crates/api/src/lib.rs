@@ -8,7 +8,7 @@
 //! exposed behind one seam:
 //!
 //! * [`Solver`] — the typed trait: an instance type, a config type, and
-//!   `solve(&inst, &cfg) -> Run`;
+//!   `solve(&inst, &cfg) -> Result<Run, String>`;
 //! * [`Run`] — the common result envelope (cost, certified lower bound,
 //!   rounds, work report, wall time, solver-specific extras) with a stable
 //!   JSON schema shared by every experiment;
@@ -39,14 +39,14 @@
 //!     fn name(&self) -> &str { "open-all" }
 //!     fn problem(&self) -> ProblemKind { ProblemKind::FacilityLocation }
 //!
-//!     fn solve(&self, inst: &FlInstance, cfg: &RunConfig) -> Run {
+//!     fn solve(&self, inst: &FlInstance, cfg: &RunConfig) -> Result<Run, String> {
 //!         let open: Vec<usize> = (0..inst.num_facilities()).collect();
 //!         let cost = inst.opening_cost(&open) + inst.connection_cost(&open);
-//!         Run::new(self.name(), self.problem())
+//!         Ok(Run::new(self.name(), self.problem())
 //!             .with_instance_size(inst.num_clients(), inst.m())
 //!             .with_cost(cost)
 //!             .with_selected(open)
-//!             .with_config_echo(cfg)
+//!             .with_config_echo(cfg))
 //!     }
 //! }
 //!
@@ -75,3 +75,8 @@ pub use trial::TrialStats;
 /// configure [`RunConfig::backend`] without depending on `parfaclo-metric`
 /// directly.
 pub use parfaclo_metric::Backend;
+
+/// Re-export of the threshold-graph representation selector so API consumers
+/// can configure [`RunConfig::graph`] without depending on `parfaclo-graph`
+/// directly.
+pub use parfaclo_graph::GraphBackend;

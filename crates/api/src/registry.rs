@@ -94,11 +94,11 @@ mod tests {
             ProblemKind::FacilityLocation
         }
 
-        fn solve(&self, _inst: &FlInstance, cfg: &RunConfig) -> Run {
-            Run::new(self.0, ProblemKind::FacilityLocation)
+        fn solve(&self, _inst: &FlInstance, cfg: &RunConfig) -> Result<Run, String> {
+            Ok(Run::new(self.0, ProblemKind::FacilityLocation)
                 .with_cost(1.0)
                 .with_selected(vec![0])
-                .with_config_echo(cfg)
+                .with_config_echo(cfg))
         }
     }
 

@@ -43,7 +43,12 @@ pub trait Solver {
     }
 
     /// Runs the solver.
-    fn solve(&self, inst: &Self::Instance, cfg: &Self::Config) -> Run;
+    ///
+    /// Returns `Err` with a human-readable reason when the run is infeasible
+    /// as configured — for example a dense graph backend refusing an
+    /// allocation beyond its size cap — rather than panicking. The registry
+    /// surfaces this as [`SolveError::Infeasible`].
+    fn solve(&self, inst: &Self::Instance, cfg: &Self::Config) -> Result<Run, String>;
 }
 
 /// An instance of any problem family the registry can route.
@@ -136,6 +141,15 @@ pub enum SolveError {
     },
     /// No solver with the requested name is registered.
     UnknownSolver(String),
+    /// The solver rejected the run as infeasible under the given
+    /// configuration (e.g. a size cap was hit); the reason says what to
+    /// change.
+    Infeasible {
+        /// The solver that refused to run.
+        solver: String,
+        /// Human-readable explanation, including the suggested fix.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -145,6 +159,9 @@ impl std::fmt::Display for SolveError {
                 write!(f, "solver '{solver}' cannot consume a {got} instance")
             }
             SolveError::UnknownSolver(name) => write!(f, "no solver named '{name}' registered"),
+            SolveError::Infeasible { solver, reason } => {
+                write!(f, "solver '{solver}': {reason}")
+            }
         }
     }
 }
@@ -215,7 +232,7 @@ where
         // `install`). Either way the actual count is stamped into the
         // envelope's timing metadata.
         let start = Instant::now();
-        let (mut run, threads) = match cfg.threads {
+        let (solved, threads) = match cfg.threads {
             Some(n) => {
                 let pool = rayon::ThreadPoolBuilder::new()
                     .num_threads(n)
@@ -228,6 +245,10 @@ where
             }
             None => (self.solve(typed, &native_cfg), rayon::current_num_threads()),
         };
+        let mut run = solved.map_err(|reason| SolveError::Infeasible {
+            solver: Solver::name(self).to_string(),
+            reason,
+        })?;
         run.wall_ms = start.elapsed().as_secs_f64() * 1e3;
         run.threads = threads;
         run.backend = inst.backend();
@@ -259,15 +280,15 @@ mod tests {
             1.5
         }
 
-        fn solve(&self, inst: &FlInstance, cfg: &RunConfig) -> Run {
+        fn solve(&self, inst: &FlInstance, cfg: &RunConfig) -> Result<Run, String> {
             let open: Vec<usize> = (0..inst.num_facilities()).collect();
             let cost = inst.opening_cost(&open) + inst.connection_cost(&open);
-            Run::new(Solver::name(self), Solver::problem(self))
+            Ok(Run::new(Solver::name(self), Solver::problem(self))
                 .with_guarantee(Solver::guarantee(self))
                 .with_instance_size(inst.num_clients(), inst.m())
                 .with_cost(cost)
                 .with_selected(open)
-                .with_config_echo(cfg)
+                .with_config_echo(cfg))
         }
     }
 

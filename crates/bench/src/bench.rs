@@ -13,7 +13,7 @@
 
 use crate::runner::{run_solver_cached, GenSpec, InstanceCache};
 use parfaclo_api::json::{JsonObject, JsonValue};
-use parfaclo_api::{Backend, Registry, Run, RunConfig, TrialStats};
+use parfaclo_api::{Backend, GraphBackend, Registry, Run, RunConfig, TrialStats};
 use parfaclo_matrixops::{CostReport, ExecPolicy};
 
 /// Schema tag of the matrix-benchmark artifact; bump on shape changes.
@@ -214,6 +214,11 @@ pub struct BenchMatrix {
     pub nf: usize,
     /// Distance backends to sweep.
     pub backends: Vec<Backend>,
+    /// Threshold-graph representations to sweep. Only the graph-touching
+    /// solvers (see [`solver_uses_graph`]) fan out over this axis — the
+    /// facility-location solvers never build a threshold graph, so sweeping
+    /// them over graph backends would duplicate identical cells.
+    pub graphs: Vec<GraphBackend>,
     /// Thread counts to sweep.
     pub threads: Vec<usize>,
     /// Untimed warmup runs per cell (page in the instance, warm the
@@ -226,10 +231,12 @@ pub struct BenchMatrix {
 impl Default for BenchMatrix {
     /// The committed-baseline matrix: one solver per problem family plus the
     /// second facility-location algorithm, two workloads, all three distance
-    /// backends, threads {1, 4} — small enough to run in seconds, wide
-    /// enough to touch every layer (solver families, generator presets,
-    /// every oracle backend, pool sizes). `n = 128` deliberately exceeds
-    /// the spatial planner's flat-scan cutoff (64), so the spatial cells
+    /// backends, both graph backends (swept only on the graph-touching
+    /// solvers `kcenter` and `maxdom`), threads {1, 4} — small enough to run
+    /// in seconds, wide enough to touch every layer (solver families,
+    /// generator presets, every oracle backend, both threshold-graph
+    /// representations, pool sizes). `n = 128` deliberately exceeds the
+    /// spatial planner's flat-scan cutoff (64), so the spatial cells
     /// exercise — and byte-certify — the real grid index, not the fallback.
     fn default() -> Self {
         BenchMatrix {
@@ -240,6 +247,7 @@ impl Default for BenchMatrix {
             n: 128,
             nf: 64,
             backends: vec![Backend::Dense, Backend::Implicit, Backend::Spatial],
+            graphs: vec![GraphBackend::Dense, GraphBackend::Csr],
             threads: vec![1, 4],
             warmup: 1,
             trials: 3,
@@ -247,16 +255,39 @@ impl Default for BenchMatrix {
     }
 }
 
+/// Whether a registry solver builds a threshold graph — and therefore
+/// whether the bench matrix's graph axis applies to it. The dominator
+/// family thresholds the instance directly; k-center builds a threshold
+/// graph per feasibility probe. Everything else never touches a graph, so
+/// sweeping graph backends over it would measure identical cells twice.
+pub fn solver_uses_graph(name: &str) -> bool {
+    matches!(name, "maxdom" | "mis" | "kcenter")
+}
+
 impl BenchMatrix {
-    /// Number of cells the matrix will measure.
+    /// Number of cells the matrix will measure: graph-touching solvers fan
+    /// out over the graph axis, the rest contribute one cell per
+    /// (workload, backend, thread) combination.
     pub fn cells(&self) -> usize {
-        self.solvers.len() * self.workloads.len() * self.backends.len() * self.threads.len()
+        let solver_cells: usize = self
+            .solvers
+            .iter()
+            .map(|s| {
+                if solver_uses_graph(s) {
+                    self.graphs.len()
+                } else {
+                    1
+                }
+            })
+            .sum();
+        solver_cells * self.workloads.len() * self.backends.len() * self.threads.len()
     }
 
     fn validate(&self) -> Result<(), String> {
         if self.solvers.is_empty()
             || self.workloads.is_empty()
             || self.backends.is_empty()
+            || self.graphs.is_empty()
             || self.threads.is_empty()
         {
             return Err("bench matrix has an empty dimension".to_string());
@@ -284,6 +315,9 @@ pub struct BenchRecord {
     pub clusters: usize,
     /// Distance backend the instance was served by.
     pub backend: Backend,
+    /// Threshold-graph representation the cell ran under (always `Dense`
+    /// for solvers that never build a threshold graph).
+    pub graph: GraphBackend,
     /// Worker threads the cell ran on.
     pub threads: usize,
     /// Wall-clock statistics over the timed trials.
@@ -305,14 +339,15 @@ impl BenchRecord {
     /// if they were the same workload.
     pub fn key(&self) -> String {
         format!(
-            "{}/{}:n={},nf={},c={}/{}:t={}",
+            "{}/{}:n={},nf={},c={}/{}:t={}/g={}",
             self.solver,
             self.workload,
             self.n,
             self.nf,
             self.clusters,
             self.backend.as_str(),
-            self.threads
+            self.threads,
+            self.graph.as_str()
         )
     }
 
@@ -324,6 +359,7 @@ impl BenchRecord {
             .uint("nf", self.nf as u64)
             .uint("clusters", self.clusters as u64)
             .string("backend", self.backend.as_str())
+            .string("graph", self.graph.as_str())
             .uint("threads", self.threads as u64)
             .field("wall_ms", self.stats.to_json_value())
             .uint("memory_bytes", self.memory_bytes)
@@ -368,6 +404,15 @@ impl BenchRecord {
                 .and_then(JsonValue::as_str)
                 .ok_or_else(|| "bench record missing field 'backend'".to_string())?
                 .parse()?,
+            // Optional on parse: artifacts written before the graph axis
+            // existed measured under the then-only dense representation.
+            graph: match value.get("graph") {
+                None => GraphBackend::Dense,
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| "bench record field 'graph' must be a string".to_string())?
+                    .parse()?,
+            },
             threads: uint(value, "threads")? as usize,
             stats: TrialStats::from_json_value(
                 value
@@ -524,48 +569,61 @@ pub fn run_matrix(
         for &backend in &matrix.backends {
             let mut cache = InstanceCache::new(spec, base.seed, backend);
             for solver in &matrix.solvers {
-                for &threads in &matrix.threads {
-                    let cfg = base.clone().with_backend(backend).with_threads(threads);
-                    for _ in 0..matrix.warmup {
-                        run_solver_cached(registry, solver, &mut cache, &cfg)?;
-                    }
-                    let mut samples = Vec::with_capacity(matrix.trials);
-                    let mut first: Option<Run> = None;
-                    let mut deterministic = true;
-                    for _ in 0..matrix.trials {
-                        let run = run_solver_cached(registry, solver, &mut cache, &cfg)?;
-                        samples.push(run.wall_ms);
-                        match &first {
-                            None => first = Some(run),
-                            Some(f) => {
-                                deterministic &= f.canonical_json() == run.canonical_json();
+                let graphs: &[GraphBackend] = if solver_uses_graph(solver) {
+                    &matrix.graphs
+                } else {
+                    &[GraphBackend::Dense]
+                };
+                for &graph in graphs {
+                    for &threads in &matrix.threads {
+                        let cfg = base
+                            .clone()
+                            .with_backend(backend)
+                            .with_graph(graph)
+                            .with_threads(threads);
+                        for _ in 0..matrix.warmup {
+                            run_solver_cached(registry, solver, &mut cache, &cfg)?;
+                        }
+                        let mut samples = Vec::with_capacity(matrix.trials);
+                        let mut first: Option<Run> = None;
+                        let mut deterministic = true;
+                        for _ in 0..matrix.trials {
+                            let run = run_solver_cached(registry, solver, &mut cache, &cfg)?;
+                            samples.push(run.wall_ms);
+                            match &first {
+                                None => first = Some(run),
+                                Some(f) => {
+                                    deterministic &= f.canonical_json() == run.canonical_json();
+                                }
                             }
                         }
+                        let first = first.expect("trials >= 1 checked in validate");
+                        if !deterministic {
+                            return Err(format!(
+                                "solver '{solver}' on workload '{workload}' \
+                                 (backend {}, graph {}, threads {threads}) produced different \
+                                 canonical JSON across trials — determinism contract violated",
+                                backend.as_str(),
+                                graph.as_str()
+                            ));
+                        }
+                        let stats = TrialStats::from_samples(&samples);
+                        records.push(BenchRecord {
+                            solver: solver.clone(),
+                            workload: workload.clone(),
+                            n: spec.n,
+                            nf: spec.nf,
+                            clusters: spec.clusters,
+                            backend,
+                            graph,
+                            threads: first.threads,
+                            stats: stats.clone(),
+                            memory_bytes: first.memory_bytes,
+                            work: first.work,
+                            deterministic,
+                        });
+                        runs.push(first.with_trials(stats));
                     }
-                    let first = first.expect("trials >= 1 checked in validate");
-                    if !deterministic {
-                        return Err(format!(
-                            "solver '{solver}' on workload '{workload}' \
-                             (backend {}, threads {threads}) produced different canonical \
-                             JSON across trials — determinism contract violated",
-                            backend.as_str()
-                        ));
-                    }
-                    let stats = TrialStats::from_samples(&samples);
-                    records.push(BenchRecord {
-                        solver: solver.clone(),
-                        workload: workload.clone(),
-                        n: spec.n,
-                        nf: spec.nf,
-                        clusters: spec.clusters,
-                        backend,
-                        threads: first.threads,
-                        stats: stats.clone(),
-                        memory_bytes: first.memory_bytes,
-                        work: first.work,
-                        deterministic,
-                    });
-                    runs.push(first.with_trials(stats));
                 }
             }
         }
@@ -715,6 +773,7 @@ mod tests {
             nf: 32,
             clusters: 8,
             backend: Backend::Dense,
+            graph: GraphBackend::Dense,
             threads: 1,
             stats: TrialStats {
                 trials: 3,
@@ -854,6 +913,7 @@ mod tests {
             n: 24,
             nf: 12,
             backends: vec![Backend::Dense],
+            graphs: vec![GraphBackend::Dense],
             threads: vec![1, 2],
             warmup: 1,
             trials: 3,
@@ -914,10 +974,51 @@ mod tests {
     #[test]
     fn default_matrix_spans_the_layers() {
         let m = BenchMatrix::default();
-        assert_eq!(m.cells(), 4 * 2 * 3 * 2);
+        // greedy + primal-dual contribute one cell each; kcenter + maxdom
+        // fan out over both graph backends: (2·1 + 2·2) solver-graph combos.
+        assert_eq!(m.cells(), (2 + 2 * 2) * 2 * 3 * 2);
         assert!(m.backends.contains(&Backend::Implicit));
         assert!(m.backends.contains(&Backend::Spatial));
+        assert!(m.graphs.contains(&GraphBackend::Csr));
         assert!(m.threads.contains(&1) && m.threads.len() > 1);
+    }
+
+    #[test]
+    fn graph_axis_sweeps_only_graph_solvers() {
+        let registry = standard_registry();
+        let matrix = BenchMatrix {
+            solvers: vec!["greedy".to_string(), "maxdom".to_string()],
+            workloads: vec!["uniform".to_string()],
+            n: 24,
+            nf: 12,
+            backends: vec![Backend::Dense],
+            graphs: vec![GraphBackend::Dense, GraphBackend::Csr],
+            threads: vec![1],
+            warmup: 0,
+            trials: 1,
+        };
+        let base = RunConfig::new(0.1).with_seed(5).with_k(3);
+        let (artifact, _) = run_matrix(&registry, &matrix, &base).unwrap();
+        assert_eq!(artifact.records.len(), matrix.cells());
+        assert_eq!(matrix.cells(), 3, "greedy x1 + maxdom x2 graphs");
+        let greedy: Vec<_> = artifact
+            .records
+            .iter()
+            .filter(|r| r.solver == "greedy")
+            .collect();
+        assert_eq!(greedy.len(), 1, "non-graph solver must not fan out");
+        assert_eq!(greedy[0].graph, GraphBackend::Dense);
+        let maxdom: Vec<_> = artifact
+            .records
+            .iter()
+            .filter(|r| r.solver == "maxdom")
+            .collect();
+        assert_eq!(maxdom.len(), 2);
+        assert_ne!(maxdom[0].key(), maxdom[1].key());
+        assert!(maxdom.iter().any(|r| r.graph == GraphBackend::Csr));
+        // The representations do identical algorithmic work — only wall
+        // clock and memory may differ.
+        assert_eq!(maxdom[0].work, maxdom[1].work);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! parfaclo ablation --gen uniform:n=128,nf=64 --json ablation.json
 //! ```
 
-use parfaclo_api::{Backend, ProblemKind, Registry, Run, RunConfig};
+use parfaclo_api::{Backend, GraphBackend, ProblemKind, Registry, Run, RunConfig};
 use parfaclo_bench::bench::{compare, run_matrix, BenchArtifact, BenchMatrix};
 use parfaclo_bench::runner::{
     run_solver, run_solver_cached, runs_to_json, table_header, table_row, GenSpec, InstanceCache,
@@ -56,10 +56,13 @@ USAGE:
 
 OPTIONS:
     --gen <spec>        Generator spec, e.g. uniform:n=2000,k=40
-                        (workloads: uniform|clustered|grid|line|planted,
-                        plus the implicit-scale presets large (n=100000,
-                        nf=100) and xlarge (n=1000000, nf=50) and the
-                        spatial-scale preset xxlarge (n=10000000, nf=100);
+                        (workloads: uniform|clustered|grid|line|planted|
+                        powerlaw|road, plus the implicit-scale presets
+                        large (n=100000, nf=100) and xlarge (n=1000000,
+                        nf=50), the spatial-scale preset xxlarge
+                        (n=10000000, nf=100), and the sparse-graph presets
+                        sparse-large (road, n=100000) and sparse-xlarge
+                        (powerlaw, n=1000000);
                         keys: n, nf|k, c, seed)          [default: uniform:n=200]
     --backend <b>       Instance distance backend: dense materialises the
                         |C| x |F| matrix (O(m) memory); implicit stores only
@@ -72,6 +75,14 @@ OPTIONS:
                         clustering/dominator probes still need O(n²)
                         transients at any backend).
                         Results are byte-identical in all cases [default: dense]
+    --graph <g>         Threshold-graph representation for the round-based
+                        solvers (maxdom, mis, kcenter): dense materialises
+                        the n x n adjacency matrix (refused above 4 GiB);
+                        csr builds a compressed-sparse-row graph holding
+                        only the edges within the threshold — the
+                        representation that makes sparse million-vertex
+                        graphs practical. Canonical results are
+                        byte-identical either way      [default: dense]
     --eps <f>           Slack parameter epsilon > 0      [default: 0.1]
     --seed <n>          RNG seed                         [default: 0]
     --k <n>             Centers for clustering solvers   [default: 8]
@@ -97,6 +108,9 @@ BENCH OPTIONS (parfaclo bench only):
                         [default: uniform,clustered]
     --backends <a,b>    Backend subset (dense,implicit,spatial)
                         [default: dense,implicit,spatial]
+    --graphs <a,b>      Threshold-graph representations to sweep for the
+                        graph-backed solvers (dense,csr); non-graph
+                        solvers always run once   [default: dense,csr]
     --thread-list <a,b> Thread counts to sweep           [default: 1,4]
     --warmup <n>        Untimed warmup runs per cell     [default: 1]
     --trials <n>        Timed trials per cell            [default: 3]
@@ -137,6 +151,8 @@ struct Options {
     workloads: Option<Vec<String>>,
     /// bench: backend subset.
     backends: Option<Vec<Backend>>,
+    /// bench: threshold-graph representation subset.
+    graphs: Option<Vec<GraphBackend>>,
     /// bench: thread counts to sweep.
     thread_list: Option<Vec<usize>>,
     /// bench: untimed warmup runs per cell.
@@ -165,6 +181,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut force = false;
     let mut workloads = None;
     let mut backends = None;
+    let mut graphs = None;
     let mut thread_list = None;
     let mut warmup = 1usize;
     let mut trials = 3usize;
@@ -234,6 +251,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 cfg.threads = Some(threads);
             }
             "--backend" => cfg.backend = value("--backend")?.parse()?,
+            "--graph" => cfg.graph = value("--graph")?.parse()?,
             "--no-preprocess" => cfg.preprocess = false,
             "--no-subselection" => cfg.subselection = false,
             "--solver" => solver = Some(value("--solver")?.clone()),
@@ -284,6 +302,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     value("--backends")?
                         .split(',')
                         .map(|s| s.trim().parse::<Backend>())
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            "--graphs" => {
+                graphs = Some(
+                    value("--graphs")?
+                        .split(',')
+                        .map(|s| s.trim().parse::<GraphBackend>())
                         .collect::<Result<Vec<_>, _>>()?,
                 )
             }
@@ -338,6 +364,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         force,
         workloads,
         backends,
+        graphs,
         thread_list,
         warmup,
         trials,
@@ -530,6 +557,9 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
     if let Some(backends) = &opts.backends {
         matrix.backends = backends.clone();
     }
+    if let Some(graphs) = &opts.graphs {
+        matrix.graphs = graphs.clone();
+    }
     // --thread-list defines the sweep; a bare --threads pins the sweep to
     // that single count. Passing both is ambiguous, not silently resolved.
     match (&opts.thread_list, opts.cfg.threads) {
@@ -571,11 +601,13 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
     if !opts.quiet {
         println!(
             "bench: {} solvers x {} workloads x {} backends x {} thread counts \
-             = {} cells, {} warmup + {} trials each, n = {}, nf = {}\n",
+             (graph solvers x {} graphs) = {} cells, {} warmup + {} trials each, \
+             n = {}, nf = {}\n",
             matrix.solvers.len(),
             matrix.workloads.len(),
             matrix.backends.len(),
             matrix.threads.len(),
+            matrix.graphs.len(),
             matrix.cells(),
             matrix.warmup,
             matrix.trials,
@@ -589,6 +621,7 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
             "solver",
             "workload",
             "backend",
+            "graph",
             "thr",
             "min_ms",
             "median_ms",
@@ -602,6 +635,7 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
                 rec.solver.clone(),
                 rec.workload.clone(),
                 rec.backend.as_str().to_string(),
+                rec.graph.as_str().to_string(),
                 rec.threads.to_string(),
                 format!("{:.3}", rec.stats.min_ms),
                 format!("{:.3}", rec.stats.median_ms),

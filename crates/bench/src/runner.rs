@@ -10,14 +10,20 @@ use parfaclo_metric::gen::{self, GenParams};
 /// A parsed `--gen` specification, e.g. `uniform:n=2000,k=40`.
 ///
 /// Grammar: `<workload>[:key=value[,key=value]*]` with workloads `uniform`,
-/// `clustered`, `grid`, `line`, `planted`, the large presets `large`
-/// (uniform, n=100000, nf=100) and `xlarge` (uniform, n=1000000, nf=50) —
-/// both sized for the implicit/spatial backends; the dense matrix at these
-/// scales is 80 MB–400 MB for facility location and entirely out of reach
-/// for square clustering instances — plus `xxlarge` (uniform, n=10000000,
-/// nf=100), which only the spatial backend makes practical (the implicit
-/// backend's O(n) sweeps put every structured query at 10M distance
-/// evaluations) — and keys
+/// `clustered`, `grid`, `line`, `planted`, the sparse-metric workloads
+/// `powerlaw` (power-law cluster sizes — a few heavy hubs, a long singleton
+/// tail, `O(n)` threshold-graph edges) and `road` (road-network-like
+/// bounded-degree metric), the large presets `large` (uniform, n=100000,
+/// nf=100) and `xlarge` (uniform, n=1000000, nf=50) — both sized for the
+/// implicit/spatial backends; the dense matrix at these scales is
+/// 80 MB–400 MB for facility location and entirely out of reach for square
+/// clustering instances — `xxlarge` (uniform, n=10000000, nf=100), which
+/// only the spatial backend makes practical (the implicit backend's O(n)
+/// sweeps put every structured query at 10M distance evaluations), and the
+/// sparse presets `sparse-large` (road, n=100000) and `sparse-xlarge`
+/// (powerlaw, n=1000000) — the workloads whose threshold graphs the CSR
+/// graph backend (`--graph csr`) handles at scales the dense bit matrix
+/// cannot represent — and keys
 ///
 /// * `n` — number of clients / nodes (default 200),
 /// * `nf` (alias `k`) — number of candidate facilities for facility-location
@@ -70,17 +76,34 @@ impl GenSpec {
                 clusters: 8,
                 seed: None,
             },
-            "uniform" | "clustered" | "grid" | "line" | "planted" => GenSpec {
-                workload,
-                n: 200,
-                nf: 0,
+            "sparse-large" => GenSpec {
+                workload: "road".to_string(),
+                n: 100_000,
+                nf: 100,
                 clusters: 8,
                 seed: None,
             },
+            "sparse-xlarge" => GenSpec {
+                workload: "powerlaw".to_string(),
+                n: 1_000_000,
+                nf: 50,
+                clusters: 8,
+                seed: None,
+            },
+            "uniform" | "clustered" | "grid" | "line" | "planted" | "powerlaw" | "road" => {
+                GenSpec {
+                    workload,
+                    n: 200,
+                    nf: 0,
+                    clusters: 8,
+                    seed: None,
+                }
+            }
             _ => {
                 return Err(format!(
                     "unknown workload '{workload}' \
-                     (expected uniform|clustered|grid|line|planted|large|xlarge|xxlarge)"
+                     (expected uniform|clustered|grid|line|planted|powerlaw|road\
+                     |large|xlarge|xxlarge|sparse-large|sparse-xlarge)"
                 ))
             }
         };
@@ -121,6 +144,8 @@ impl GenSpec {
             "grid" => GenParams::grid(self.n, self.nf),
             "line" => GenParams::line(self.n, self.nf),
             "planted" => GenParams::planted(self.n, self.nf, self.clusters),
+            "powerlaw" => GenParams::power_law(self.n, self.nf),
+            "road" => GenParams::road(self.n, self.nf),
             other => unreachable!("workload '{other}' rejected at parse time"),
         };
         base.with_seed(self.seed.unwrap_or(fallback_seed))
@@ -399,6 +424,29 @@ mod tests {
                 ProblemKind::FacilityLocation,
                 0,
                 parfaclo_api::Backend::Spatial
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn sparse_presets_parse_with_sparse_workloads() {
+        let sl = GenSpec::parse("sparse-large").unwrap();
+        assert_eq!(sl.workload, "road");
+        assert_eq!(sl.n, 100_000);
+        let sxl = GenSpec::parse("sparse-xlarge").unwrap();
+        assert_eq!(sxl.workload, "powerlaw");
+        assert_eq!(sxl.n, 1_000_000);
+        // Bare sparse workloads parse at the default size and generate.
+        let spec = GenSpec::parse("powerlaw:n=50").unwrap();
+        assert!(spec
+            .instance(ProblemKind::DominatorSet, 1, parfaclo_api::Backend::Spatial)
+            .is_ok());
+        let spec = GenSpec::parse("road:n=50").unwrap();
+        assert!(spec
+            .instance(
+                ProblemKind::DominatorSet,
+                1,
+                parfaclo_api::Backend::Implicit
             )
             .is_ok());
     }

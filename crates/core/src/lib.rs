@@ -39,8 +39,8 @@
 //! let inst = gen::facility_location(GenParams::uniform_square(40, 20).with_seed(1));
 //! let cfg = FlConfig::from(&RunConfig::new(0.1).with_seed(7));
 //!
-//! let g = GreedySolver.solve(&inst, &cfg);
-//! let pd = PrimalDualSolver.solve(&inst, &cfg);
+//! let g = GreedySolver.solve(&inst, &cfg).unwrap();
+//! let pd = PrimalDualSolver.solve(&inst, &cfg).unwrap();
 //!
 //! // Both produce valid Run envelopes with certified lower bounds.
 //! g.validate().unwrap();

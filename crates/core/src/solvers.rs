@@ -81,9 +81,9 @@ impl Solver for GreedySolver {
         "Algorithm 4.1, Theorem 4.9"
     }
 
-    fn solve(&self, inst: &FlInstance, cfg: &FlConfig) -> Run {
+    fn solve(&self, inst: &FlInstance, cfg: &FlConfig) -> Result<Run, String> {
         let sol = greedy::parallel_greedy(inst, cfg);
-        echo(fl_envelope(self, inst, sol, cfg), cfg)
+        Ok(echo(fl_envelope(self, inst, sol, cfg), cfg))
     }
 }
 
@@ -111,9 +111,9 @@ impl Solver for PrimalDualSolver {
         "Algorithm 5.1, Theorem 5.4"
     }
 
-    fn solve(&self, inst: &FlInstance, cfg: &FlConfig) -> Run {
+    fn solve(&self, inst: &FlInstance, cfg: &FlConfig) -> Result<Run, String> {
         let sol = primal_dual::parallel_primal_dual(inst, cfg);
-        echo(fl_envelope(self, inst, sol, cfg), cfg)
+        Ok(echo(fl_envelope(self, inst, sol, cfg), cfg))
     }
 }
 
@@ -124,12 +124,10 @@ impl Solver for PrimalDualSolver {
 /// solver), so it is practical only for small/medium instances — the
 /// `O((nc·nf)³)`-ish simplex cost dominates well before the rounding does.
 ///
-/// # Panics
-/// Panics if the simplex solver fails. The facility-location relaxation of
-/// a well-formed instance is always feasible (open everything) and bounded
-/// (costs are non-negative), so this only occurs on numerically degenerate
-/// inputs; `Solver::solve` has no error channel by design (the `Run`
-/// envelope is the issue-specified contract).
+/// If the simplex solver fails, the run is reported infeasible. The
+/// facility-location relaxation of a well-formed instance is always feasible
+/// (open everything) and bounded (costs are non-negative), so this only
+/// occurs on numerically degenerate inputs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LpRoundingSolver;
 
@@ -153,13 +151,14 @@ impl Solver for LpRoundingSolver {
         "Section 6.2, Theorem 6.5"
     }
 
-    fn solve(&self, inst: &FlInstance, cfg: &FlConfig) -> Run {
-        let lp = solve_facility_lp(inst).expect("facility-location LP must be solvable");
+    fn solve(&self, inst: &FlInstance, cfg: &FlConfig) -> Result<Run, String> {
+        let lp = solve_facility_lp(inst)
+            .map_err(|e| format!("facility-location LP relaxation unsolvable: {e}"))?;
         let sol = lp_rounding::parallel_lp_rounding(inst, &lp, cfg);
-        echo(
+        Ok(echo(
             fl_envelope(self, inst, sol, cfg).with_extra("lp_value", lp.value()),
             cfg,
-        )
+        ))
     }
 }
 
@@ -188,9 +187,9 @@ impl Solver for FlLocalSearchSolver {
         "Section 7 (closing remark)"
     }
 
-    fn solve(&self, inst: &FlInstance, cfg: &FlConfig) -> Run {
+    fn solve(&self, inst: &FlInstance, cfg: &FlConfig) -> Result<Run, String> {
         let sol = local_search_fl::parallel_local_search_fl(inst, cfg);
-        echo(fl_envelope(self, inst, sol, cfg), cfg)
+        Ok(echo(fl_envelope(self, inst, sol, cfg), cfg))
     }
 }
 
@@ -209,7 +208,7 @@ mod tests {
         let rc = RunConfig::new(0.1).with_seed(5);
         let cfg = FlConfig::from(&rc);
         let direct = greedy::parallel_greedy(&inst, &cfg);
-        let run = GreedySolver.solve(&inst, &cfg);
+        let run = GreedySolver.solve(&inst, &cfg).expect("feasible");
         assert_eq!(run.cost, direct.cost);
         assert_eq!(run.selected, direct.open);
         assert_eq!(run.lower_bound, direct.lower_bound);
@@ -237,10 +236,10 @@ mod tests {
         let inst = tiny();
         let cfg = FlConfig::from(&RunConfig::new(0.2).with_seed(1));
         for run in [
-            GreedySolver.solve(&inst, &cfg),
-            PrimalDualSolver.solve(&inst, &cfg),
-            LpRoundingSolver.solve(&inst, &cfg),
-            FlLocalSearchSolver.solve(&inst, &cfg),
+            GreedySolver.solve(&inst, &cfg).expect("feasible"),
+            PrimalDualSolver.solve(&inst, &cfg).expect("feasible"),
+            LpRoundingSolver.solve(&inst, &cfg).expect("feasible"),
+            FlLocalSearchSolver.solve(&inst, &cfg).expect("feasible"),
         ] {
             run.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", run.solver));
@@ -254,7 +253,7 @@ mod tests {
     fn primal_dual_run_carries_certificate() {
         let inst = tiny();
         let cfg = FlConfig::from(&RunConfig::new(0.1));
-        let run = PrimalDualSolver.solve(&inst, &cfg);
+        let run = PrimalDualSolver.solve(&inst, &cfg).expect("feasible");
         let ratio = run.certified_ratio().expect("primal-dual certifies");
         assert!(ratio >= 1.0 - 1e-9);
         assert!(ratio <= 3.0 + 0.4, "ratio {ratio} exceeds guarantee");

@@ -21,13 +21,16 @@
 //!
 //! This crate provides:
 //!
-//! * [`graph::DenseGraph`] and [`graph::BipartiteGraph`] — dense adjacency
-//!   representations, including construction by thresholding a distance matrix (the way
-//!   the k-center and primal-dual algorithms build their graphs);
 //! * [`luby::maximal_independent_set`] — classic Luby MIS on an explicit graph (used as
 //!   a reference implementation in tests);
 //! * [`maxdom::max_dom`] — `MaxDom(G)` without constructing `G²`;
 //! * [`maxudom::max_u_dom`] — `MaxUDom(H)` without constructing `H'`.
+//!
+//! All three run on the frontier engine of [`parfaclo_graph`] and are generic over its
+//! graph representations — the dense bit matrices ([`graph::DenseGraph`],
+//! [`graph::BipartiteGraph`], re-exported here for compatibility) or the CSR sparse
+//! forms ([`graph::CsrGraph`], [`graph::CsrBipartite`]) — with byte-identical output on
+//! either.
 //!
 //! All routines are deterministic given a seed, return the number of Luby rounds
 //! executed (so the experiments can check the `O(log n)` round bound), and record their
@@ -42,7 +45,7 @@ pub mod maxdom;
 pub mod maxudom;
 pub mod solvers;
 
-pub use graph::{BipartiteGraph, DenseGraph};
+pub use graph::{BipartiteGraph, CsrBipartite, CsrGraph, DenseGraph, ThresholdGraph};
 pub use luby::maximal_independent_set;
 pub use maxdom::max_dom;
 pub use maxudom::max_u_dom;

@@ -5,6 +5,19 @@
 //! live neighbours enter the independent set, and selected nodes plus their neighbours
 //! are removed. The expected number of rounds is `O(log n)`.
 //!
+//! The round body runs on the frontier engine of [`parfaclo_graph`]: the set of live
+//! nodes is a [`VertexSubset`], the neighbour minimum is one [`edge_map_min`], and the
+//! removal wave is one [`edge_map`]. The algorithm is therefore generic over any
+//! [`Neighbors`] representation — dense bit matrix or CSR — and produces identical
+//! output on either, because dead nodes carry priority `+∞` (an unfiltered neighbour
+//! minimum equals the live-filtered one) and `min` / set-union combines are
+//! order-independent.
+//!
+//! The cost meter still charges the paper's dense PRAM model (`O(n²)` per round)
+//! whatever the representation: the model prices the *algorithm*, not the container,
+//! and keeping the charge representation-independent is what lets canonical run JSON
+//! stay byte-identical across graph backends.
+//!
 //! The dominator-set variants in [`crate::maxdom`] and [`crate::maxudom`] simulate this
 //! algorithm on the *square* of a graph without materialising it; this explicit version
 //! is used as the reference implementation in tests (run it on an explicitly squared
@@ -12,10 +25,10 @@
 
 use crate::graph::DenseGraph;
 use crate::DominatorResult;
+use parfaclo_graph::{edge_map, edge_map_min, Neighbors, VertexSubset};
 use parfaclo_matrixops::{CostMeter, ExecPolicy};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 
 /// Draws one distinct priority per node: the high 32 bits are random, the low 32 bits
 /// are the node index, so priorities never collide (the paper instead draws from
@@ -36,8 +49,8 @@ pub(crate) fn draw_priorities(rng: &mut ChaCha8Rng, n: usize, alive: &[bool]) ->
 ///
 /// Deterministic for a fixed `seed`. Returns the selected nodes (sorted) and the number
 /// of rounds executed.
-pub fn maximal_independent_set(
-    g: &DenseGraph,
+pub fn maximal_independent_set<G: Neighbors>(
+    g: &G,
     seed: u64,
     policy: ExecPolicy,
     meter: &CostMeter,
@@ -53,49 +66,27 @@ pub fn maximal_independent_set(
         meter.add_round();
         let pri = draw_priorities(&mut rng, n, &alive);
         meter.add_primitive(n as u64);
+        let alive_set = VertexSubset::from_mask(&alive);
 
-        // Select step: node i is selected if it is alive and its priority is strictly
-        // smaller than every live neighbour's priority.
-        let select_node = |i: usize| -> bool {
-            if !alive[i] {
-                return false;
-            }
-            let row = g.row(i);
-            let min_nb = row
-                .iter()
-                .enumerate()
-                .filter(|&(j, &adj)| adj && alive[j])
-                .map(|(j, _)| pri[j])
-                .min()
-                .unwrap_or(u64::MAX);
-            pri[i] < min_nb
-        };
+        // Select step: node i is selected if it is alive and its priority is
+        // strictly smaller than every live neighbour's priority. Dead nodes
+        // hold priority +∞, so the unfiltered neighbour minimum the engine
+        // computes equals the live-filtered minimum.
         meter.add_primitive((n * n) as u64);
-        let newly: Vec<bool> = if policy.run_parallel(n * n) {
-            (0..n).into_par_iter().map(select_node).collect()
-        } else {
-            (0..n).map(select_node).collect()
-        };
+        let min_nb = edge_map_min(g, &alive_set, &pri, false, policy);
+        let newly: Vec<bool> = (0..n).map(|i| alive[i] && pri[i] < min_nb[i]).collect();
 
         // Removal step: selected nodes and their neighbours leave the graph.
         meter.add_primitive((n * n) as u64);
-        let kill = |i: usize| -> bool {
-            if !alive[i] {
-                return false;
-            }
-            newly[i] || g.row(i).iter().enumerate().any(|(j, &adj)| adj && newly[j])
-        };
-        let to_kill: Vec<bool> = if policy.run_parallel(n * n) {
-            (0..n).into_par_iter().map(kill).collect()
-        } else {
-            (0..n).map(kill).collect()
-        };
+        let newly_set = VertexSubset::from_mask(&newly);
+        let killed = newly_set.union(&edge_map(g, &newly_set, |_| true, policy));
+        let kill_mask = killed.to_mask();
 
         for i in 0..n {
             if newly[i] {
                 selected[i] = true;
             }
-            if to_kill[i] {
+            if kill_mask[i] {
                 alive[i] = false;
             }
         }
@@ -138,6 +129,7 @@ pub fn is_maximal_independent_set(g: &DenseGraph, set: &[usize]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parfaclo_graph::CsrGraph;
 
     fn meter() -> CostMeter {
         CostMeter::new()
@@ -181,6 +173,32 @@ mod tests {
         let a = maximal_independent_set(&g, 99, ExecPolicy::Sequential, &meter());
         let b = maximal_independent_set(&g, 99, ExecPolicy::Parallel, &meter());
         assert_eq!(a, b, "parallel and sequential must agree for the same seed");
+    }
+
+    #[test]
+    fn dense_and_csr_representations_agree() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for trial in 0..10 {
+            let n = rng.gen_range(2..40);
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(0.25) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let d = DenseGraph::from_edges(n, &edges);
+            let c = CsrGraph::from_edges(n, &edges);
+            for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+                assert_eq!(
+                    maximal_independent_set(&d, trial, policy, &meter()),
+                    maximal_independent_set(&c, trial, policy, &meter()),
+                    "trial {trial}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,7 @@
 //! `MaxDom(G)`: maximal dominator set — a maximal independent set of `G²` computed
 //! **in place**, i.e. without constructing `G²` (Section 3, Lemma 3.1).
 //!
-//! Per Luby round the algorithm performs a constant number of dense row operations over
-//! the adjacency matrix:
+//! Per Luby round the algorithm performs a constant number of frontier operations:
 //!
 //! 1. every live node draws a random priority;
 //! 2. the priorities are propagated to neighbours taking minima, **twice** — after the
@@ -18,44 +17,22 @@
 //! `G²` between live nodes persist even when the common neighbour that induced them has
 //! been removed, so the propagation in steps 2 and 4 deliberately flows through dead
 //! nodes (their own priorities are treated as `+∞` / not-selected, but they still relay).
+//! On the frontier engine this means the first min-propagation targets the *closed
+//! neighbourhood* of the live set (live nodes plus their relays), not just the live set —
+//! the only values the second propagation reads. Values outside that set are never read,
+//! so skipping them changes no output byte.
+//!
+//! The round body is generic over any [`Neighbors`] representation and the cost meter
+//! still charges the paper's dense PRAM model (`O(n²)` per propagation) regardless —
+//! see [`crate::luby`] for why.
 
 use crate::graph::DenseGraph;
 use crate::luby::draw_priorities;
 use crate::DominatorResult;
+use parfaclo_graph::{edge_map, edge_map_min, Neighbors, VertexSubset};
 use parfaclo_matrixops::{CostMeter, ExecPolicy};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
-
-fn propagate_min(g: &DenseGraph, values: &[u64], policy: ExecPolicy) -> Vec<u64> {
-    let n = g.n();
-    let one = |z: usize| -> u64 {
-        let mut m = values[z];
-        for (w, &adj) in g.row(z).iter().enumerate() {
-            if adj {
-                m = m.min(values[w]);
-            }
-        }
-        m
-    };
-    if policy.run_parallel(n * n) {
-        (0..n).into_par_iter().map(one).collect()
-    } else {
-        (0..n).map(one).collect()
-    }
-}
-
-fn propagate_or(g: &DenseGraph, flags: &[bool], policy: ExecPolicy) -> Vec<bool> {
-    let n = g.n();
-    let one = |z: usize| -> bool {
-        flags[z] || g.row(z).iter().enumerate().any(|(w, &adj)| adj && flags[w])
-    };
-    if policy.run_parallel(n * n) {
-        (0..n).into_par_iter().map(one).collect()
-    } else {
-        (0..n).map(one).collect()
-    }
-}
 
 /// Computes a maximal dominator set of `g` (maximal independent set of `G²`) without
 /// constructing `G²`.
@@ -63,8 +40,8 @@ fn propagate_or(g: &DenseGraph, flags: &[bool], policy: ExecPolicy) -> Vec<bool>
 /// Deterministic for a fixed `seed`. The returned [`DominatorResult`] carries the number
 /// of Luby rounds, which is `O(log n)` in expectation (Lemma 3.1 charges
 /// `O(|V|² log |V|)` work in total).
-pub fn max_dom(
-    g: &DenseGraph,
+pub fn max_dom<G: Neighbors>(
+    g: &G,
     seed: u64,
     policy: ExecPolicy,
     meter: &CostMeter,
@@ -82,10 +59,15 @@ pub fn max_dom(
         // Step 1: random priorities for live nodes (+∞ for dead ones).
         let pri = draw_priorities(&mut rng, n, &alive);
         meter.add_primitive(n as u64);
+        let alive_set = VertexSubset::from_mask(&alive);
 
         // Step 2: two min-propagations give the closed radius-2-ball minimum.
-        let m1 = propagate_min(g, &pri, policy);
-        let m2 = propagate_min(g, &m1, policy);
+        // The first targets N[alive] — live nodes plus the dead relays the
+        // second propagation will read through; the second targets only the
+        // live nodes whose minima step 3 inspects.
+        let relay = alive_set.union(&edge_map(g, &alive_set, |_| true, policy));
+        let m1 = edge_map_min(g, &relay, &pri, true, policy);
+        let m2 = edge_map_min(g, &alive_set, &m1, true, policy);
         meter.add_primitive((n * n) as u64);
         meter.add_primitive((n * n) as u64);
 
@@ -94,16 +76,18 @@ pub fn max_dom(
         meter.add_primitive(n as u64);
 
         // Step 4: remove everything within radius 2 of a selected node.
-        let s1 = propagate_or(g, &newly, policy);
-        let s2 = propagate_or(g, &s1, policy);
+        let newly_set = VertexSubset::from_mask(&newly);
+        let s1 = newly_set.union(&edge_map(g, &newly_set, |_| true, policy));
+        let s2 = s1.union(&edge_map(g, &s1, |_| true, policy));
         meter.add_primitive((n * n) as u64);
         meter.add_primitive((n * n) as u64);
+        let s2_mask = s2.to_mask();
 
         for i in 0..n {
             if newly[i] {
                 selected[i] = true;
             }
-            if s2[i] {
+            if s2_mask[i] {
                 alive[i] = false;
             }
         }
@@ -163,6 +147,7 @@ pub fn explicit_square(g: &DenseGraph) -> DenseGraph {
 mod tests {
     use super::*;
     use crate::luby::{is_maximal_independent_set, maximal_independent_set};
+    use parfaclo_graph::CsrGraph;
     use rand::Rng;
 
     fn meter() -> CostMeter {
@@ -245,6 +230,31 @@ mod tests {
         let a = max_dom(&g, 77, ExecPolicy::Sequential, &meter());
         let b = max_dom(&g, 77, ExecPolicy::Parallel, &meter());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dense_and_csr_representations_agree() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        for trial in 0..10 {
+            let n = rng.gen_range(3..35);
+            let mut edges = Vec::new();
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    if rng.gen_bool(0.2) {
+                        edges.push((a, b));
+                    }
+                }
+            }
+            let d = DenseGraph::from_edges(n, &edges);
+            let c = CsrGraph::from_edges(n, &edges);
+            for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+                assert_eq!(
+                    max_dom(&d, trial, policy, &meter()),
+                    max_dom(&c, trial, policy, &meter()),
+                    "trial {trial}"
+                );
+            }
+        }
     }
 
     #[test]

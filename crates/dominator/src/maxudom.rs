@@ -8,23 +8,29 @@
 //! (Section 6.2) and, in spirit, the greedy subselection all call it.
 //!
 //! As with [`crate::maxdom`], Luby's select step is simulated with two min-propagation
-//! passes — U → V and back V → U — so `H'` is never materialised, giving
-//! `O(|U||V|)` work per round and `O(log |U|)` rounds in expectation (Lemma 3.1).
+//! passes — U → V and back V → U — so `H'` is never materialised. The passes run on the
+//! bipartite frontier primitives of [`parfaclo_graph`], generic over the dense matrix or
+//! CSR representation: dead U-nodes carry priority `+∞`, so the unfiltered V-side
+//! minimum equals the live-filtered one, and restricting each gather to the frontier's
+//! neighbourhood skips only values nothing reads. The cost meter keeps charging the
+//! paper's dense `O(|U||V|)`-per-round model regardless of representation.
 
 use crate::graph::BipartiteGraph;
 use crate::luby::draw_priorities;
 use crate::DominatorResult;
+use parfaclo_graph::{
+    bi_edge_map_u, bi_edge_map_v, bi_min_into_u, bi_min_into_v, BipartiteNeighbors, VertexSubset,
+};
 use parfaclo_matrixops::{CostMeter, ExecPolicy};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 
 /// Computes a maximal U-dominator set of the bipartite graph `h`.
 ///
 /// U-side nodes with no `V`-neighbours are always selected (they conflict with nothing,
 /// so maximality requires them). Deterministic for a fixed `seed`.
-pub fn max_u_dom(
-    h: &BipartiteGraph,
+pub fn max_u_dom<H: BipartiteNeighbors>(
+    h: &H,
     seed: u64,
     policy: ExecPolicy,
     meter: &CostMeter,
@@ -43,81 +49,37 @@ pub fn max_u_dom(
         // Random priorities for live U-nodes.
         let pri = draw_priorities(&mut rng, nu, &alive);
         meter.add_primitive(nu as u64);
+        let alive_set = VertexSubset::from_mask(&alive);
 
-        // V-side minimum: mv[v] = min over U-neighbours u of pri[u].
+        // V-side minimum: mv[v] = min over U-neighbours u of pri[u]. Dead
+        // U-nodes hold +∞, so the unfiltered minimum is the live-filtered
+        // one; V-nodes outside the live set's neighbourhood get +∞ — the
+        // same value the dense scan produced for them — and are never read.
         meter.add_primitive((nu * nv) as u64);
-        let mv: Vec<u64> = {
-            let one = |v: usize| -> u64 {
-                (0..nu)
-                    .filter(|&u| h.has_edge(u, v))
-                    .map(|u| pri[u])
-                    .min()
-                    .unwrap_or(u64::MAX)
-            };
-            if policy.run_parallel(nu * nv) {
-                (0..nv).into_par_iter().map(one).collect()
-            } else {
-                (0..nv).map(one).collect()
-            }
-        };
+        let touched_v = bi_edge_map_u(h, &alive_set, policy);
+        let mv = bi_min_into_v(h, &touched_v, &pri, policy);
 
         // Back to U: closed H'-neighbourhood minimum of u.
         meter.add_primitive((nu * nv) as u64);
-        let mu: Vec<u64> = {
-            let one = |u: usize| -> u64 {
-                let via_v = h
-                    .row_u(u)
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &adj)| adj)
-                    .map(|(v, _)| mv[v])
-                    .min()
-                    .unwrap_or(u64::MAX);
-                pri[u].min(via_v)
-            };
-            if policy.run_parallel(nu * nv) {
-                (0..nu).into_par_iter().map(one).collect()
-            } else {
-                (0..nu).map(one).collect()
-            }
-        };
+        let mu = bi_min_into_u(h, &alive_set, &mv, &pri, policy);
 
         // Select live local minima of H' (distinct priorities ⇒ equality test works).
         let newly: Vec<bool> = (0..nu).map(|u| alive[u] && pri[u] == mu[u]).collect();
         meter.add_primitive(nu as u64);
 
         // Removal: a V-node covered by a selected U-node blocks all its U-neighbours.
+        let newly_set = VertexSubset::from_mask(&newly);
         meter.add_primitive((nu * nv) as u64);
-        let v_blocked: Vec<bool> = {
-            let one = |v: usize| -> bool { (0..nu).any(|u| newly[u] && h.has_edge(u, v)) };
-            if policy.run_parallel(nu * nv) {
-                (0..nv).into_par_iter().map(one).collect()
-            } else {
-                (0..nv).map(one).collect()
-            }
-        };
+        let v_blocked = bi_edge_map_u(h, &newly_set, policy);
         meter.add_primitive((nu * nv) as u64);
-        let kill: Vec<bool> = {
-            let one = |u: usize| -> bool {
-                alive[u]
-                    && (newly[u]
-                        || h.row_u(u)
-                            .iter()
-                            .enumerate()
-                            .any(|(v, &adj)| adj && v_blocked[v]))
-            };
-            if policy.run_parallel(nu * nv) {
-                (0..nu).into_par_iter().map(one).collect()
-            } else {
-                (0..nu).map(one).collect()
-            }
-        };
+        let blocked_u = bi_edge_map_v(h, &v_blocked, policy);
+        let blocked_mask = blocked_u.to_mask();
 
         for u in 0..nu {
             if newly[u] {
                 selected[u] = true;
             }
-            if kill[u] {
+            if newly[u] || blocked_mask[u] {
                 alive[u] = false;
             }
         }
@@ -245,6 +207,33 @@ mod tests {
         let a = max_u_dom(&h, 123, ExecPolicy::Sequential, &meter());
         let b = max_u_dom(&h, 123, ExecPolicy::Parallel, &meter());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dense_and_csr_representations_agree() {
+        use parfaclo_graph::CsrBipartite;
+        let mut rng = ChaCha8Rng::seed_from_u64(29);
+        for trial in 0..10 {
+            let nu = rng.gen_range(1..25);
+            let nv = rng.gen_range(1..25);
+            let mut edges = Vec::new();
+            for u in 0..nu {
+                for v in 0..nv {
+                    if rng.gen_bool(0.15) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let d = BipartiteGraph::from_edges(nu, nv, &edges);
+            let c = CsrBipartite::from_edges(nu, nv, &edges);
+            for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+                assert_eq!(
+                    max_u_dom(&d, trial, policy, &meter()),
+                    max_u_dom(&c, trial, policy, &meter()),
+                    "trial {trial}"
+                );
+            }
+        }
     }
 
     #[test]

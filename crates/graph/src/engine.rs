@@ -1,0 +1,736 @@
+//! The Ligra-style frontier engine: `edge_map` / `vertex_map` /
+//! `vertex_filter` over any [`Neighbors`] graph.
+//!
+//! Every primitive is deterministic by construction: direction switching
+//! (sparse *push* vs dense *pull*) is a pure function of frontier density and
+//! graph size — never of thread count — and every combine is either
+//! order-independent (set membership, `min`) or evaluated left-to-right over
+//! ascending neighbour ids, so results are byte-identical across
+//! [`ExecPolicy`] choices, thread counts and graph representations.
+
+use crate::frontier::VertexSubset;
+use parfaclo_matrixops::ExecPolicy;
+use rayon::prelude::*;
+
+/// Adjacency access for the frontier engine. Implemented by the dense
+/// bit-matrix, the CSR representation, and the [`crate::ThresholdGraph`]
+/// facade, so every round-based solver can be written once and run on any of
+/// them with identical output.
+pub trait Neighbors: Sync {
+    /// Number of nodes.
+    fn n(&self) -> usize;
+    /// Number of undirected edges (`O(1)` — cached where the representation
+    /// cannot count cheaply).
+    fn num_edges(&self) -> usize;
+    /// Degree of node `v`.
+    fn degree(&self, v: usize) -> usize;
+    /// Calls `f` on every neighbour of `v` in ascending order.
+    fn for_each_neighbor(&self, v: usize, f: &mut dyn FnMut(usize));
+    /// Whether any neighbour of `v` satisfies `pred` (may early-exit).
+    fn any_neighbor(&self, v: usize, pred: &dyn Fn(usize) -> bool) -> bool;
+}
+
+impl Neighbors for crate::CsrGraph {
+    fn n(&self) -> usize {
+        CsrGraphExt::n(self)
+    }
+    fn num_edges(&self) -> usize {
+        self.num_edges()
+    }
+    fn degree(&self, v: usize) -> usize {
+        self.degree(v)
+    }
+    fn for_each_neighbor(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        for &w in self.neighbors(v) {
+            f(w as usize);
+        }
+    }
+    fn any_neighbor(&self, v: usize, pred: &dyn Fn(usize) -> bool) -> bool {
+        self.neighbors(v).iter().any(|&w| pred(w as usize))
+    }
+}
+
+/// Private alias so the trait impl can reach the inherent `n()` without
+/// infinite recursion.
+trait CsrGraphExt {
+    fn n(&self) -> usize;
+}
+impl CsrGraphExt for crate::CsrGraph {
+    fn n(&self) -> usize {
+        crate::CsrGraph::n(self)
+    }
+}
+
+impl Neighbors for crate::DenseGraph {
+    fn n(&self) -> usize {
+        crate::DenseGraph::n(self)
+    }
+    fn num_edges(&self) -> usize {
+        crate::DenseGraph::num_edges(self)
+    }
+    fn degree(&self, v: usize) -> usize {
+        crate::DenseGraph::degree(self, v)
+    }
+    fn for_each_neighbor(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        for (w, &adj) in self.row(v).iter().enumerate() {
+            if adj {
+                f(w);
+            }
+        }
+    }
+    fn any_neighbor(&self, v: usize, pred: &dyn Fn(usize) -> bool) -> bool {
+        self.row(v)
+            .iter()
+            .enumerate()
+            .any(|(w, &adj)| adj && pred(w))
+    }
+}
+
+/// Ligra's direction heuristic, early-exiting so the sparse case never pays
+/// more than `O(|frontier|)` degree lookups: take the dense (pull) direction
+/// when `|frontier| + Σ deg(frontier) > m/20 + 1`. A pure function of the
+/// frontier *contents* and the graph — representation and thread count play
+/// no part, so the decision (and with it every downstream byte) is stable.
+fn use_dense_direction<G: Neighbors>(g: &G, frontier: &VertexSubset) -> bool {
+    let threshold = (g.num_edges() / 20 + 1) as u64;
+    let mut work = frontier.len() as u64;
+    if work > threshold {
+        return true;
+    }
+    let mut heavy = false;
+    frontier.for_each(|v| {
+        if !heavy {
+            work += g.degree(v) as u64;
+            heavy = work > threshold;
+        }
+    });
+    heavy
+}
+
+/// Ligra `edgeMap`: the set `{ v : cond(v) ∧ ∃ u ∈ frontier, {u,v} ∈ E }`.
+///
+/// Sparse (push) direction walks the frontier's ascending neighbour lists and
+/// sort-dedups the result; dense (pull) direction gathers per target vertex.
+/// Both produce the same member set, so downstream output never depends on
+/// which direction ran.
+pub fn edge_map<G, C>(g: &G, frontier: &VertexSubset, cond: C, policy: ExecPolicy) -> VertexSubset
+where
+    G: Neighbors,
+    C: Fn(usize) -> bool + Sync,
+{
+    let n = g.n();
+    if frontier.is_empty() {
+        return VertexSubset::empty(n);
+    }
+    if use_dense_direction(g, frontier) {
+        let mask = frontier.to_mask();
+        let one = |v: usize| cond(v) && g.any_neighbor(v, &|w| mask[w]);
+        let bits: Vec<bool> = if policy.run_parallel(n + g.num_edges()) {
+            (0..n).into_par_iter().with_min_len(256).map(one).collect()
+        } else {
+            (0..n).map(one).collect()
+        };
+        VertexSubset::from_mask_owned(bits)
+    } else {
+        let mut out: Vec<u32> = Vec::new();
+        frontier.for_each(|u| g.for_each_neighbor(u, &mut |w| out.push(w as u32)));
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&v| cond(v as usize));
+        VertexSubset::from_sorted_ids(n, out)
+    }
+}
+
+/// `edgeMap` with a `min` combine: for every `v ∈ targets`,
+/// `out[v] = min(values over N(v))` (including `values[v]` itself when
+/// `include_self`); vertices outside `targets` keep `values[v]` unchanged.
+///
+/// This is the propagation primitive of the paper's Luby simulations: `min`
+/// is order-independent, so the result is identical whichever direction or
+/// schedule computes it.
+pub fn edge_map_min<G: Neighbors>(
+    g: &G,
+    targets: &VertexSubset,
+    values: &[u64],
+    include_self: bool,
+    policy: ExecPolicy,
+) -> Vec<u64> {
+    let n = g.n();
+    debug_assert_eq!(values.len(), n);
+    let gather = |v: usize| -> u64 {
+        let mut m = if include_self { values[v] } else { u64::MAX };
+        g.for_each_neighbor(v, &mut |w| m = m.min(values[w]));
+        m
+    };
+    if targets.len() * 2 >= n {
+        let mask = targets.to_mask();
+        let one = |v: usize| if mask[v] { gather(v) } else { values[v] };
+        if policy.run_parallel(n + g.num_edges()) {
+            (0..n).into_par_iter().with_min_len(256).map(one).collect()
+        } else {
+            (0..n).map(one).collect()
+        }
+    } else {
+        let ids = targets.ids();
+        let gathered: Vec<u64> = if policy.run_parallel(n + g.num_edges()) {
+            (0..ids.len())
+                .into_par_iter()
+                .with_min_len(64)
+                .map(|i| gather(ids[i] as usize))
+                .collect()
+        } else {
+            ids.iter().map(|&v| gather(v as usize)).collect()
+        };
+        let mut out = values.to_vec();
+        for (&v, &m) in ids.iter().zip(gathered.iter()) {
+            out[v as usize] = m;
+        }
+        out
+    }
+}
+
+/// Ligra `vertexMap`: applies `f` to every member in ascending order and
+/// returns the results in that order.
+pub fn vertex_map<T, F>(subset: &VertexSubset, f: F, policy: ExecPolicy) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let ids = subset.ids();
+    if policy.run_parallel(ids.len()) {
+        (0..ids.len())
+            .into_par_iter()
+            .with_min_len(64)
+            .map(|i| f(ids[i] as usize))
+            .collect()
+    } else {
+        ids.iter().map(|&v| f(v as usize)).collect()
+    }
+}
+
+/// Ligra `vertexFilter`: the members of `subset` satisfying `pred`, keeping
+/// the subset's representation kind.
+pub fn vertex_filter<F>(subset: &VertexSubset, pred: F, policy: ExecPolicy) -> VertexSubset
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    let n = subset.universe();
+    if subset.is_sparse() {
+        let mut ids = subset.ids();
+        ids.retain(|&v| pred(v as usize));
+        VertexSubset::from_sorted_ids(n, ids)
+    } else {
+        let mask = subset.to_mask();
+        let one = |v: usize| mask[v] && pred(v);
+        let bits: Vec<bool> = if policy.run_parallel(n) {
+            (0..n).into_par_iter().with_min_len(256).map(one).collect()
+        } else {
+            (0..n).map(one).collect()
+        };
+        VertexSubset::from_mask_owned(bits)
+    }
+}
+
+/// Bipartite adjacency access for the frontier engine, with both directions
+/// of traversal. Implemented by the dense [`crate::BipartiteGraph`] and the
+/// CSR [`crate::CsrBipartite`].
+pub trait BipartiteNeighbors: Sync {
+    /// Number of U-side nodes.
+    fn nu(&self) -> usize;
+    /// Number of V-side nodes.
+    fn nv(&self) -> usize;
+    /// Number of edges.
+    fn num_edges(&self) -> usize;
+    /// Degree of U-side node `u`.
+    fn degree_u(&self, u: usize) -> usize;
+    /// Degree of V-side node `v`.
+    fn degree_v(&self, v: usize) -> usize;
+    /// Calls `f` on every V-side neighbour of `u` in ascending order.
+    fn for_each_neighbor_u(&self, u: usize, f: &mut dyn FnMut(usize));
+    /// Calls `f` on every U-side neighbour of `v` in ascending order.
+    fn for_each_neighbor_v(&self, v: usize, f: &mut dyn FnMut(usize));
+    /// Whether any V-side neighbour of `u` satisfies `pred`.
+    fn any_neighbor_u(&self, u: usize, pred: &dyn Fn(usize) -> bool) -> bool;
+    /// Whether any U-side neighbour of `v` satisfies `pred`.
+    fn any_neighbor_v(&self, v: usize, pred: &dyn Fn(usize) -> bool) -> bool;
+}
+
+impl BipartiteNeighbors for crate::CsrBipartite {
+    fn nu(&self) -> usize {
+        crate::CsrBipartite::nu(self)
+    }
+    fn nv(&self) -> usize {
+        crate::CsrBipartite::nv(self)
+    }
+    fn num_edges(&self) -> usize {
+        crate::CsrBipartite::num_edges(self)
+    }
+    fn degree_u(&self, u: usize) -> usize {
+        crate::CsrBipartite::degree_u(self, u)
+    }
+    fn degree_v(&self, v: usize) -> usize {
+        crate::CsrBipartite::degree_v(self, v)
+    }
+    fn for_each_neighbor_u(&self, u: usize, f: &mut dyn FnMut(usize)) {
+        for &v in self.neighbors_u(u) {
+            f(v as usize);
+        }
+    }
+    fn for_each_neighbor_v(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        for &u in self.neighbors_v(v) {
+            f(u as usize);
+        }
+    }
+    fn any_neighbor_u(&self, u: usize, pred: &dyn Fn(usize) -> bool) -> bool {
+        self.neighbors_u(u).iter().any(|&v| pred(v as usize))
+    }
+    fn any_neighbor_v(&self, v: usize, pred: &dyn Fn(usize) -> bool) -> bool {
+        self.neighbors_v(v).iter().any(|&u| pred(u as usize))
+    }
+}
+
+impl BipartiteNeighbors for crate::BipartiteGraph {
+    fn nu(&self) -> usize {
+        crate::BipartiteGraph::nu(self)
+    }
+    fn nv(&self) -> usize {
+        crate::BipartiteGraph::nv(self)
+    }
+    fn num_edges(&self) -> usize {
+        crate::BipartiteGraph::num_edges(self)
+    }
+    fn degree_u(&self, u: usize) -> usize {
+        crate::BipartiteGraph::degree_u(self, u)
+    }
+    fn degree_v(&self, v: usize) -> usize {
+        crate::BipartiteGraph::degree_v(self, v)
+    }
+    fn for_each_neighbor_u(&self, u: usize, f: &mut dyn FnMut(usize)) {
+        for (v, &adj) in self.row_u(u).iter().enumerate() {
+            if adj {
+                f(v);
+            }
+        }
+    }
+    fn for_each_neighbor_v(&self, v: usize, f: &mut dyn FnMut(usize)) {
+        for u in 0..crate::BipartiteGraph::nu(self) {
+            if self.has_edge(u, v) {
+                f(u);
+            }
+        }
+    }
+    fn any_neighbor_u(&self, u: usize, pred: &dyn Fn(usize) -> bool) -> bool {
+        self.row_u(u)
+            .iter()
+            .enumerate()
+            .any(|(v, &adj)| adj && pred(v))
+    }
+    fn any_neighbor_v(&self, v: usize, pred: &dyn Fn(usize) -> bool) -> bool {
+        (0..crate::BipartiteGraph::nu(self)).any(|u| self.has_edge(u, v) && pred(u))
+    }
+}
+
+/// Bipartite `edgeMap`, `U → V`: the V-side set adjacent to `u_frontier`.
+pub fn bi_edge_map_u<H: BipartiteNeighbors>(
+    h: &H,
+    u_frontier: &VertexSubset,
+    policy: ExecPolicy,
+) -> VertexSubset {
+    let nv = h.nv();
+    if u_frontier.is_empty() {
+        return VertexSubset::empty(nv);
+    }
+    let threshold = (h.num_edges() / 20 + 1) as u64;
+    let mut work = u_frontier.len() as u64;
+    let mut heavy = work > threshold;
+    u_frontier.for_each(|u| {
+        if !heavy {
+            work += h.degree_u(u) as u64;
+            heavy = work > threshold;
+        }
+    });
+    if heavy {
+        let mask = u_frontier.to_mask();
+        let one = |v: usize| h.any_neighbor_v(v, &|u| mask[u]);
+        let bits: Vec<bool> = if policy.run_parallel(nv + h.num_edges()) {
+            (0..nv).into_par_iter().with_min_len(256).map(one).collect()
+        } else {
+            (0..nv).map(one).collect()
+        };
+        VertexSubset::from_mask_owned(bits)
+    } else {
+        let mut out: Vec<u32> = Vec::new();
+        u_frontier.for_each(|u| h.for_each_neighbor_u(u, &mut |v| out.push(v as u32)));
+        out.sort_unstable();
+        out.dedup();
+        VertexSubset::from_sorted_ids(nv, out)
+    }
+}
+
+/// Bipartite `edgeMap`, `V → U`: the U-side set adjacent to `v_frontier`.
+pub fn bi_edge_map_v<H: BipartiteNeighbors>(
+    h: &H,
+    v_frontier: &VertexSubset,
+    policy: ExecPolicy,
+) -> VertexSubset {
+    let nu = h.nu();
+    if v_frontier.is_empty() {
+        return VertexSubset::empty(nu);
+    }
+    let threshold = (h.num_edges() / 20 + 1) as u64;
+    let mut work = v_frontier.len() as u64;
+    let mut heavy = work > threshold;
+    v_frontier.for_each(|v| {
+        if !heavy {
+            work += h.degree_v(v) as u64;
+            heavy = work > threshold;
+        }
+    });
+    if heavy {
+        let mask = v_frontier.to_mask();
+        let one = |u: usize| h.any_neighbor_u(u, &|v| mask[v]);
+        let bits: Vec<bool> = if policy.run_parallel(nu + h.num_edges()) {
+            (0..nu).into_par_iter().with_min_len(256).map(one).collect()
+        } else {
+            (0..nu).map(one).collect()
+        };
+        VertexSubset::from_mask_owned(bits)
+    } else {
+        let mut out: Vec<u32> = Vec::new();
+        v_frontier.for_each(|v| h.for_each_neighbor_v(v, &mut |u| out.push(u as u32)));
+        out.sort_unstable();
+        out.dedup();
+        VertexSubset::from_sorted_ids(nu, out)
+    }
+}
+
+/// Bipartite `min` gather into the V side: for `v ∈ v_targets`,
+/// `out[v] = min over U-neighbours u of u_values[u]` (`u64::MAX` when there
+/// are none); vertices outside the targets get `u64::MAX`.
+pub fn bi_min_into_v<H: BipartiteNeighbors>(
+    h: &H,
+    v_targets: &VertexSubset,
+    u_values: &[u64],
+    policy: ExecPolicy,
+) -> Vec<u64> {
+    let nv = h.nv();
+    let gather = |v: usize| -> u64 {
+        let mut m = u64::MAX;
+        h.for_each_neighbor_v(v, &mut |u| m = m.min(u_values[u]));
+        m
+    };
+    if v_targets.len() * 2 >= nv {
+        let mask = v_targets.to_mask();
+        let one = |v: usize| if mask[v] { gather(v) } else { u64::MAX };
+        if policy.run_parallel(nv + h.num_edges()) {
+            (0..nv).into_par_iter().with_min_len(256).map(one).collect()
+        } else {
+            (0..nv).map(one).collect()
+        }
+    } else {
+        let ids = v_targets.ids();
+        let gathered: Vec<u64> = if policy.run_parallel(nv + h.num_edges()) {
+            (0..ids.len())
+                .into_par_iter()
+                .with_min_len(64)
+                .map(|i| gather(ids[i] as usize))
+                .collect()
+        } else {
+            ids.iter().map(|&v| gather(v as usize)).collect()
+        };
+        let mut out = vec![u64::MAX; nv];
+        for (&v, &m) in ids.iter().zip(gathered.iter()) {
+            out[v as usize] = m;
+        }
+        out
+    }
+}
+
+/// Bipartite `min` gather back into the U side: for `u ∈ u_targets`,
+/// `out[u] = min(u_self[u], min over V-neighbours v of v_values[v])`;
+/// vertices outside the targets keep `u_self[u]`.
+pub fn bi_min_into_u<H: BipartiteNeighbors>(
+    h: &H,
+    u_targets: &VertexSubset,
+    v_values: &[u64],
+    u_self: &[u64],
+    policy: ExecPolicy,
+) -> Vec<u64> {
+    let nu = h.nu();
+    let gather = |u: usize| -> u64 {
+        let mut m = u_self[u];
+        h.for_each_neighbor_u(u, &mut |v| m = m.min(v_values[v]));
+        m
+    };
+    if u_targets.len() * 2 >= nu {
+        let mask = u_targets.to_mask();
+        let one = |u: usize| if mask[u] { gather(u) } else { u_self[u] };
+        if policy.run_parallel(nu + h.num_edges()) {
+            (0..nu).into_par_iter().with_min_len(256).map(one).collect()
+        } else {
+            (0..nu).map(one).collect()
+        }
+    } else {
+        let ids = u_targets.ids();
+        let gathered: Vec<u64> = if policy.run_parallel(nu + h.num_edges()) {
+            (0..ids.len())
+                .into_par_iter()
+                .with_min_len(64)
+                .map(|i| gather(ids[i] as usize))
+                .collect()
+        } else {
+            ids.iter().map(|&u| gather(u as usize)).collect()
+        };
+        let mut out = u_self.to_vec();
+        for (&u, &m) in ids.iter().zip(gathered.iter()) {
+            out[u as usize] = m;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CsrGraph, DenseGraph};
+
+    /// Deterministic xorshift so the tests need no RNG dependency.
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn chance(&mut self, percent: u64) -> bool {
+            self.next() % 100 < percent
+        }
+    }
+
+    fn random_edges(n: usize, percent: u64, seed: u64) -> Vec<(usize, usize)> {
+        let mut rng = XorShift(seed.max(1));
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if rng.chance(percent) {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    fn random_subset(n: usize, percent: u64, seed: u64) -> Vec<u32> {
+        let mut rng = XorShift(seed.max(1));
+        (0..n as u32).filter(|_| rng.chance(percent)).collect()
+    }
+
+    /// Reference edgeMap: brute-force over all pairs.
+    fn edge_map_reference(
+        n: usize,
+        edges: &[(usize, usize)],
+        frontier: &[u32],
+        cond: impl Fn(usize) -> bool,
+    ) -> Vec<u32> {
+        let mut mask = vec![false; n];
+        for &u in frontier {
+            mask[u as usize] = true;
+        }
+        let mut out = vec![false; n];
+        for &(a, b) in edges {
+            if mask[a] {
+                out[b] = true;
+            }
+            if mask[b] {
+                out[a] = true;
+            }
+        }
+        (0..n as u32)
+            .filter(|&v| out[v as usize] && cond(v as usize))
+            .collect()
+    }
+
+    #[test]
+    fn edge_map_matches_reference_on_both_representations() {
+        for seed in 1..6 {
+            let n = 40;
+            let edges = random_edges(n, 8, seed);
+            let g = CsrGraph::from_edges(n, &edges);
+            let d = DenseGraph::from_edges(n, &edges);
+            for density in [5, 40, 90] {
+                let ids = random_subset(n, density, seed * 7 + density);
+                let want = edge_map_reference(n, &edges, &ids, |v| v % 3 != 0);
+                let sparse_in = VertexSubset::from_sorted_ids(n, ids.clone());
+                let mut mask = vec![false; n];
+                for &v in &ids {
+                    mask[v as usize] = true;
+                }
+                let dense_in = VertexSubset::from_mask(&mask);
+                for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+                    for f in [&sparse_in, &dense_in] {
+                        let got = edge_map(&g, f, |v| v % 3 != 0, policy);
+                        assert_eq!(got.ids(), want, "csr seed {seed} density {density}");
+                        let got_dense = edge_map(&d, f, |v| v % 3 != 0, policy);
+                        assert_eq!(got_dense.ids(), want, "dense seed {seed}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_map_empty_and_full_frontier() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        let empty = edge_map(&g, &VertexSubset::empty(6), |_| true, ExecPolicy::Parallel);
+        assert!(empty.is_empty());
+        let full = edge_map(&g, &VertexSubset::full(6), |_| true, ExecPolicy::Parallel);
+        // Node 5 is isolated: everything else has a neighbour in the full set.
+        assert_eq!(full.ids(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn edge_map_min_matches_reference() {
+        for seed in 1..5 {
+            let n = 30;
+            let edges = random_edges(n, 10, seed);
+            let g = CsrGraph::from_edges(n, &edges);
+            let d = DenseGraph::from_edges(n, &edges);
+            let values: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % 1000).collect();
+            for density in [10, 80] {
+                let ids = random_subset(n, density, seed + density);
+                let targets = VertexSubset::from_sorted_ids(n, ids.clone());
+                for include_self in [false, true] {
+                    let mut want = values.clone();
+                    for &v in &ids {
+                        let v = v as usize;
+                        let mut m = if include_self { values[v] } else { u64::MAX };
+                        for &(a, b) in &edges {
+                            if a == v {
+                                m = m.min(values[b]);
+                            }
+                            if b == v {
+                                m = m.min(values[a]);
+                            }
+                        }
+                        want[v] = m;
+                    }
+                    for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+                        assert_eq!(
+                            edge_map_min(&g, &targets, &values, include_self, policy),
+                            want
+                        );
+                        assert_eq!(
+                            edge_map_min(&d, &targets, &values, include_self, policy),
+                            want
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertex_map_and_filter_are_order_stable() {
+        let s = VertexSubset::from_sorted_ids(10, vec![1, 4, 7, 9]);
+        let doubled = vertex_map(&s, |v| v * 2, ExecPolicy::Parallel);
+        assert_eq!(doubled, vec![2, 8, 14, 18]);
+        let odd = vertex_filter(&s, |v| v % 2 == 1, ExecPolicy::Parallel);
+        assert!(odd.is_sparse());
+        assert_eq!(odd.ids(), vec![1, 7, 9]);
+        let dense = VertexSubset::from_mask(&[true; 10]);
+        let small = vertex_filter(&dense, |v| v < 3, ExecPolicy::Sequential);
+        assert!(!small.is_sparse());
+        assert_eq!(small.ids(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn direction_switch_is_a_pure_density_function() {
+        // A dense-represented small frontier and the equal sparse frontier
+        // must produce identical results (the switch looks at contents, not
+        // representation).
+        let n = 50;
+        let edges = random_edges(n, 30, 3);
+        let g = CsrGraph::from_edges(n, &edges);
+        let ids = vec![2u32, 17, 31];
+        let sparse = VertexSubset::from_sorted_ids(n, ids.clone());
+        let mut mask = vec![false; n];
+        for &v in &ids {
+            mask[v as usize] = true;
+        }
+        let dense = VertexSubset::from_mask(&mask);
+        let a = edge_map(&g, &sparse, |_| true, ExecPolicy::Parallel);
+        let b = edge_map(&g, &dense, |_| true, ExecPolicy::Parallel);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bipartite_edge_maps_match_brute_force() {
+        use crate::{BipartiteGraph, CsrBipartite};
+        for seed in 1..5 {
+            let (nu, nv) = (25, 18);
+            let mut rng = XorShift(seed);
+            let mut edges = Vec::new();
+            for u in 0..nu {
+                for v in 0..nv {
+                    if rng.chance(12) {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let hc = CsrBipartite::from_edges(nu, nv, &edges);
+            let hd = BipartiteGraph::from_edges(nu, nv, &edges);
+            for density in [8, 70] {
+                let u_ids = random_subset(nu, density, seed * 3 + density);
+                let uf = VertexSubset::from_sorted_ids(nu, u_ids.clone());
+                let mut want: Vec<u32> = edges
+                    .iter()
+                    .filter(|(u, _)| u_ids.contains(&(*u as u32)))
+                    .map(|&(_, v)| v as u32)
+                    .collect();
+                want.sort_unstable();
+                want.dedup();
+                for policy in [ExecPolicy::Sequential, ExecPolicy::Parallel] {
+                    assert_eq!(bi_edge_map_u(&hc, &uf, policy).ids(), want);
+                    assert_eq!(bi_edge_map_u(&hd, &uf, policy).ids(), want);
+                }
+                // And the V → U direction on the transposed question.
+                let v_ids = random_subset(nv, density, seed * 5 + density);
+                let vf = VertexSubset::from_sorted_ids(nv, v_ids.clone());
+                let mut want_u: Vec<u32> = edges
+                    .iter()
+                    .filter(|(_, v)| v_ids.contains(&(*v as u32)))
+                    .map(|&(u, _)| u as u32)
+                    .collect();
+                want_u.sort_unstable();
+                want_u.dedup();
+                assert_eq!(bi_edge_map_v(&hc, &vf, ExecPolicy::Parallel).ids(), want_u);
+                assert_eq!(bi_edge_map_v(&hd, &vf, ExecPolicy::Parallel).ids(), want_u);
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_min_gathers_match_dense_and_csr() {
+        use crate::{BipartiteGraph, CsrBipartite};
+        let (nu, nv) = (12, 9);
+        let edges = vec![(0, 0), (1, 0), (2, 3), (5, 8), (7, 3), (11, 0)];
+        let hc = CsrBipartite::from_edges(nu, nv, &edges);
+        let hd = BipartiteGraph::from_edges(nu, nv, &edges);
+        let pri: Vec<u64> = (0..nu as u64).map(|u| 100 - u).collect();
+        let all_v = VertexSubset::full(nv);
+        let mv_c = bi_min_into_v(&hc, &all_v, &pri, ExecPolicy::Parallel);
+        let mv_d = bi_min_into_v(&hd, &all_v, &pri, ExecPolicy::Sequential);
+        assert_eq!(mv_c, mv_d);
+        assert_eq!(mv_c[0], 100 - 11, "min over u ∈ {{0, 1, 11}}");
+        assert_eq!(mv_c[1], u64::MAX, "no neighbours");
+        let all_u = VertexSubset::full(nu);
+        let mu_c = bi_min_into_u(&hc, &all_u, &mv_c, &pri, ExecPolicy::Parallel);
+        let mu_d = bi_min_into_u(&hd, &all_u, &mv_d, &pri, ExecPolicy::Sequential);
+        assert_eq!(mu_c, mu_d);
+        assert_eq!(mu_c[0], 100 - 11, "u0 sees v0's min");
+        assert_eq!(mu_c[3], pri[3], "isolated u keeps its own value");
+    }
+}

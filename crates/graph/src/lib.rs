@@ -1,0 +1,40 @@
+//! Sparse frontier graph engine: CSR threshold graphs plus the Ligra-style
+//! `vertexSubset` / `edgeMap` primitives that every round-based solver in the
+//! workspace runs on.
+//!
+//! The paper's algorithms (maximal dominating sets, Luby MIS, the k-center
+//! threshold probes) all operate on threshold graphs `H_α` of a metric
+//! instance. This crate provides:
+//!
+//! * the graph representations — [`DenseGraph`] / [`BipartiteGraph`] (the
+//!   paper's native dense bit matrices, moved here from the dominator crate)
+//!   and [`CsrGraph`] / [`CsrBipartite`] (compressed sparse row, `O(n + m)`
+//!   bytes, built deterministically in parallel from
+//!   `DistanceOracle::cols_within` range queries);
+//! * the [`ThresholdGraph`] facade selecting between them per run via
+//!   [`GraphBackend`], with the dense side refusing allocations beyond
+//!   [`DENSE_GRAPH_BYTES_CAP`];
+//! * the frontier engine — [`VertexSubset`] (sparse id list / dense bitmap
+//!   with deterministic direction switching on a pure function of frontier
+//!   density, never thread count) and the [`edge_map`] / [`vertex_map`] /
+//!   [`vertex_filter`] primitives, whose combines are order-independent or
+//!   left-to-right so canonical output stays byte-identical across thread
+//!   counts and graph backends.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csr;
+pub mod dense;
+pub mod engine;
+pub mod frontier;
+pub mod threshold;
+
+pub use csr::{CsrBipartite, CsrGraph};
+pub use dense::{BipartiteGraph, DenseGraph};
+pub use engine::{
+    bi_edge_map_u, bi_edge_map_v, bi_min_into_u, bi_min_into_v, edge_map, edge_map_min,
+    vertex_filter, vertex_map, BipartiteNeighbors, Neighbors,
+};
+pub use frontier::VertexSubset;
+pub use threshold::{GraphBackend, ThresholdGraph, DENSE_GRAPH_BYTES_CAP};

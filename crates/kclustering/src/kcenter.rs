@@ -8,7 +8,8 @@
 //! `MaxDom` algorithm of Section 3 and keeps the binary search over the `O(n²)` distinct
 //! distances, giving `O((n log n)²)` work overall.
 
-use parfaclo_dominator::{max_dom, DenseGraph};
+use parfaclo_dominator::{max_dom, ThresholdGraph};
+use parfaclo_graph::GraphBackend;
 use parfaclo_matrixops::{CostMeter, CostReport, ExecPolicy};
 use parfaclo_metric::{ClusterInstance, DistanceOracle, NodeId};
 
@@ -30,32 +31,66 @@ pub struct KCenterSolution {
     pub work: CostReport,
 }
 
-/// Runs the parallel Hochbaum–Shmoys k-center algorithm.
+/// Runs the parallel Hochbaum–Shmoys k-center algorithm on the dense graph
+/// backend (the paper's native representation).
 ///
-/// Deterministic for a fixed `seed`.
+/// Deterministic for a fixed `seed`. Equivalent to
+/// [`parallel_kcenter_with`] with [`GraphBackend::Dense`]; kept as the
+/// historical entry point for callers that never leave the dense regime.
 ///
 /// # Panics
-/// Panics if `k == 0` or the instance is empty.
+/// Panics if `k == 0`, the instance is empty, or the instance exceeds the
+/// dense graph backend's size cap (use [`parallel_kcenter_with`] with
+/// [`GraphBackend::Csr`] for such instances).
 pub fn parallel_kcenter(
     inst: &ClusterInstance,
     k: usize,
     seed: u64,
     policy: ExecPolicy,
 ) -> KCenterSolution {
+    parallel_kcenter_with(inst, k, seed, policy, GraphBackend::Dense)
+        .expect("dense k-center within size caps")
+}
+
+/// Runs the parallel Hochbaum–Shmoys k-center algorithm with an explicit
+/// threshold-graph representation for the feasibility probes.
+///
+/// Each binary-search probe builds the threshold graph `H_α` in the
+/// requested representation and runs `MaxDom` on it; the selected backend
+/// never changes the result — centers, radius, probes and work counters are
+/// identical across backends — it only changes the memory the probes touch
+/// (`n²` bits dense vs `O(n + m)` CSR).
+///
+/// Deterministic for a fixed `seed`.
+///
+/// # Errors
+/// Returns `Err` when the requested representation cannot be built — the
+/// dense backend refuses adjacency matrices beyond its 4 GiB cap and points
+/// at `--graph csr`.
+///
+/// # Panics
+/// Panics if `k == 0` or the instance is empty.
+pub fn parallel_kcenter_with(
+    inst: &ClusterInstance,
+    k: usize,
+    seed: u64,
+    policy: ExecPolicy,
+    graph: GraphBackend,
+) -> Result<KCenterSolution, String> {
     let n = inst.n();
     assert!(k >= 1, "k must be at least 1");
     assert!(n >= 1, "instance must be non-empty");
     let meter = CostMeter::new();
 
     if n <= k {
-        return KCenterSolution {
+        return Ok(KCenterSolution {
             centers: (0..n).collect(),
             radius: 0.0,
             threshold: 0.0,
             probes: 0,
             luby_rounds: 0,
             work: meter.report(),
-        };
+        });
     }
 
     // The candidate radii are the distinct pairwise distances, sorted.
@@ -71,7 +106,7 @@ pub fn parallel_kcenter(
     while lo <= hi {
         let mid = (lo + hi) / 2;
         probes += 1;
-        let g = DenseGraph::from_threshold_oracle(inst.distances(), distances[mid]);
+        let g = ThresholdGraph::build(inst.distances(), distances[mid], graph)?;
         meter.add_primitive((n * n) as u64);
         let dom = max_dom(
             &g,
@@ -91,23 +126,26 @@ pub fn parallel_kcenter(
         }
     }
 
-    let (t_idx, centers) = best.unwrap_or_else(|| {
-        // The largest threshold makes the whole graph one clique-square, so the
-        // dominator set is a single node — always feasible.
-        let g = DenseGraph::from_threshold_oracle(inst.distances(), *distances.last().unwrap());
-        let dom = max_dom(&g, seed, policy, &meter);
-        (distances.len() - 1, dom.selected)
-    });
+    let (t_idx, centers) = match best {
+        Some(found) => found,
+        None => {
+            // The largest threshold makes the whole graph one clique-square, so the
+            // dominator set is a single node — always feasible.
+            let g = ThresholdGraph::build(inst.distances(), *distances.last().unwrap(), graph)?;
+            let dom = max_dom(&g, seed, policy, &meter);
+            (distances.len() - 1, dom.selected)
+        }
+    };
 
     let radius = inst.kcenter_cost(&centers);
-    KCenterSolution {
+    Ok(KCenterSolution {
         centers,
         radius,
         threshold: distances[t_idx],
         probes,
         luby_rounds,
         work: meter.report(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -210,6 +248,25 @@ mod tests {
         let b = parallel_kcenter(&inst, 3, 11, ExecPolicy::Parallel);
         assert_eq!(a.centers, b.centers);
         assert_eq!(a.radius, b.radius);
+    }
+
+    #[test]
+    fn dense_and_csr_probes_agree() {
+        for seed in 0..4 {
+            let inst = gen::clustering(GenParams::uniform_square(22, 22).with_seed(seed));
+            let dense =
+                parallel_kcenter_with(&inst, 3, seed, ExecPolicy::Parallel, GraphBackend::Dense)
+                    .expect("dense feasible");
+            let csr =
+                parallel_kcenter_with(&inst, 3, seed, ExecPolicy::Parallel, GraphBackend::Csr)
+                    .expect("csr feasible");
+            assert_eq!(dense.centers, csr.centers, "seed {seed}");
+            assert_eq!(dense.radius, csr.radius, "seed {seed}");
+            assert_eq!(dense.threshold, csr.threshold, "seed {seed}");
+            assert_eq!(dense.probes, csr.probes, "seed {seed}");
+            assert_eq!(dense.luby_rounds, csr.luby_rounds, "seed {seed}");
+            assert_eq!(dense.work, csr.work, "seed {seed}: work counters diverge");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! the native argument lists and repackage the solutions into [`Run`]
 //! envelopes.
 
-use crate::kcenter::parallel_kcenter;
+use crate::kcenter::parallel_kcenter_with;
 use crate::local_search::{parallel_local_search, ClusterObjective, LocalSearchConfig};
 use parfaclo_api::{ProblemKind, Run, RunConfig, Solver};
 use parfaclo_metric::ClusterInstance;
@@ -52,10 +52,10 @@ impl Solver for KCenterSolver {
         "Section 6.1, Theorem 6.1"
     }
 
-    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
-        let sol = parallel_kcenter(inst, cfg.k, cfg.seed, cfg.policy);
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Result<Run, String> {
+        let sol = parallel_kcenter_with(inst, cfg.k, cfg.seed, cfg.policy, cfg.graph)?;
         let assignment = inst.center_assignment(&sol.centers);
-        Run::new(Solver::name(self), ProblemKind::KClustering)
+        Ok(Run::new(Solver::name(self), ProblemKind::KClustering)
             .with_guarantee(Solver::guarantee(self))
             .with_instance_size(inst.n(), inst.n() * inst.n())
             .with_cost(sol.radius)
@@ -69,7 +69,7 @@ impl Solver for KCenterSolver {
             .with_extra("threshold", sol.threshold)
             .with_extra("probes", sol.probes as f64)
             .with_extra("k", cfg.k as f64)
-            .with_config_echo(cfg)
+            .with_config_echo(cfg))
     }
 }
 
@@ -121,8 +121,8 @@ impl Solver for KMedianLocalSearchSolver {
         "Section 7, Theorem 7.1"
     }
 
-    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
-        local_search_run(self, ClusterObjective::KMedian, inst, cfg)
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Result<Run, String> {
+        Ok(local_search_run(self, ClusterObjective::KMedian, inst, cfg))
     }
 }
 
@@ -151,8 +151,8 @@ impl Solver for KMeansLocalSearchSolver {
         "Section 7, Theorem 7.1"
     }
 
-    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
-        local_search_run(self, ClusterObjective::KMeans, inst, cfg)
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Result<Run, String> {
+        Ok(local_search_run(self, ClusterObjective::KMeans, inst, cfg))
     }
 }
 
@@ -169,8 +169,8 @@ mod tests {
     fn kcenter_adapter_matches_free_function() {
         let inst = tiny();
         let cfg = RunConfig::new(0.1).with_seed(6).with_k(4);
-        let direct = parallel_kcenter(&inst, 4, 6, cfg.policy);
-        let run = KCenterSolver.solve(&inst, &cfg);
+        let direct = crate::kcenter::parallel_kcenter(&inst, 4, 6, cfg.policy);
+        let run = KCenterSolver.solve(&inst, &cfg).expect("feasible");
         assert_eq!(run.cost, direct.radius);
         assert_eq!(run.selected, direct.centers);
         assert_eq!(run.lower_bound, direct.threshold);
@@ -182,9 +182,13 @@ mod tests {
         let inst = tiny();
         let cfg = RunConfig::new(0.2).with_seed(1).with_k(3);
         for run in [
-            KCenterSolver.solve(&inst, &cfg),
-            KMedianLocalSearchSolver.solve(&inst, &cfg),
-            KMeansLocalSearchSolver.solve(&inst, &cfg),
+            KCenterSolver.solve(&inst, &cfg).expect("feasible"),
+            KMedianLocalSearchSolver
+                .solve(&inst, &cfg)
+                .expect("feasible"),
+            KMeansLocalSearchSolver
+                .solve(&inst, &cfg)
+                .expect("feasible"),
         ] {
             run.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", run.solver));

@@ -68,6 +68,37 @@ pub enum SpatialModel {
         /// Minimum distance between blob centres.
         separation: f64,
     },
+    /// Clusters whose sizes decay as a power law: cluster `h` holds
+    /// `max(1, floor(sqrt(count) / (h+1)^exponent))` points inside a disk of
+    /// radius `radius`, centres laid out on a coarse grid at pitch
+    /// `separation`. With a threshold between `2·radius` and
+    /// `separation - 2·radius` the threshold graph is a disjoint union of
+    /// cliques whose sizes follow the power law — a handful of heavy hubs, a
+    /// long tail of singletons, and (for `exponent > 1`) only `O(count)`
+    /// edges in total, no matter how large `count` grows. This is the sparse
+    /// regime a dense `n²` bit matrix cannot represent at scale.
+    PowerLawClusters {
+        /// Decay exponent of the cluster sizes (`> 1` keeps total edges
+        /// linear in the point count).
+        exponent: f64,
+        /// Maximum distance of a point from its cluster centre.
+        radius: f64,
+        /// Pitch of the grid the cluster centres sit on.
+        separation: f64,
+    },
+    /// A road-network-like metric: points sit on the lines of a `g × g`
+    /// grid of "roads" at pitch `block` (with `g ≈ sqrt(count)`), uniformly
+    /// positioned along a random road with a small perpendicular `jitter`.
+    /// Linear density along a road is about `1/(2·block)` per unit length,
+    /// so with a threshold `t` the threshold graph has expected degree
+    /// `≈ t/block` — a bounded-degree, locally linear metric like a road
+    /// map, again with `O(count)` edges at any fixed threshold.
+    RoadNetwork {
+        /// Distance between adjacent parallel roads.
+        block: f64,
+        /// Maximum perpendicular deviation of a point from its road.
+        jitter: f64,
+    },
 }
 
 /// How facility opening costs are generated.
@@ -160,6 +191,34 @@ impl GenParams {
                 clusters,
                 radius: 1.0,
                 separation: 50.0,
+            },
+            ..GenParams::uniform_square(num_clients, num_facilities)
+        }
+    }
+
+    /// Power-law-cluster layout: clique sizes decay as a power law, total
+    /// threshold-graph edges stay `O(n)` (see
+    /// [`SpatialModel::PowerLawClusters`]). Thresholds in `(2, 48)` keep
+    /// clusters disconnected from each other.
+    pub fn power_law(num_clients: usize, num_facilities: usize) -> Self {
+        GenParams {
+            spatial: SpatialModel::PowerLawClusters {
+                exponent: 1.5,
+                radius: 1.0,
+                separation: 50.0,
+            },
+            ..GenParams::uniform_square(num_clients, num_facilities)
+        }
+    }
+
+    /// Road-network layout: bounded-degree locally linear metric (see
+    /// [`SpatialModel::RoadNetwork`]). A threshold `t` gives expected
+    /// threshold-graph degree `≈ t` (block pitch 1).
+    pub fn road(num_clients: usize, num_facilities: usize) -> Self {
+        GenParams {
+            spatial: SpatialModel::RoadNetwork {
+                block: 1.0,
+                jitter: 0.05,
             },
             ..GenParams::uniform_square(num_clients, num_facilities)
         }
@@ -298,6 +357,57 @@ impl InstanceGenerator {
                         let angle = self.rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
                         let r = self.rng.gen::<f64>() * radius;
                         Point::xy(cx + r * angle.cos(), cy + r * angle.sin())
+                    })
+                    .collect()
+            }
+            SpatialModel::PowerLawClusters {
+                exponent,
+                radius,
+                separation,
+            } => {
+                // Cluster `h` holds `max(1, floor(sqrt(count)/(h+1)^exponent))`
+                // points; with exponent > 1 the big clusters hold O(sqrt(count))
+                // points each, so the per-cluster cliques of the threshold graph
+                // contribute O(count) edges in total. Centres sit on a coarse
+                // grid at pitch `separation`, one cluster per cell.
+                let base = (count as f64).sqrt().ceil().max(1.0);
+                let grid_w = (base as usize).max(1);
+                let mut pts = Vec::with_capacity(count);
+                let mut cluster = 0usize;
+                while pts.len() < count {
+                    let size = (base / ((cluster + 1) as f64).powf(exponent)).floor() as usize;
+                    let size = size.max(1).min(count - pts.len());
+                    let cx = (cluster % grid_w) as f64 * separation;
+                    let cy = (cluster / grid_w) as f64 * separation;
+                    for _ in 0..size {
+                        let angle = self.rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                        let r = self.rng.gen::<f64>() * radius;
+                        pts.push(Point::xy(cx + r * angle.cos(), cy + r * angle.sin()));
+                    }
+                    cluster += 1;
+                }
+                pts
+            }
+            SpatialModel::RoadNetwork { block, jitter } => {
+                // A g × g grid of roads, g ≈ sqrt(count): each point picks an
+                // orientation and a road uniformly, a uniform position along
+                // it, and a small perpendicular jitter. About count/(2g)
+                // points share a road of length g·block, so linear density —
+                // and with it threshold-graph degree — is independent of
+                // count.
+                let g = ((count as f64).sqrt().ceil() as usize).max(2);
+                let extent = g as f64 * block;
+                (0..count)
+                    .map(|_| {
+                        let vertical = self.rng.gen::<f64>() < 0.5;
+                        let line = ((self.rng.gen::<f64>() * g as f64) as usize).min(g - 1);
+                        let along = self.rng.gen::<f64>() * extent;
+                        let perp = line as f64 * block + jitter * (self.rng.gen::<f64>() - 0.5);
+                        if vertical {
+                            Point::xy(perp, along)
+                        } else {
+                            Point::xy(along, perp)
+                        }
                     })
                     .collect()
             }
@@ -673,6 +783,68 @@ mod tests {
         assert!(err.contains("implicit backend"), "unexpected error: {err}");
         // (The implicit path would accept the shape but sampling usize::MAX/2
         // points is itself absurd — not exercised here.)
+    }
+
+    #[test]
+    fn power_law_threshold_graph_is_sparse_with_heavy_hubs() {
+        let inst = clustering_implicit(GenParams::power_law(400, 400).with_seed(6));
+        let n = inst.n();
+        // With threshold 3 (> 2·radius, < separation − 2·radius) the edges
+        // are exactly the intra-cluster cliques.
+        let mut edges = 0usize;
+        let mut degree = vec![0usize; n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if inst.dist(a, b) <= 3.0 {
+                    edges += 1;
+                    degree[a] += 1;
+                    degree[b] += 1;
+                }
+            }
+        }
+        let max_degree = degree.iter().copied().max().unwrap();
+        let singletons = degree.iter().filter(|&&d| d == 0).count();
+        assert!(edges > 0);
+        assert!(edges <= 4 * n, "edges {edges} not linear in n = {n}");
+        // Power-law shape: one hub of ~sqrt(n) nodes and a long singleton tail.
+        assert!(max_degree >= 10, "no heavy hub (max degree {max_degree})");
+        assert!(singletons > n / 2, "tail missing ({singletons} singletons)");
+    }
+
+    #[test]
+    fn road_network_threshold_graph_has_bounded_density() {
+        let inst = clustering_implicit(GenParams::road(300, 300).with_seed(2));
+        let n = inst.n();
+        let mut edges = 0usize;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if inst.dist(a, b) <= 2.0 {
+                    edges += 1;
+                }
+            }
+        }
+        assert!(edges > 0);
+        // Linear density along roads is count-independent, so edges stay
+        // O(n) — far below the ~n²/2 of a dense metric at median threshold.
+        assert!(edges <= 8 * n, "edges {edges} not linear in n = {n}");
+    }
+
+    #[test]
+    fn sparse_models_generate_across_backends_bit_for_bit() {
+        for params in [
+            GenParams::power_law(60, 60).with_seed(3),
+            GenParams::road(60, 60).with_seed(3),
+        ] {
+            let dense = clustering(params);
+            let implicit = clustering_implicit(params);
+            let spatial = clustering_spatial(params);
+            for a in 0..dense.n() {
+                for b in 0..dense.n() {
+                    assert_eq!(dense.dist(a, b).to_bits(), implicit.dist(a, b).to_bits());
+                    assert_eq!(dense.dist(a, b).to_bits(), spatial.dist(a, b).to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -192,6 +192,17 @@ pub trait DistanceOracle {
     /// — the threshold-graph neighbourhood (`H_α` of Section 6.1) of a node
     /// on square oracles. O(cols) by scan here; sublinear on the spatial
     /// backend.
+    ///
+    /// **Contract (all backends):** the returned indices are strictly
+    /// ascending with no duplicates, and the radius comparison is inclusive
+    /// (`<=`, bit-exact on the same distance arithmetic as [`dist`]). The
+    /// CSR threshold-graph builder relies on this ordering to produce
+    /// byte-identical adjacency arrays from every backend without a sort —
+    /// an implementation returning the same set in a different order would
+    /// silently break cross-backend conformance. Regression-tested per
+    /// backend in `cols_within_contract_holds_per_backend`.
+    ///
+    /// [`dist`]: DistanceOracle::dist
     fn cols_within(&self, row: usize, radius: f64) -> Vec<usize> {
         (0..self.cols())
             .filter(|&c| self.dist(row, c) <= radius)
@@ -1036,6 +1047,45 @@ mod tests {
                 "{:?}",
                 o.backend()
             );
+        }
+    }
+
+    #[test]
+    fn cols_within_contract_holds_per_backend() {
+        // The documented contract: strictly ascending indices, no
+        // duplicates, inclusive radius — on every backend. The CSR
+        // threshold-graph builder consumes these lists verbatim.
+        let (dense, implicit, spatial) = triple();
+        for oracle in [&dense, &implicit, &spatial] {
+            let max = oracle.max_entry();
+            for row in 0..oracle.rows() {
+                for radius in [0.0, max * 0.3, max * 0.7, max] {
+                    let cols = oracle.cols_within(row, radius);
+                    assert!(
+                        cols.windows(2).all(|w| w[0] < w[1]),
+                        "{:?} row {row} radius {radius}: not strictly ascending: {cols:?}",
+                        oracle.backend()
+                    );
+                    // Membership is exactly the inclusive comparison on the
+                    // oracle's own distance arithmetic.
+                    for c in 0..oracle.cols() {
+                        assert_eq!(
+                            cols.binary_search(&c).is_ok(),
+                            oracle.dist(row, c) <= radius,
+                            "{:?} row {row} col {c} radius {radius}",
+                            oracle.backend()
+                        );
+                    }
+                }
+                // The inclusive boundary: a radius equal to an exact entry
+                // distance must include that column.
+                let boundary = oracle.dist(row, 0);
+                assert!(
+                    oracle.cols_within(row, boundary).contains(&0),
+                    "{:?} row {row}: boundary radius excluded its own column",
+                    oracle.backend()
+                );
+            }
         }
     }
 

@@ -45,11 +45,11 @@ impl Solver for JmsGreedySolver {
         "Jain et al., J. ACM 2003 (sequential baseline)"
     }
 
-    fn solve(&self, inst: &FlInstance, cfg: &RunConfig) -> Run {
+    fn solve(&self, inst: &FlInstance, cfg: &RunConfig) -> Result<Run, String> {
         let result = jms_greedy(inst);
         let lower_bound = result.alpha.iter().sum::<f64>() / JMS_DUAL_SCALE;
         let assignment = inst.closest_assignment(&result.open);
-        Run::new(Solver::name(self), ProblemKind::FacilityLocation)
+        Ok(Run::new(Solver::name(self), ProblemKind::FacilityLocation)
             .with_guarantee(Solver::guarantee(self))
             .with_instance_size(inst.num_clients(), inst.m())
             .with_cost(result.cost)
@@ -57,7 +57,7 @@ impl Solver for JmsGreedySolver {
             .with_selected(result.open)
             .with_assignment(assignment)
             .with_rounds(result.rounds, 0)
-            .with_config_echo(cfg)
+            .with_config_echo(cfg))
     }
 }
 
@@ -89,12 +89,12 @@ impl Solver for JainVaziraniSolver {
         "Jain & Vazirani, J. ACM 2001 (sequential baseline)"
     }
 
-    fn solve(&self, inst: &FlInstance, cfg: &RunConfig) -> Run {
+    fn solve(&self, inst: &FlInstance, cfg: &RunConfig) -> Result<Run, String> {
         let result = jain_vazirani(inst);
         // JV's α vector is dual feasible as-is, so its sum lower-bounds opt.
         let lower_bound = result.alpha.iter().sum::<f64>();
         let assignment = inst.closest_assignment(&result.open);
-        Run::new(Solver::name(self), ProblemKind::FacilityLocation)
+        Ok(Run::new(Solver::name(self), ProblemKind::FacilityLocation)
             .with_guarantee(Solver::guarantee(self))
             .with_instance_size(inst.num_clients(), inst.m())
             .with_cost(result.cost)
@@ -103,7 +103,7 @@ impl Solver for JainVaziraniSolver {
             .with_assignment(assignment)
             .with_rounds(result.events, 0)
             .with_extra("temporarily_open", result.temporarily_open.len() as f64)
-            .with_config_echo(cfg)
+            .with_config_echo(cfg))
     }
 }
 
@@ -152,8 +152,13 @@ impl Solver for GonzalezSolver {
         "Gonzalez 1985 (sequential baseline)"
     }
 
-    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
-        kcenter_envelope(self, inst, gonzalez_kcenter(inst, cfg.k), cfg)
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Result<Run, String> {
+        Ok(kcenter_envelope(
+            self,
+            inst,
+            gonzalez_kcenter(inst, cfg.k),
+            cfg,
+        ))
     }
 }
 
@@ -185,8 +190,13 @@ impl Solver for HochbaumShmoysSolver {
         "Hochbaum & Shmoys 1985 (sequential baseline)"
     }
 
-    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
-        kcenter_envelope(self, inst, hochbaum_shmoys_kcenter(inst, cfg.k), cfg)
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Result<Run, String> {
+        Ok(kcenter_envelope(
+            self,
+            inst,
+            hochbaum_shmoys_kcenter(inst, cfg.k),
+            cfg,
+        ))
     }
 }
 
@@ -214,10 +224,10 @@ impl Solver for SeqKMedianSolver {
         "Arya et al. 2004 (sequential baseline)"
     }
 
-    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Run {
+    fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Result<Run, String> {
         let result = local_search_kmedian(inst, cfg.k, cfg.epsilon);
         let assignment = inst.center_assignment(&result.centers);
-        Run::new(Solver::name(self), ProblemKind::KClustering)
+        Ok(Run::new(Solver::name(self), ProblemKind::KClustering)
             .with_guarantee(Solver::guarantee(self))
             .with_instance_size(inst.n(), inst.n() * inst.n())
             .with_cost(result.cost)
@@ -225,7 +235,7 @@ impl Solver for SeqKMedianSolver {
             .with_assignment(assignment)
             .with_rounds(result.swaps, 0)
             .with_extra("k", cfg.k as f64)
-            .with_config_echo(cfg)
+            .with_config_echo(cfg))
     }
 }
 
@@ -239,8 +249,8 @@ mod tests {
         let inst = gen::facility_location(GenParams::uniform_square(10, 5).with_seed(1));
         let cfg = RunConfig::new(0.1).with_seed(1);
         for run in [
-            JmsGreedySolver.solve(&inst, &cfg),
-            JainVaziraniSolver.solve(&inst, &cfg),
+            JmsGreedySolver.solve(&inst, &cfg).expect("feasible"),
+            JainVaziraniSolver.solve(&inst, &cfg).expect("feasible"),
         ] {
             run.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", run.solver));
@@ -258,9 +268,9 @@ mod tests {
         let inst = gen::clustering(GenParams::planted(18, 18, 3).with_seed(4));
         let cfg = RunConfig::new(0.1).with_k(3);
         for run in [
-            GonzalezSolver.solve(&inst, &cfg),
-            HochbaumShmoysSolver.solve(&inst, &cfg),
-            SeqKMedianSolver.solve(&inst, &cfg),
+            GonzalezSolver.solve(&inst, &cfg).expect("feasible"),
+            HochbaumShmoysSolver.solve(&inst, &cfg).expect("feasible"),
+            SeqKMedianSolver.solve(&inst, &cfg).expect("feasible"),
         ] {
             run.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", run.solver));

@@ -3,7 +3,7 @@
 //! code path the CI `perf-smoke` job drives through the `parfaclo bench`
 //! CLI.
 
-use parfaclo_api::{Backend, RunConfig};
+use parfaclo_api::{Backend, GraphBackend, RunConfig};
 use parfaclo_bench::bench::{compare, run_matrix, BenchArtifact, BenchMatrix, BENCH_V2_SCHEMA};
 use parfaclo_bench::standard_registry;
 
@@ -14,6 +14,10 @@ fn smoke_matrix() -> BenchMatrix {
         n: 32,
         nf: 16,
         backends: vec![Backend::Dense, Backend::Implicit],
+        // One graph representation keeps the cell pairing below exact;
+        // the graph axis has its own dedicated coverage in the bench crate
+        // and in graph_engine.rs.
+        graphs: vec![GraphBackend::Dense],
         threads: vec![1, 4],
         warmup: 1,
         trials: 2,
