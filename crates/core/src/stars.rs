@@ -9,7 +9,7 @@
 //! its step 1.
 
 use parfaclo_matrixops::{sort, CostMeter, ExecPolicy};
-use parfaclo_metric::{ClientId, FacilityId, FlInstance};
+use parfaclo_metric::{ClientId, DistanceOracle, FacilityId, FlInstance};
 use rayon::prelude::*;
 
 /// Pre-sorted client order for every facility: `orders[i]` lists the client indices in
@@ -31,8 +31,13 @@ impl FacilityOrders {
         let nc = inst.num_clients();
         let nf = inst.num_facilities();
         meter.add_primitive((nc * nf) as u64);
-        // Facility-major view: virtual row i holds d(j, i) for every client j.
-        let row_orders = sort::argsort_rows_by_key(nf, nc, policy, meter, |i, j| inst.dist(j, i));
+        // Facility-major view: virtual row i holds d(j, i) for every client
+        // j — one oracle column, filled whole so the blocked distance
+        // kernels serve it instead of `nc` per-element oracle calls.
+        let oracle = inst.distances();
+        let row_orders = sort::argsort_rows_filled(nf, nc, policy, meter, |i, row| {
+            oracle.col_range_into(i, 0, row);
+        });
         FacilityOrders {
             orders: row_orders.into_iter().map(|ro| ro.order).collect(),
         }
@@ -71,44 +76,62 @@ pub fn cheapest_maximal_star(
     order: &[u32],
     remaining: &[bool],
 ) -> Option<Star> {
+    // Remaining clients are walked in presorted order, one distance tile at
+    // a time: a tile of surviving clients is gathered through the oracle's
+    // blocked column kernel, then walked scalar with the early break below.
+    // Wasted work on a break is bounded by one tile.
+    const TILE: usize = 64;
+    let oracle = inst.distances();
     let mut best_price = f64::INFINITY;
     let mut best_k = 0usize;
     let mut dist_sum = 0.0;
     let mut k = 0usize;
     let mut clients_in_order: Vec<ClientId> = Vec::new();
-    for &j in order {
-        let j = j as usize;
-        if !remaining[j] {
+    let mut batch: Vec<usize> = Vec::with_capacity(TILE);
+    let mut dists = [0.0f64; TILE];
+    let mut cursor = 0usize;
+    'scan: while cursor < order.len() {
+        batch.clear();
+        while cursor < order.len() && batch.len() < TILE {
+            let j = order[cursor] as usize;
+            cursor += 1;
+            if remaining[j] {
+                batch.push(j);
+            }
+        }
+        if batch.is_empty() {
             continue;
         }
-        let d = inst.dist(j, i);
-        // Early termination: distances arrive in non-decreasing order, so
-        // once `d > best_price` every later prefix price exceeds
-        // `best_price` in real arithmetic (price_{k+1} is the k-weighted
-        // average of price_k and d_{k+1}, and all later distances are >= d —
-        // the unimodality behind Fact 4.2), turning the scan into
-        // O(|star|) distance evaluations instead of O(|C|), on every
-        // backend. Strictly greater only: a distance *equal* to the best
-        // price still extends the maximal star at the same price. Defined
-        // behaviour on sub-ulp edges: a full scan's rounded price can dip
-        // back to == best_price even though the real price is larger; this
-        // scan resolves such artificial ties by the real-arithmetic
-        // semantics (the star is not extended). Identical everywhere it
-        // matters: deterministic, and invariant across backends, thread
-        // counts and policies, since every configuration runs this exact
-        // loop on bit-identical distances.
-        if d > best_price {
-            break;
-        }
-        dist_sum += d;
-        k += 1;
-        clients_in_order.push(j);
-        let price = (fcost + dist_sum) / k as f64;
-        // Prefer smaller prices; on ties prefer the larger star (maximality) — ties are
-        // handled automatically because `k` increases monotonically through the scan.
-        if price <= best_price {
-            best_price = price;
-            best_k = k;
+        oracle.col_gather(i, &batch, &mut dists[..batch.len()]);
+        for (&j, &d) in batch.iter().zip(dists.iter()) {
+            // Early termination: distances arrive in non-decreasing order, so
+            // once `d > best_price` every later prefix price exceeds
+            // `best_price` in real arithmetic (price_{k+1} is the k-weighted
+            // average of price_k and d_{k+1}, and all later distances are >= d —
+            // the unimodality behind Fact 4.2), turning the scan into
+            // O(|star|) distance evaluations instead of O(|C|), on every
+            // backend. Strictly greater only: a distance *equal* to the best
+            // price still extends the maximal star at the same price. Defined
+            // behaviour on sub-ulp edges: a full scan's rounded price can dip
+            // back to == best_price even though the real price is larger; this
+            // scan resolves such artificial ties by the real-arithmetic
+            // semantics (the star is not extended). Identical everywhere it
+            // matters: deterministic, and invariant across backends, thread
+            // counts and policies, since every configuration runs this exact
+            // loop on bit-identical distances.
+            if d > best_price {
+                break 'scan;
+            }
+            dist_sum += d;
+            k += 1;
+            clients_in_order.push(j);
+            let price = (fcost + dist_sum) / k as f64;
+            // Prefer smaller prices; on ties prefer the larger star (maximality) — ties are
+            // handled automatically because `k` increases monotonically through the scan.
+            if price <= best_price {
+                best_price = price;
+                best_k = k;
+            }
         }
     }
     if k == 0 {

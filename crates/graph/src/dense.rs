@@ -98,7 +98,7 @@ impl DenseGraph {
         let n = oracle.rows();
         assert_eq!(n, oracle.cols(), "threshold graphs need a square oracle");
         if !oracle.has_sublinear_queries() {
-            return Self::from_threshold_fn(n, alpha, |a, b| oracle.dist(a, b));
+            return Self::from_threshold_rows(oracle, n, alpha);
         }
         // Density probe: on near-complete thresholds (the upper half of
         // every k-center binary search) a range query returns ~n ids per
@@ -107,7 +107,7 @@ impl DenseGraph {
         // decides for the whole graph; the choice never changes the bits,
         // only who computes them.
         if n > 0 && oracle.cols_within(0, alpha).len() * 2 > n {
-            return Self::from_threshold_fn(n, alpha, |a, b| oracle.dist(a, b));
+            return Self::from_threshold_rows(oracle, n, alpha);
         }
         // One range query per node (ascending neighbour ids, inclusive <=),
         // written straight into that node's adjacency row in parallel — no
@@ -119,6 +119,25 @@ impl DenseGraph {
                 if a != b {
                     row[b] = true;
                 }
+            }
+        });
+        let edges = count_true(&adj, n) / 2;
+        DenseGraph { n, adj, edges }
+    }
+
+    /// Flat-scan oracle build: fills each node's distance row through the
+    /// oracle's batch entry point (the blocked SoA kernels on geometric
+    /// backends, a row copy on a materialised matrix) and thresholds it.
+    /// Bit-identical to `from_threshold_fn` over `oracle.dist` — the batch
+    /// path returns bitwise-equal distances and the predicate is unchanged.
+    fn from_threshold_rows(oracle: &parfaclo_metric::Oracle, n: usize, alpha: f64) -> Self {
+        use parfaclo_metric::DistanceOracle;
+        let mut adj = vec![false; n * n];
+        adj.par_chunks_mut(n.max(1)).enumerate().for_each(|(a, row)| {
+            let mut dists = vec![0.0f64; n];
+            oracle.row_range_into(a, 0, &mut dists);
+            for (b, (slot, &d)) in row.iter_mut().zip(dists.iter()).enumerate() {
+                *slot = a != b && d <= alpha;
             }
         });
         let edges = count_true(&adj, n) / 2;

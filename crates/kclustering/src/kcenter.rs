@@ -66,7 +66,8 @@ pub fn parallel_kcenter(
 /// # Errors
 /// Returns `Err` when the requested representation cannot be built — the
 /// dense backend refuses adjacency matrices beyond its 4 GiB cap and points
-/// at `--graph csr`.
+/// at `--graph csr` — or when deriving the candidate radii (a sort of all
+/// n² pairwise distances) would exceed the oracle's 4 GiB scratch cap.
 ///
 /// # Panics
 /// Panics if `k == 0` or the instance is empty.
@@ -94,7 +95,10 @@ pub fn parallel_kcenter_with(
     }
 
     // The candidate radii are the distinct pairwise distances, sorted.
-    let distances = inst.distances().sorted_distinct_values();
+    // Deriving them materialises all n² distances, so past the oracle's
+    // 4 GiB scratch cap the run is refused with an explanation instead of
+    // exhausting memory.
+    let distances = inst.distances().try_sorted_distinct_values()?;
     meter.add_sort(inst.distances().len() as u64);
 
     // Binary search for the smallest threshold whose dominator set has at most k nodes.

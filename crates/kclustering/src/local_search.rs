@@ -16,7 +16,7 @@
 
 use crate::kcenter::parallel_kcenter;
 use parfaclo_matrixops::{CostMeter, CostReport, ExecPolicy};
-use parfaclo_metric::{ClusterInstance, NodeId};
+use parfaclo_metric::{ClusterInstance, DistanceOracle, NodeId};
 use rayon::prelude::*;
 
 /// Which objective the local search optimises.
@@ -118,11 +118,15 @@ fn closest_two(
     policy: ExecPolicy,
 ) -> Vec<(usize, f64, f64)> {
     let n = inst.n();
-    let one = |j: usize| -> (usize, f64, f64) {
+    let oracle = inst.distances();
+    // Each node's center distances are gathered in one blocked-kernel
+    // oracle call, then walked in the same ascending center order (and with
+    // the same strict comparisons) as a per-element loop would — identical
+    // best/second values and indices.
+    let scan = |dists: &[f64]| -> (usize, f64, f64) {
         let mut best = (usize::MAX, f64::INFINITY);
         let mut second = f64::INFINITY;
-        for (ci, &c) in centers.iter().enumerate() {
-            let d = inst.dist(j, c);
+        for (ci, &d) in dists.iter().enumerate() {
             if d < best.1 {
                 second = best.1;
                 best = (ci, d);
@@ -132,11 +136,24 @@ fn closest_two(
         }
         (best.0, best.1, second)
     };
+    let mut out = vec![(usize::MAX, f64::INFINITY, f64::INFINITY); n];
+    let fill = |base: usize, seg: &mut [(usize, f64, f64)], buf: &mut [f64]| {
+        for (o, slot) in seg.iter_mut().enumerate() {
+            oracle.row_gather(base + o, centers, buf);
+            *slot = scan(buf);
+        }
+    };
     if policy.run_parallel(n * centers.len()) {
-        (0..n).into_par_iter().with_min_len(64).map(one).collect()
+        let chunk = rayon::deterministic_chunk_len(n, 64);
+        out.par_chunks_mut(chunk).enumerate().for_each(|(ci, seg)| {
+            let mut buf = vec![0.0; centers.len()];
+            fill(ci * chunk, seg, &mut buf);
+        });
     } else {
-        (0..n).map(one).collect()
+        let mut buf = vec![0.0; centers.len()];
+        fill(0, &mut out, &mut buf);
     }
+    out
 }
 
 /// Runs the parallel local search for the given objective.
@@ -205,36 +222,35 @@ pub fn parallel_local_search(
             v
         };
         let candidates: Vec<NodeId> = (0..n).filter(|&v| !in_centers[v]).collect();
-        let evaluate_swap = |pos: usize, add: NodeId| -> f64 {
-            (0..n)
-                .map(|j| {
-                    let (ci, d1, d2) = nearest[j];
-                    let keep = if ci == pos { d2 } else { d1 };
-                    objective.cost_of(keep.min(inst.dist(j, add)))
+        // One candidate's distance column serves all k of its swaps: the
+        // column is filled once through the oracle's blocked kernels
+        // (instead of k redundant per-element passes), then each dropped
+        // position sums the same `keep.min(d)` terms in the same ascending
+        // node order as a per-pair loop would — identical values, and the
+        // best-swap comparator below is total on (cost, pos, add), so the
+        // changed enumeration order cannot change the chosen swap.
+        let eval_add = |&add: &NodeId| -> Vec<(usize, NodeId, f64)> {
+            let col = inst.distances().col_to_vec(add);
+            (0..centers.len())
+                .map(|pos| {
+                    let mut sum = 0.0;
+                    for (j, &dj) in col.iter().enumerate() {
+                        let (ci, d1, d2) = nearest[j];
+                        let keep = if ci == pos { d2 } else { d1 };
+                        sum += objective.cost_of(keep.min(dj));
+                    }
+                    (pos, add, sum)
                 })
-                .sum()
+                .collect()
         };
         let swaps: Vec<(usize, NodeId, f64)> = if cfg.policy.run_parallel(k * candidates.len() * n)
         {
-            (0..centers.len())
-                .into_par_iter()
-                .flat_map_iter(|pos| {
-                    candidates
-                        .iter()
-                        .map(move |&add| (pos, add, evaluate_swap(pos, add)))
-                        .collect::<Vec<_>>()
-                        .into_iter()
-                })
+            candidates
+                .par_iter()
+                .flat_map_iter(|add| eval_add(add).into_iter())
                 .collect()
         } else {
-            (0..centers.len())
-                .flat_map(|pos| {
-                    candidates
-                        .iter()
-                        .map(move |&add| (pos, add, evaluate_swap(pos, add)))
-                        .collect::<Vec<_>>()
-                })
-                .collect()
+            candidates.iter().flat_map(|add| eval_add(add)).collect()
         };
 
         // Best swap, deterministic tie-breaking.

@@ -259,14 +259,34 @@ impl FlInstance {
     }
 
     /// `γ_j = min_i (f_i + d(j, i))` for each client, from Equation (2) of the paper.
+    ///
+    /// Each client's facility row is filled whole through the oracle's
+    /// blocked distance kernels, then folded with `f64::min` in ascending
+    /// facility order — the same per-element values and fold as a scalar
+    /// double loop (min is an exact reduction), parallelised over
+    /// deterministic client chunks.
     pub fn gamma_per_client(&self) -> Vec<f64> {
-        (0..self.num_clients())
-            .map(|j| {
-                (0..self.num_facilities())
-                    .map(|i| self.facility_cost(i) + self.dist(j, i))
-                    .fold(f64::INFINITY, f64::min)
-            })
-            .collect()
+        use rayon::prelude::*;
+        let nc = self.num_clients();
+        let nf = self.num_facilities();
+        if nc == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0.0; nc];
+        let chunk = rayon::deterministic_chunk_len(nc, 256);
+        out.par_chunks_mut(chunk).enumerate().for_each(|(ci, seg)| {
+            let mut row = vec![0.0; nf];
+            for (o, slot) in seg.iter_mut().enumerate() {
+                let j = ci * chunk + o;
+                self.oracle.row_range_into(j, 0, &mut row);
+                *slot = row
+                    .iter()
+                    .zip(self.facility_costs.iter())
+                    .map(|(&d, &f)| f + d)
+                    .fold(f64::INFINITY, f64::min);
+            }
+        });
+        out
     }
 
     /// `γ = max_j γ_j` — the lower bound on `opt` from Equation (2).

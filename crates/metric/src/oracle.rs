@@ -35,7 +35,8 @@
 
 use crate::distmat::DistanceMatrix;
 use crate::point::{DistanceKind, Point};
-use parfaclo_spatial::{SpatialIndex, SpatialMetric};
+use parfaclo_kernel::{block, SoaPoints};
+use parfaclo_spatial::SpatialIndex;
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -86,19 +87,14 @@ impl std::str::FromStr for Backend {
     }
 }
 
-/// The `SpatialMetric` computing bit-identical distances to a
-/// [`DistanceKind`] (same operations, same order — asserted by tests on
-/// both sides).
-fn spatial_metric(kind: DistanceKind) -> SpatialMetric {
-    match kind {
-        DistanceKind::Euclidean => SpatialMetric::Euclidean,
-        DistanceKind::SquaredEuclidean => SpatialMetric::SquaredEuclidean,
-        DistanceKind::Manhattan => SpatialMetric::Manhattan,
-        DistanceKind::Chebyshev => SpatialMetric::Chebyshev,
-    }
-}
+/// Cap on the transient buffer [`DistanceOracle::sorted_distinct_values`]
+/// materialises (`8·rows·cols` bytes) — the same 4 GiB ceiling the dense
+/// structures use. [`DistanceOracle::try_sorted_distinct_values`] refuses
+/// past it instead of OOM-ing.
+pub const DISTINCT_VALUES_BYTES_CAP: u64 = 4 << 30;
 
-/// Flattens points into the coordinate array a [`SpatialIndex`] consumes.
+/// Flattens points into the coordinate array a [`SpatialIndex`] (or an
+/// [`SoaPoints`]) consumes.
 fn flatten(points: &[Point]) -> (Vec<f64>, usize) {
     let dim = points.first().map_or(0, Point::dim);
     let mut coords = Vec::with_capacity(points.len() * dim);
@@ -135,14 +131,57 @@ pub trait DistanceOracle {
     /// The distance `d(row, col)`.
     fn dist(&self, row: usize, col: usize) -> f64;
 
-    /// Row `row` collected into a vector (`O(cols)` work).
+    /// Writes `d(row, col_start + j)` into `out[j]` for the contiguous
+    /// column range `col_start .. col_start + out.len()`. The batch entry
+    /// point the point-backed backends serve with one blocked SoA kernel
+    /// call; the default is the equivalent scalar loop, so values are
+    /// bit-identical either way.
+    fn row_range_into(&self, row: usize, col_start: usize, out: &mut [f64]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.dist(row, col_start + j);
+        }
+    }
+
+    /// Writes `d(row_start + j, col)` into `out[j]` for the contiguous row
+    /// range `row_start .. row_start + out.len()` (the column-direction
+    /// counterpart of [`DistanceOracle::row_range_into`]).
+    fn col_range_into(&self, col: usize, row_start: usize, out: &mut [f64]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = self.dist(row_start + j, col);
+        }
+    }
+
+    /// Writes `d(row, cols[j])` into `out[j]` — the irregular-subset batch
+    /// form (candidate scans over a presorted order, pruning sums over the
+    /// live set). Bit-identical to the scalar loop at any subset.
+    fn row_gather(&self, row: usize, cols: &[usize], out: &mut [f64]) {
+        for (o, &c) in out.iter_mut().zip(cols) {
+            *o = self.dist(row, c);
+        }
+    }
+
+    /// Writes `d(rows[j], col)` into `out[j]` (the column-direction
+    /// counterpart of [`DistanceOracle::row_gather`]).
+    fn col_gather(&self, col: usize, rows: &[usize], out: &mut [f64]) {
+        for (o, &r) in out.iter_mut().zip(rows) {
+            *o = self.dist(r, col);
+        }
+    }
+
+    /// Row `row` collected into a vector (`O(cols)` work; one blocked
+    /// kernel call on the point-backed backends via
+    /// [`DistanceOracle::row_range_into`]).
     fn row_to_vec(&self, row: usize) -> Vec<f64> {
-        (0..self.cols()).map(|c| self.dist(row, c)).collect()
+        let mut v = vec![0.0; self.cols()];
+        self.row_range_into(row, 0, &mut v);
+        v
     }
 
     /// Column `col` collected into a vector (`O(rows)` work).
     fn col_to_vec(&self, col: usize) -> Vec<f64> {
-        (0..self.rows()).map(|r| self.dist(r, col)).collect()
+        let mut v = vec![0.0; self.rows()];
+        self.col_range_into(col, 0, &mut v);
+        v
     }
 
     /// `min_{c in set} d(row, c)` with the argmin. `None` if `set` is empty.
@@ -218,8 +257,29 @@ pub trait DistanceOracle {
     /// All distinct entry values, sorted ascending (the k-center binary
     /// search's distance set `D`). `O(rows·cols)` time *and* transient
     /// memory under every backend — callers that need bounded memory must
-    /// avoid this query.
+    /// go through [`DistanceOracle::try_sorted_distinct_values`] instead.
     fn sorted_distinct_values(&self) -> Vec<f64>;
+
+    /// [`DistanceOracle::sorted_distinct_values`] behind a memory guard:
+    /// refuses (instead of OOM-ing) when the `8·rows·cols`-byte transient
+    /// would exceed [`DISTINCT_VALUES_BYTES_CAP`] — the same 4 GiB ceiling
+    /// (and refusal style) as the dense adjacency matrix and the dominator
+    /// solvers' threshold derivation.
+    fn try_sorted_distinct_values(&self) -> Result<Vec<f64>, String> {
+        let bytes = (self.len() as u64).saturating_mul(8);
+        if bytes > DISTINCT_VALUES_BYTES_CAP {
+            return Err(format!(
+                "deriving the candidate radii sorts all {}×{} pairwise distances \
+                 ({:.1} GiB of scratch); this query is refused past the 4 GiB cap — \
+                 use a smaller instance, or a solver that does not binary-search \
+                 the full distance set",
+                self.rows(),
+                self.cols(),
+                bytes as f64 / (1u64 << 30) as f64,
+            ));
+        }
+        Ok(self.sorted_distinct_values())
+    }
 
     /// Estimated resident bytes of the backend's distance storage:
     /// `8·rows·cols` for dense, `O((rows + cols)·dim)` for implicit.
@@ -240,6 +300,20 @@ pub trait DistanceOracle {
     /// [`cols_within`]: DistanceOracle::cols_within
     /// [`row_min`]: DistanceOracle::row_min
     fn has_sublinear_queries(&self) -> bool {
+        false
+    }
+
+    /// Whether the batch entry points ([`row_range_into`], [`row_gather`]
+    /// and friends) are served by the blocked SoA kernels rather than by
+    /// per-pair scalar loops. Callers use this the way they use
+    /// [`has_sublinear_queries`]: to pick between a batch-shaped and a
+    /// lookup-shaped formulation of the *same* computation — the answers
+    /// are bit-identical either way, only the speed differs.
+    ///
+    /// [`row_range_into`]: DistanceOracle::row_range_into
+    /// [`row_gather`]: DistanceOracle::row_gather
+    /// [`has_sublinear_queries`]: DistanceOracle::has_sublinear_queries
+    fn has_batch_distance_kernels(&self) -> bool {
         false
     }
 }
@@ -270,8 +344,12 @@ fn blocked_sweep<T: Send>(
 /// The implicit geometric backend: two point sets and a distance function.
 ///
 /// Entry `(r, c)` is `from[r].distance(to[c], kind)`, computed on every
-/// access. For symmetric (clustering) oracles `from` and `to` share one
-/// allocation ([`ImplicitMetric::symmetric`]), which [`memory_bytes`]
+/// access. Each side is stored twice: as the [`Point`]s the per-pair
+/// lookups read, and as a structure-of-arrays [`SoaPoints`] copy the
+/// blocked batch kernels stream — built once at construction,
+/// `O((rows + cols)·dim)` extra memory, bit-identical values. For symmetric
+/// (clustering) oracles `from` and `to` share one allocation on both
+/// representations ([`ImplicitMetric::symmetric`]), which [`memory_bytes`]
 /// counts once.
 ///
 /// [`memory_bytes`]: DistanceOracle::memory_bytes
@@ -279,6 +357,8 @@ fn blocked_sweep<T: Send>(
 pub struct ImplicitMetric {
     from: Arc<[Point]>,
     to: Arc<[Point]>,
+    from_soa: Arc<SoaPoints>,
+    to_soa: Arc<SoaPoints>,
     kind: DistanceKind,
 }
 
@@ -319,9 +399,13 @@ impl ImplicitMetric {
             "row-side and column-side points must have equal dimension \
              ({from_dim} vs {to_dim})"
         );
+        let from_soa = Arc::new(Self::soa_of(&from));
+        let to_soa = Arc::new(Self::soa_of(&to));
         ImplicitMetric {
             from: from.into(),
             to: to.into(),
+            from_soa,
+            to_soa,
             kind,
         }
     }
@@ -334,12 +418,21 @@ impl ImplicitMetric {
     /// one dimension (see [`ImplicitMetric::between`]).
     pub fn symmetric(points: Vec<Point>, kind: DistanceKind) -> Self {
         Self::checked_dim(&points, "node");
+        let soa: Arc<SoaPoints> = Arc::new(Self::soa_of(&points));
         let shared: Arc<[Point]> = points.into();
         ImplicitMetric {
             from: Arc::clone(&shared),
             to: shared,
+            from_soa: Arc::clone(&soa),
+            to_soa: soa,
             kind,
         }
+    }
+
+    /// The structure-of-arrays copy of one point side.
+    fn soa_of(points: &[Point]) -> SoaPoints {
+        let (coords, dim) = flatten(points);
+        SoaPoints::from_flat(&coords, dim, points.len())
     }
 
     /// The row-side (client) points.
@@ -369,6 +462,21 @@ impl ImplicitMetric {
             .map(|p| (std::mem::size_of::<Point>() + p.dim() * std::mem::size_of::<f64>()) as u64)
             .sum()
     }
+
+    /// Decomposes a flat entry range (row-major `idx = row·cols + col`) into
+    /// per-row contiguous column segments, in ascending order — the shape
+    /// the blocked sweeps hand to the range kernels.
+    fn for_row_segments(&self, range: std::ops::Range<usize>, mut f: impl FnMut(usize, usize, usize)) {
+        let cols = self.cols();
+        let mut idx = range.start;
+        while idx < range.end {
+            let row = idx / cols;
+            let col = idx % cols;
+            let len = (cols - col).min(range.end - idx);
+            f(row, col, len);
+            idx += len;
+        }
+    }
 }
 
 impl DistanceOracle for ImplicitMetric {
@@ -385,36 +493,151 @@ impl DistanceOracle for ImplicitMetric {
         self.from[row].distance(&self.to[col], self.kind)
     }
 
+    fn row_range_into(&self, row: usize, col_start: usize, out: &mut [f64]) {
+        block::dist_range(self.kind, self.from[row].coords(), &self.to_soa, col_start, out);
+    }
+
+    fn col_range_into(&self, col: usize, row_start: usize, out: &mut [f64]) {
+        // The kernel computes (facility − client) displacements where the
+        // scalar path computes (client − facility): IEEE negation symmetry
+        // (see `DistanceKind::distance`) makes the values bit-identical.
+        block::dist_range(self.kind, self.to[col].coords(), &self.from_soa, row_start, out);
+    }
+
+    fn row_gather(&self, row: usize, cols: &[usize], out: &mut [f64]) {
+        block::dist_gather(self.kind, self.from[row].coords(), &self.to_soa, cols, out);
+    }
+
+    fn col_gather(&self, col: usize, rows: &[usize], out: &mut [f64]) {
+        block::dist_gather(self.kind, self.to[col].coords(), &self.from_soa, rows, out);
+    }
+
+    fn nearest_in_set(&self, row: usize, set: &[usize]) -> Option<(usize, f64)> {
+        let q = self.from[row].coords();
+        let mut buf = [0.0f64; block::TILE];
+        let mut best: Option<(usize, f64)> = None;
+        for chunk in set.chunks(block::TILE) {
+            block::dist_gather(self.kind, q, &self.to_soa, chunk, &mut buf[..chunk.len()]);
+            for (&c, &d) in chunk.iter().zip(&buf[..chunk.len()]) {
+                // Lexicographic minimum of (distance, column index) — the
+                // documented tie-breaking contract.
+                if best.map_or(true, |(bc, bd)| d < bd || (d == bd && c < bc)) {
+                    best = Some((c, d));
+                }
+            }
+        }
+        best
+    }
+
+    fn nearest_in_set_all(&self, set: &[usize]) -> Vec<Option<(usize, f64)>> {
+        if set.is_empty() {
+            return vec![None; self.rows()];
+        }
+        // Gather the candidate side once into a compact SoA tile the scan
+        // streams per row; ids ride along so ties keep resolving to the
+        // lowest column index.
+        let ids: Vec<u32> = set
+            .iter()
+            .map(|&c| u32::try_from(c).expect("column index fits u32"))
+            .collect();
+        let sub = self.to_soa.gather(&ids);
+        let chunk = rayon::deterministic_chunk_len(self.rows(), 256);
+        self.from
+            .par_iter()
+            .with_min_len(chunk)
+            .map(|p| {
+                block::argmin_ids(self.kind, p.coords(), &sub, &ids)
+                    .map(|(id, d)| (id as usize, d))
+            })
+            .collect()
+    }
+
+    fn row_min(&self, row: usize) -> Option<(usize, f64)> {
+        block::argmin_range(self.kind, self.from[row].coords(), &self.to_soa, 0, self.cols())
+    }
+
+    fn rows_within(&self, col: usize, radius: f64) -> Vec<usize> {
+        if self.rows() == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        block::collect_within(
+            self.kind,
+            self.to[col].coords(),
+            &self.from_soa,
+            0,
+            self.rows(),
+            radius,
+            &mut out,
+        );
+        out
+    }
+
+    fn cols_within(&self, row: usize, radius: f64) -> Vec<usize> {
+        if self.cols() == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        block::collect_within(
+            self.kind,
+            self.from[row].coords(),
+            &self.to_soa,
+            0,
+            self.cols(),
+            radius,
+            &mut out,
+        );
+        out
+    }
+
     fn max_entry(&self) -> f64 {
-        let cols = self.cols();
-        if cols == 0 {
+        if self.cols() == 0 {
             return 0.0;
         }
+        // Same blocked-sweep chunking as before the kernels; each chunk is
+        // decomposed into row segments served by the range kernel. `max` is
+        // an exact reduction, so the value is identical to the scalar fold.
         blocked_sweep(
             self.len(),
             0.0,
             |range| {
-                range
-                    .map(|idx| self.dist(idx / cols, idx % cols))
-                    .fold(0.0, f64::max)
+                let mut best = 0.0f64;
+                self.for_row_segments(range, |row, col_start, len| {
+                    best = best.max(block::max_in_range(
+                        self.kind,
+                        self.from[row].coords(),
+                        &self.to_soa,
+                        col_start,
+                        len,
+                    ));
+                });
+                best
             },
             f64::max,
         )
     }
 
     fn min_positive_entry(&self) -> Option<f64> {
-        let cols = self.cols();
-        if cols == 0 {
+        if self.cols() == 0 {
             return None;
         }
         blocked_sweep(
             self.len(),
             None,
             |range| {
-                range
-                    .map(|idx| self.dist(idx / cols, idx % cols))
-                    .filter(|d| *d > 0.0)
-                    .min_by(|a, b| a.partial_cmp(b).unwrap())
+                let mut best: Option<f64> = None;
+                self.for_row_segments(range, |row, col_start, len| {
+                    if let Some(d) = block::min_positive_in_range(
+                        self.kind,
+                        self.from[row].coords(),
+                        &self.to_soa,
+                        col_start,
+                        len,
+                    ) {
+                        best = Some(best.map_or(d, |b| b.min(d)));
+                    }
+                });
+                best
             },
             |a: Option<f64>, b| match (a, b) {
                 (Some(x), Some(y)) => Some(x.min(y)),
@@ -429,31 +652,41 @@ impl DistanceOracle for ImplicitMetric {
         if cols == 0 {
             return Vec::new();
         }
-        // Materialise the full value set (the query is inherently O(m)),
-        // then sort + dedup exactly like the dense backend so the two
-        // produce identical vectors.
-        let chunk = rayon::deterministic_chunk_len(self.len(), 1024);
-        let mut v: Vec<f64> = (0..self.len())
-            .into_par_iter()
+        // Materialise the full value set (the query is inherently O(m)) one
+        // kernel-filled row per chunk, then sort + dedup exactly like the
+        // dense backend so the two produce identical vectors.
+        let mut v = vec![0.0; self.len()];
+        let chunk = rayon::deterministic_chunk_len(self.rows(), 64);
+        v.par_chunks_mut(cols)
             .with_min_len(chunk)
-            .map(|idx| self.dist(idx / cols, idx % cols))
-            .collect();
+            .enumerate()
+            .for_each(|(r, out)| self.row_range_into(r, 0, out));
         v.par_sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
         v.dedup();
         v
     }
 
     fn memory_bytes(&self) -> u64 {
-        let from = Self::point_bytes(&self.from);
-        if Arc::ptr_eq(&self.from, &self.to) {
-            from
+        let shared = Arc::ptr_eq(&self.from, &self.to);
+        let points = if shared {
+            Self::point_bytes(&self.from)
         } else {
-            from + Self::point_bytes(&self.to)
-        }
+            Self::point_bytes(&self.from) + Self::point_bytes(&self.to)
+        };
+        let soa = if Arc::ptr_eq(&self.from_soa, &self.to_soa) {
+            self.from_soa.memory_bytes() as u64
+        } else {
+            (self.from_soa.memory_bytes() + self.to_soa.memory_bytes()) as u64
+        };
+        points + soa
     }
 
     fn backend(&self) -> Backend {
         Backend::Implicit
+    }
+
+    fn has_batch_distance_kernels(&self) -> bool {
+        true
     }
 }
 
@@ -505,7 +738,9 @@ impl PartialEq for SpatialOracle {
 impl SpatialOracle {
     /// Builds the indexes around an existing implicit metric.
     pub fn from_implicit(metric: ImplicitMetric) -> Self {
-        let kind = spatial_metric(metric.kind());
+        // `SpatialMetric` *is* `DistanceKind` (one shared kernel type), so
+        // the kind flows straight into the index.
+        let kind = metric.kind();
         let (from_coords, from_dim) = flatten(metric.from_points());
         let row_index = Arc::new(SpatialIndex::build(from_coords, from_dim, kind));
         let col_index = if metric.sides_shared() {
@@ -563,6 +798,26 @@ impl DistanceOracle for SpatialOracle {
         self.metric.dist(row, col)
     }
 
+    fn row_range_into(&self, row: usize, col_start: usize, out: &mut [f64]) {
+        self.metric.row_range_into(row, col_start, out);
+    }
+
+    fn col_range_into(&self, col: usize, row_start: usize, out: &mut [f64]) {
+        self.metric.col_range_into(col, row_start, out);
+    }
+
+    fn row_gather(&self, row: usize, cols: &[usize], out: &mut [f64]) {
+        self.metric.row_gather(row, cols, out);
+    }
+
+    fn col_gather(&self, col: usize, rows: &[usize], out: &mut [f64]) {
+        self.metric.col_gather(col, rows, out);
+    }
+
+    fn nearest_in_set(&self, row: usize, set: &[usize]) -> Option<(usize, f64)> {
+        self.metric.nearest_in_set(row, set)
+    }
+
     fn row_min(&self, row: usize) -> Option<(usize, f64)> {
         if self.cols() == 0 {
             return None;
@@ -586,12 +841,7 @@ impl DistanceOracle for SpatialOracle {
             coords.extend_from_slice(to[c].coords());
             ids.push(u32::try_from(c).expect("column index fits u32"));
         }
-        let index = SpatialIndex::build_with_ids(
-            coords,
-            dim,
-            spatial_metric(self.metric.kind()),
-            Some(ids),
-        );
+        let index = SpatialIndex::build_with_ids(coords, dim, self.metric.kind(), Some(ids));
         // ...then a sublinear query per row, in deterministic row order.
         let from = self.metric.from_points();
         let chunk = rayon::deterministic_chunk_len(from.len(), 256);
@@ -645,6 +895,10 @@ impl DistanceOracle for SpatialOracle {
     fn has_sublinear_queries(&self) -> bool {
         true
     }
+
+    fn has_batch_distance_kernels(&self) -> bool {
+        true
+    }
 }
 
 impl DistanceOracle for DistanceMatrix {
@@ -671,6 +925,17 @@ impl DistanceOracle for DistanceMatrix {
 
     fn col_to_vec(&self, col: usize) -> Vec<f64> {
         DistanceMatrix::col_to_vec(self, col)
+    }
+
+    fn row_range_into(&self, row: usize, col_start: usize, out: &mut [f64]) {
+        out.copy_from_slice(&self.row(row)[col_start..col_start + out.len()]);
+    }
+
+    fn row_gather(&self, row: usize, cols: &[usize], out: &mut [f64]) {
+        let r = self.row(row);
+        for (o, &c) in out.iter_mut().zip(cols) {
+            *o = r[c];
+        }
     }
 
     fn row_min(&self, row: usize) -> Option<(usize, f64)> {
@@ -790,6 +1055,22 @@ impl DistanceOracle for Oracle {
         delegate!(self, col_to_vec(col))
     }
 
+    fn row_range_into(&self, row: usize, col_start: usize, out: &mut [f64]) {
+        delegate!(self, row_range_into(row, col_start, out))
+    }
+
+    fn col_range_into(&self, col: usize, row_start: usize, out: &mut [f64]) {
+        delegate!(self, col_range_into(col, row_start, out))
+    }
+
+    fn row_gather(&self, row: usize, cols: &[usize], out: &mut [f64]) {
+        delegate!(self, row_gather(row, cols, out))
+    }
+
+    fn col_gather(&self, col: usize, rows: &[usize], out: &mut [f64]) {
+        delegate!(self, col_gather(col, rows, out))
+    }
+
     fn nearest_in_set(&self, row: usize, set: &[usize]) -> Option<(usize, f64)> {
         delegate!(self, nearest_in_set(row, set))
     }
@@ -822,6 +1103,10 @@ impl DistanceOracle for Oracle {
         delegate!(self, sorted_distinct_values())
     }
 
+    fn try_sorted_distinct_values(&self) -> Result<Vec<f64>, String> {
+        delegate!(self, try_sorted_distinct_values())
+    }
+
     fn memory_bytes(&self) -> u64 {
         delegate!(self, memory_bytes())
     }
@@ -832,6 +1117,10 @@ impl DistanceOracle for Oracle {
 
     fn has_sublinear_queries(&self) -> bool {
         delegate!(self, has_sublinear_queries())
+    }
+
+    fn has_batch_distance_kernels(&self) -> bool {
+        delegate!(self, has_batch_distance_kernels())
     }
 }
 
@@ -911,10 +1200,13 @@ mod tests {
     fn memory_is_matrix_sized_vs_point_sized() {
         let (dense, implicit) = pair();
         assert_eq!(dense.memory_bytes(), (13 * 5 * 8) as u64);
-        // Implicit: 18 points, 2 coords each, plus Point headers — far less
-        // than the matrix once dimensions grow, and O(rows + cols) always.
+        // Implicit: 18 points, 2 coords each, stored as Points (headers +
+        // coordinates) plus the SoA copy the kernels stream (coordinates
+        // only) — still O(rows + cols), far less than the matrix once
+        // dimensions grow.
         let per_point = (std::mem::size_of::<Point>() + 2 * 8) as u64;
-        assert_eq!(implicit.memory_bytes(), 18 * per_point);
+        let soa_per_point = (2 * 8) as u64;
+        assert_eq!(implicit.memory_bytes(), 18 * (per_point + soa_per_point));
         assert_eq!(dense.backend(), Backend::Dense);
         assert_eq!(implicit.backend(), Backend::Implicit);
     }

@@ -3,6 +3,13 @@
 //! The paper assumes an abstract metric; our synthetic generators produce points in
 //! low-dimensional Euclidean space (the most common setting for facility-location and
 //! clustering workloads) and then materialise dense distance matrices from them.
+//!
+//! The arithmetic itself lives in `parfaclo-kernel`: [`DistanceKind`] is
+//! re-exported from there, and every `Point` distance method delegates to the
+//! shared slice kernel, so this crate, the spatial indexes and the blocked
+//! batch kernels all compute bit-identical values.
+
+pub use parfaclo_kernel::DistanceKind;
 
 /// A point in `R^d`, stored as a dense coordinate vector.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,14 +63,7 @@ impl Point {
             self.dim(),
             other.dim()
         );
-        self.coords
-            .iter()
-            .zip(other.coords.iter())
-            .map(|(a, b)| {
-                let d = a - b;
-                d * d
-            })
-            .sum()
+        DistanceKind::SquaredEuclidean.distance(&self.coords, &other.coords)
     }
 
     /// Manhattan (L1) distance to another point.
@@ -72,11 +72,7 @@ impl Point {
     /// Panics if the dimensions differ.
     pub fn manhattan(&self, other: &Point) -> f64 {
         assert_eq!(self.dim(), other.dim(), "points must have equal dimension");
-        self.coords
-            .iter()
-            .zip(other.coords.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum()
+        DistanceKind::Manhattan.distance(&self.coords, &other.coords)
     }
 
     /// Chebyshev (L∞) distance to another point.
@@ -85,11 +81,7 @@ impl Point {
     /// Panics if the dimensions differ.
     pub fn chebyshev(&self, other: &Point) -> f64 {
         assert_eq!(self.dim(), other.dim(), "points must have equal dimension");
-        self.coords
-            .iter()
-            .zip(other.coords.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        DistanceKind::Chebyshev.distance(&self.coords, &other.coords)
     }
 
     /// Distance under the given [`DistanceKind`].
@@ -122,25 +114,6 @@ impl Point {
         }
         Point::new(acc)
     }
-}
-
-/// Which point-to-point distance function to use when materialising a distance matrix.
-///
-/// `Euclidean`, `Manhattan` and `Chebyshev` are metrics. `SquaredEuclidean` is **not** a
-/// metric (it violates the triangle inequality) but is provided because the k-means
-/// objective of the paper sums squared distances; the k-means algorithms treat it as a
-/// cost function, never as a metric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum DistanceKind {
-    /// Standard L2 distance.
-    #[default]
-    Euclidean,
-    /// Squared L2 distance (k-means cost; not a metric).
-    SquaredEuclidean,
-    /// L1 distance.
-    Manhattan,
-    /// L-infinity distance.
-    Chebyshev,
 }
 
 #[cfg(test)]

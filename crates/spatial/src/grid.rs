@@ -3,7 +3,9 @@
 //! Points are bucketed into cubic cells of one global side length; buckets
 //! are stored CSR-style grouped by linearised cell id with positions
 //! ascending inside each bucket, so the whole structure is a pure function
-//! of the input point set. Pruning never trusts the *nominal* cell geometry
+//! of the input point set. Coordinates are re-materialised in bucket order
+//! as structure-of-arrays, so every cell scan is one contiguous pass of the
+//! blocked distance kernels in `parfaclo-kernel`. Pruning never trusts the *nominal* cell geometry
 //! (a point can land an ulp outside its nominal cell box): every non-empty
 //! cell stores the **exact** bounding box of the points it actually holds,
 //! and [`SpatialMetric::box_lower_bound`] against that box is a computed
@@ -14,7 +16,8 @@
 //! brute-force scan byte for byte.
 
 use crate::metric::SpatialMetric;
-use crate::query::{Accumulator, Best, KBest};
+use crate::query::{collect_slots, scan_slots, Accumulator, Best, KBest};
+use parfaclo_kernel::SoaPoints;
 
 /// The maximum dimension the grid supports (ring enumeration is written for
 /// up to three axes; higher dimensions go to the kd-tree).
@@ -45,10 +48,13 @@ fn axis_cell(x: f64, lo: f64, cell: f64, count: usize) -> usize {
 pub struct UniformGrid {
     dim: usize,
     metric: SpatialMetric,
-    /// Point coordinates in original position order (`n * dim`).
-    coords: Vec<f64>,
-    /// Caller ids per position; `None` means position == id.
-    ids: Option<Vec<u32>>,
+    /// Point coordinates in bucket (slot) order, one contiguous vector per
+    /// axis — each cell's points are a contiguous slot run, so a cell scan
+    /// is exactly one blocked-kernel tile pass.
+    soa: SoaPoints,
+    /// Caller id per slot (identity permutation composed with the optional
+    /// caller map), ascending position order within each cell.
+    slot_ids: Vec<u32>,
     /// Bounding box of the whole point set.
     lo: Vec<f64>,
     /// Cell side length (equal on every axis); 1.0 for degenerate extents.
@@ -57,8 +63,6 @@ pub struct UniformGrid {
     counts: Vec<usize>,
     /// CSR offsets per linearised cell (`counts` product + 1 entries).
     starts: Vec<u32>,
-    /// Point positions grouped by cell, ascending within each cell.
-    order: Vec<u32>,
     /// Exact per-cell point bounding boxes (`ncells * dim` each); empty
     /// cells hold an inverted box (`+inf / -inf`) that every bound rejects.
     cell_lo: Vec<f64>,
@@ -151,16 +155,24 @@ impl UniformGrid {
             }
         }
 
+        // Re-materialise the points in bucket order: slot `s` holds point
+        // `order[s]`, so every cell is a contiguous slot run for the
+        // blocked kernels, and `slot_ids` carries the caller ids along.
+        let soa = SoaPoints::from_flat_permuted(&coords, dim, &order);
+        let slot_ids: Vec<u32> = order
+            .iter()
+            .map(|&pos| ids.as_ref().map_or(pos, |v| v[pos as usize]))
+            .collect();
+
         UniformGrid {
             dim,
             metric,
-            coords,
-            ids,
+            soa,
+            slot_ids,
             lo,
             cell,
             counts,
             starts,
-            order,
             cell_lo,
             cell_hi,
         }
@@ -168,26 +180,12 @@ impl UniformGrid {
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.order.len()
+        self.slot_ids.len()
     }
 
     /// Whether the index holds no points.
     pub fn is_empty(&self) -> bool {
-        self.order.is_empty()
-    }
-
-    #[inline]
-    fn point(&self, pos: u32) -> &[f64] {
-        let p = pos as usize * self.dim;
-        &self.coords[p..p + self.dim]
-    }
-
-    #[inline]
-    fn id(&self, pos: u32) -> usize {
-        match &self.ids {
-            Some(ids) => ids[pos as usize] as usize,
-            None => pos as usize,
-        }
+        self.slot_ids.is_empty()
     }
 
     /// The (clamped) per-axis cell coordinates of a query point.
@@ -337,9 +335,10 @@ impl UniformGrid {
         )
     }
 
+    /// The contiguous slot range holding cell `c`'s points.
     #[inline]
-    fn cell_points(&self, c: usize) -> &[u32] {
-        &self.order[self.starts[c] as usize..self.starts[c + 1] as usize]
+    fn cell_slots(&self, c: usize) -> (usize, usize) {
+        (self.starts[c] as usize, self.starts[c + 1] as usize)
     }
 
     /// The nearest indexed point to `q` (its caller id and distance), ties
@@ -379,17 +378,15 @@ impl UniformGrid {
                 break;
             }
             self.for_ring_cells(&center, ring, |c| {
-                let pts = self.cell_points(c);
-                if pts.is_empty() {
+                let (s0, s1) = self.cell_slots(c);
+                if s0 == s1 {
                     return;
                 }
                 let (blo, bhi) = self.cell_box(c);
                 if acc.prunes(self.metric.box_lower_bound(q, blo, bhi)) {
                     return;
                 }
-                for &pos in pts {
-                    acc.consider(self.metric.distance(q, self.point(pos)), self.id(pos));
-                }
+                scan_slots(self.metric, q, &self.soa, s0, s1, &self.slot_ids, acc);
             });
         }
     }
@@ -421,33 +418,35 @@ impl UniformGrid {
             })
             .collect();
         self.for_cells_in_window(&win_lo, &win_hi, |c| {
-            let pts = self.cell_points(c);
-            if pts.is_empty() {
+            let (s0, s1) = self.cell_slots(c);
+            if s0 == s1 {
                 return;
             }
             let (blo, bhi) = self.cell_box(c);
             if self.metric.box_lower_bound(q, blo, bhi) > radius {
                 return;
             }
-            for &pos in pts {
-                if self.metric.distance(q, self.point(pos)) <= radius {
-                    out.push(self.id(pos));
-                }
-            }
+            collect_slots(
+                self.metric,
+                q,
+                &self.soa,
+                s0,
+                s1,
+                &self.slot_ids,
+                radius,
+                &mut out,
+            );
         });
-        out.sort_unstable();
+        crate::query::sort_ids_ascending(&mut out, self.slot_ids.len());
         out
     }
 
-    /// Estimated resident bytes of the index structure (coordinates,
-    /// buckets, per-cell boxes, id map).
+    /// Estimated resident bytes of the index structure (slot-ordered
+    /// coordinates, buckets, per-cell boxes, id map).
     pub fn memory_bytes(&self) -> u64 {
-        ((self.coords.len() + self.cell_lo.len() + self.cell_hi.len()) * std::mem::size_of::<f64>()
-            + (self.starts.len() + self.order.len()) * std::mem::size_of::<u32>()
-            + self
-                .ids
-                .as_ref()
-                .map_or(0, |v| v.len() * std::mem::size_of::<u32>())) as u64
+        (self.soa.memory_bytes()
+            + (self.cell_lo.len() + self.cell_hi.len()) * std::mem::size_of::<f64>()
+            + (self.starts.len() + self.slot_ids.len()) * std::mem::size_of::<u32>()) as u64
     }
 }
 

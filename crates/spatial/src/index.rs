@@ -17,7 +17,8 @@
 use crate::grid::{UniformGrid, GRID_MAX_DIM};
 use crate::kdtree::KdTree;
 use crate::metric::SpatialMetric;
-use crate::query::{Accumulator, Best, KBest};
+use crate::query::{collect_slots, scan_slots, Accumulator, Best, KBest};
+use parfaclo_kernel::SoaPoints;
 
 /// Point sets at or below this size are served by a flat scan.
 const FLAT_MAX: usize = 64;
@@ -52,14 +53,17 @@ pub(crate) fn checked_point_count(coords: &[f64], dim: usize, ids: Option<&[u32]
 }
 
 /// Linear-scan fallback for tiny point sets (and dimension 0, where every
-/// distance is 0 and structure is meaningless).
+/// distance is 0 and structure is meaningless). The whole set is one
+/// contiguous slot run through the blocked kernels — a flat index *is* a
+/// cache tile.
 #[derive(Debug, Clone)]
 pub struct Flat {
     dim: usize,
     metric: SpatialMetric,
-    coords: Vec<f64>,
-    ids: Option<Vec<u32>>,
-    n: usize,
+    /// Slot-ordered coordinates; slot == original position.
+    soa: SoaPoints,
+    /// Caller id per slot (identity when no map was supplied).
+    slot_ids: Vec<u32>,
 }
 
 impl Flat {
@@ -74,29 +78,19 @@ impl Flat {
         Flat {
             dim,
             metric,
-            coords,
-            ids,
-            n,
+            soa: SoaPoints::from_flat(&coords, dim, n),
+            slot_ids: ids.unwrap_or_else(|| (0..n as u32).collect()),
         }
     }
 
-    fn point(&self, pos: usize) -> &[f64] {
-        &self.coords[pos * self.dim..(pos + 1) * self.dim]
-    }
-
-    fn id(&self, pos: usize) -> usize {
-        match &self.ids {
-            Some(ids) => ids[pos] as usize,
-            None => pos,
-        }
+    fn len(&self) -> usize {
+        self.slot_ids.len()
     }
 
     /// The one scan behind both nearest and k-nearest.
     fn scan_into<A: Accumulator>(&self, q: &[f64], acc: &mut A) {
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
-        for pos in 0..self.n {
-            acc.consider(self.metric.distance(q, self.point(pos)), self.id(pos));
-        }
+        scan_slots(self.metric, q, &self.soa, 0, self.len(), &self.slot_ids, acc);
     }
 
     fn nearest(&self, q: &[f64]) -> Option<(usize, f64)> {
@@ -115,20 +109,23 @@ impl Flat {
 
     fn range(&self, q: &[f64], radius: f64) -> Vec<usize> {
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
-        let mut out: Vec<usize> = (0..self.n)
-            .filter(|&pos| self.metric.distance(q, self.point(pos)) <= radius)
-            .map(|pos| self.id(pos))
-            .collect();
-        out.sort_unstable();
+        let mut out = Vec::new();
+        collect_slots(
+            self.metric,
+            q,
+            &self.soa,
+            0,
+            self.len(),
+            &self.slot_ids,
+            radius,
+            &mut out,
+        );
+        crate::query::sort_ids_ascending(&mut out, self.len());
         out
     }
 
     fn memory_bytes(&self) -> u64 {
-        (self.coords.len() * std::mem::size_of::<f64>()
-            + self
-                .ids
-                .as_ref()
-                .map_or(0, |v| v.len() * std::mem::size_of::<u32>())) as u64
+        (self.soa.memory_bytes() + self.slot_ids.len() * std::mem::size_of::<u32>()) as u64
     }
 }
 
@@ -178,7 +175,7 @@ impl SpatialIndex {
     /// Number of indexed points.
     pub fn len(&self) -> usize {
         match self {
-            SpatialIndex::Flat(f) => f.n,
+            SpatialIndex::Flat(f) => f.len(),
             SpatialIndex::Grid(g) => g.len(),
             SpatialIndex::Kd(t) => t.len(),
         }

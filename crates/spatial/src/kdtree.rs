@@ -5,7 +5,10 @@
 //! `(coordinate, position)` — the structure is a pure function of the input
 //! point set, independent of thread count (parallel construction only
 //! splits the recursion across workers; each range is partitioned
-//! sequentially). Queries are exact: pruning uses the computed
+//! sequentially), and the points are then re-materialised in tree order as
+//! structure-of-arrays so every leaf scan is one contiguous pass of the
+//! blocked distance kernels in `parfaclo-kernel`. Queries are exact:
+//! pruning uses the computed
 //! [`SpatialMetric::axis_lower_bound`], which never exceeds the computed
 //! distance of a point beyond the splitting plane, and subtrees are skipped
 //! only on a strictly larger bound — so equal-distance points are always
@@ -13,7 +16,8 @@
 //! byte for byte.
 
 use crate::metric::SpatialMetric;
-use crate::query::{Accumulator, Best, KBest};
+use crate::query::{collect_slots, scan_slots, Accumulator, Best, KBest};
+use parfaclo_kernel::SoaPoints;
 
 /// Ranges at or below this length are scanned as leaves.
 const LEAF: usize = 16;
@@ -26,16 +30,17 @@ const PAR_BUILD: usize = 4096;
 pub struct KdTree {
     dim: usize,
     metric: SpatialMetric,
-    /// Point coordinates in original position order (`n * dim`).
-    coords: Vec<f64>,
-    /// Caller ids per position; `None` means position == id.
-    ids: Option<Vec<u32>>,
-    /// Tree order → original position. The implicit tree over a range
-    /// `[start, end)` pivots at `mid = start + len / 2`; `[start, mid)` and
-    /// `[mid + 1, end)` are the subtrees.
-    perm: Vec<u32>,
-    /// `axes[mid]` is the split axis of the node pivoted at tree position
-    /// `mid` (leaf entries are unused).
+    /// Point coordinates in tree (slot) order, one contiguous vector per
+    /// axis: the implicit tree over a slot range `[start, end)` pivots at
+    /// `mid = start + len / 2`; `[start, mid)` and `[mid + 1, end)` are the
+    /// subtrees. Every leaf is a contiguous slot run, so a leaf scan is one
+    /// blocked-kernel tile pass.
+    soa: SoaPoints,
+    /// Caller id per slot (the build permutation composed with the optional
+    /// caller map).
+    slot_ids: Vec<u32>,
+    /// `axes[mid]` is the split axis of the node pivoted at slot `mid`
+    /// (leaf entries are unused).
     axes: Vec<u8>,
 }
 
@@ -58,38 +63,31 @@ impl KdTree {
         let mut perm: Vec<u32> = (0..n as u32).collect();
         let mut axes: Vec<u8> = vec![0; n];
         build_range(&coords, dim, &mut perm, &mut axes);
+        // Re-materialise the points in tree order: slot `t` holds point
+        // `perm[t]`, so leaves are contiguous slot runs for the blocked
+        // kernels, and `slot_ids` carries the caller ids along.
+        let soa = SoaPoints::from_flat_permuted(&coords, dim, &perm);
+        let slot_ids: Vec<u32> = perm
+            .iter()
+            .map(|&pos| ids.as_ref().map_or(pos, |v| v[pos as usize]))
+            .collect();
         KdTree {
             dim,
             metric,
-            coords,
-            ids,
-            perm,
+            soa,
+            slot_ids,
             axes,
         }
     }
 
     /// Number of indexed points.
     pub fn len(&self) -> usize {
-        self.perm.len()
+        self.slot_ids.len()
     }
 
     /// Whether the index holds no points.
     pub fn is_empty(&self) -> bool {
-        self.perm.is_empty()
-    }
-
-    #[inline]
-    fn point(&self, pos: u32) -> &[f64] {
-        let p = pos as usize * self.dim;
-        &self.coords[p..p + self.dim]
-    }
-
-    #[inline]
-    fn id(&self, pos: u32) -> usize {
-        match &self.ids {
-            Some(ids) => ids[pos as usize] as usize,
-            None => pos as usize,
-        }
+        self.slot_ids.is_empty()
     }
 
     /// The nearest indexed point to `q` (its caller id and distance), ties
@@ -97,7 +95,7 @@ impl KdTree {
     pub fn nearest(&self, q: &[f64]) -> Option<(usize, f64)> {
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
         let mut best = Best::new();
-        self.search(q, 0, self.perm.len(), &mut best);
+        self.search(q, 0, self.len(), &mut best);
         best.into_result()
     }
 
@@ -108,7 +106,7 @@ impl KdTree {
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
         let mut best = KBest::new(k);
         if k > 0 {
-            self.search(q, 0, self.perm.len(), &mut best);
+            self.search(q, 0, self.len(), &mut best);
         }
         best.into_sorted()
     }
@@ -118,17 +116,16 @@ impl KdTree {
     /// accumulator prunes its splitting-plane bound.
     fn search<A: Accumulator>(&self, q: &[f64], start: usize, end: usize, acc: &mut A) {
         if end - start <= LEAF {
-            for t in start..end {
-                let pos = self.perm[t];
-                acc.consider(self.metric.distance(q, self.point(pos)), self.id(pos));
-            }
+            scan_slots(self.metric, q, &self.soa, start, end, &self.slot_ids, acc);
             return;
         }
         let mid = start + (end - start) / 2;
         let axis = self.axes[mid] as usize;
-        let pivot = self.perm[mid];
-        acc.consider(self.metric.distance(q, self.point(pivot)), self.id(pivot));
-        let signed = q[axis] - self.point(pivot)[axis];
+        acc.consider(
+            self.soa.dist_one(self.metric, q, mid),
+            self.slot_ids[mid] as usize,
+        );
+        let signed = q[axis] - self.soa.coord(axis, mid);
         let (near, far) = if signed <= 0.0 {
             ((start, mid), (mid + 1, end))
         } else {
@@ -145,28 +142,31 @@ impl KdTree {
     pub fn range(&self, q: &[f64], radius: f64) -> Vec<usize> {
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
         let mut out = Vec::new();
-        self.range_range(q, radius, 0, self.perm.len(), &mut out);
-        out.sort_unstable();
+        self.range_range(q, radius, 0, self.len(), &mut out);
+        crate::query::sort_ids_ascending(&mut out, self.len());
         out
     }
 
     fn range_range(&self, q: &[f64], radius: f64, start: usize, end: usize, out: &mut Vec<usize>) {
         if end - start <= LEAF {
-            for t in start..end {
-                let pos = self.perm[t];
-                if self.metric.distance(q, self.point(pos)) <= radius {
-                    out.push(self.id(pos));
-                }
-            }
+            collect_slots(
+                self.metric,
+                q,
+                &self.soa,
+                start,
+                end,
+                &self.slot_ids,
+                radius,
+                out,
+            );
             return;
         }
         let mid = start + (end - start) / 2;
         let axis = self.axes[mid] as usize;
-        let pivot = self.perm[mid];
-        if self.metric.distance(q, self.point(pivot)) <= radius {
-            out.push(self.id(pivot));
+        if self.soa.dist_one(self.metric, q, mid) <= radius {
+            out.push(self.slot_ids[mid] as usize);
         }
-        let signed = q[axis] - self.point(pivot)[axis];
+        let signed = q[axis] - self.soa.coord(axis, mid);
         let (near, far) = if signed <= 0.0 {
             ((start, mid), (mid + 1, end))
         } else {
@@ -178,16 +178,12 @@ impl KdTree {
         }
     }
 
-    /// Estimated resident bytes of the index structure (coordinates,
-    /// permutation, split axes, id map).
+    /// Estimated resident bytes of the index structure (slot-ordered
+    /// coordinates, split axes, id map).
     pub fn memory_bytes(&self) -> u64 {
-        (self.coords.len() * std::mem::size_of::<f64>()
-            + self.perm.len() * std::mem::size_of::<u32>()
-            + self.axes.len()
-            + self
-                .ids
-                .as_ref()
-                .map_or(0, |v| v.len() * std::mem::size_of::<u32>())) as u64
+        (self.soa.memory_bytes()
+            + self.slot_ids.len() * std::mem::size_of::<u32>()
+            + self.axes.len()) as u64
     }
 }
 
@@ -316,8 +312,9 @@ mod tests {
 
     #[test]
     fn structure_is_thread_count_independent() {
-        // PAR_BUILD is exceeded, so subtrees build on the pool; the perm and
-        // axes arrays must come out identical at 1 and 4 workers.
+        // PAR_BUILD is exceeded, so subtrees build on the pool; the slot
+        // order (= the build permutation, as no id map is supplied) and the
+        // axes array must come out identical at 1 and 4 workers.
         let coords = sample_coords(6000, 2, 42);
         let build = |threads: usize| {
             let pool = rayon::ThreadPoolBuilder::new()
@@ -328,7 +325,8 @@ mod tests {
         };
         let a = build(1);
         let b = build(4);
-        assert_eq!(a.perm, b.perm);
+        assert_eq!(a.slot_ids, b.slot_ids);
         assert_eq!(a.axes, b.axes);
+        assert_eq!(a.soa, b.soa);
     }
 }

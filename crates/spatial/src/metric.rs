@@ -1,204 +1,20 @@
 //! The distance functions the indexes prune against.
 //!
-//! [`SpatialMetric`] mirrors `parfaclo-metric`'s `DistanceKind` exactly: every
-//! point-to-point distance here is computed with the **same operations in the
-//! same order** as `Point::distance`, so the values are bit-identical to what
-//! the dense matrix stores and the implicit oracle computes. That is what
-//! lets an index-served query replace a linear sweep without changing a
-//! single output byte.
+//! [`SpatialMetric`] **is** `parfaclo-kernel`'s `DistanceKind` — the same
+//! type, re-exported under the name the index code has always used, not a
+//! mirror of it. Every point-to-point distance the indexes compute therefore
+//! runs the exact operations (and operation order) of the one shared slice
+//! kernel, which is what lets an index-served query replace a linear sweep
+//! without changing a single output byte.
 //!
-//! The pruning bounds ([`SpatialMetric::box_lower_bound`],
-//! [`SpatialMetric::axis_lower_bound`]) are *computed* lower bounds, not just
-//! mathematical ones: each bound is evaluated with the same shape of rounded
-//! IEEE operations as the distance itself (per-coordinate displacement →
-//! square/abs → left-to-right sum or max → optional sqrt). Because every one
-//! of those operations is monotone under rounding, the computed bound of a
-//! box/half-space never exceeds the computed distance of any point inside
-//! it. Searches therefore prune only on a **strict** `bound > best`
-//! comparison and remain exact — including ties, which are always resolved
-//! towards the lowest point id.
+//! The pruning bounds (`box_lower_bound`, `axis_lower_bound`) are *computed*
+//! lower bounds, not just mathematical ones: each bound is evaluated with
+//! the same shape of rounded IEEE operations as the distance itself
+//! (per-coordinate displacement → square/abs → left-to-right sum or max →
+//! optional sqrt). Because every one of those operations is monotone under
+//! rounding, the computed bound of a box/half-space never exceeds the
+//! computed distance of any point inside it. Searches therefore prune only
+//! on a **strict** `bound > best` comparison and remain exact — including
+//! ties, which are always resolved towards the lowest point id.
 
-/// Which distance function the index serves. Must agree with the
-/// `DistanceKind` the distances were generated under.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum SpatialMetric {
-    /// Standard L2 distance.
-    #[default]
-    Euclidean,
-    /// Squared L2 (the k-means cost; not a metric, but per-coordinate
-    /// monotone, which is all the pruning bounds need).
-    SquaredEuclidean,
-    /// L1 distance.
-    Manhattan,
-    /// L-infinity distance.
-    Chebyshev,
-}
-
-impl SpatialMetric {
-    /// Distance between two coordinate slices — bit-identical to
-    /// `Point::distance` for the matching `DistanceKind` (same iterator
-    /// chain, same fold order).
-    ///
-    /// # Panics
-    /// Debug-asserts equal dimensions; mismatched slices are a caller bug.
-    #[inline]
-    pub fn distance(self, a: &[f64], b: &[f64]) -> f64 {
-        debug_assert_eq!(a.len(), b.len(), "points must have equal dimension");
-        match self {
-            SpatialMetric::Euclidean => Self::squared_l2(a, b).sqrt(),
-            SpatialMetric::SquaredEuclidean => Self::squared_l2(a, b),
-            SpatialMetric::Manhattan => a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum(),
-            SpatialMetric::Chebyshev => a
-                .iter()
-                .zip(b.iter())
-                .map(|(x, y)| (x - y).abs())
-                .fold(0.0, f64::max),
-        }
-    }
-
-    #[inline]
-    fn squared_l2(a: &[f64], b: &[f64]) -> f64 {
-        a.iter()
-            .zip(b.iter())
-            .map(|(x, y)| {
-                let d = x - y;
-                d * d
-            })
-            .sum()
-    }
-
-    /// Computed lower bound on the distance from `q` to any point inside the
-    /// axis-aligned box `[lo, hi]`: per-coordinate clamp displacement,
-    /// combined exactly like [`SpatialMetric::distance`] combines
-    /// displacements. Never exceeds the computed distance of a point whose
-    /// coordinates lie within the (exact) bounds.
-    pub fn box_lower_bound(self, q: &[f64], lo: &[f64], hi: &[f64]) -> f64 {
-        // clamp(c) = how far q[c] sits outside [lo[c], hi[c]], as the same
-        // rounded subtraction a distance computation would produce.
-        let clamp = |c: usize| -> f64 {
-            if q[c] < lo[c] {
-                lo[c] - q[c]
-            } else if q[c] > hi[c] {
-                q[c] - hi[c]
-            } else {
-                0.0
-            }
-        };
-        match self {
-            SpatialMetric::Euclidean => (0..q.len())
-                .map(|c| {
-                    let d = clamp(c);
-                    d * d
-                })
-                .sum::<f64>()
-                .sqrt(),
-            SpatialMetric::SquaredEuclidean => (0..q.len())
-                .map(|c| {
-                    let d = clamp(c);
-                    d * d
-                })
-                .sum(),
-            SpatialMetric::Manhattan => (0..q.len()).map(clamp).sum(),
-            SpatialMetric::Chebyshev => (0..q.len()).map(clamp).fold(0.0, f64::max),
-        }
-    }
-
-    /// Computed lower bound on the distance from `q` to any point beyond a
-    /// splitting plane at signed axis displacement `signed` (`q[axis] −
-    /// split`): the distance of a hypothetical point differing from `q` only
-    /// along that axis, computed with the same rounded operations.
-    #[inline]
-    pub fn axis_lower_bound(self, signed: f64) -> f64 {
-        match self {
-            SpatialMetric::Euclidean => (signed * signed).sqrt(),
-            SpatialMetric::SquaredEuclidean => signed * signed,
-            SpatialMetric::Manhattan | SpatialMetric::Chebyshev => signed.abs(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn distances_match_hand_computation() {
-        let a = [0.0, 0.0];
-        let b = [3.0, 4.0];
-        assert_eq!(SpatialMetric::Euclidean.distance(&a, &b), 5.0);
-        assert_eq!(SpatialMetric::SquaredEuclidean.distance(&a, &b), 25.0);
-        assert_eq!(SpatialMetric::Manhattan.distance(&a, &b), 7.0);
-        assert_eq!(SpatialMetric::Chebyshev.distance(&a, &b), 4.0);
-    }
-
-    #[test]
-    fn box_bound_is_zero_inside_and_tight_on_faces() {
-        let lo = [0.0, 0.0];
-        let hi = [1.0, 2.0];
-        for m in [
-            SpatialMetric::Euclidean,
-            SpatialMetric::SquaredEuclidean,
-            SpatialMetric::Manhattan,
-            SpatialMetric::Chebyshev,
-        ] {
-            assert_eq!(m.box_lower_bound(&[0.5, 1.0], &lo, &hi), 0.0);
-            // Directly left of the box: the bound equals the face distance.
-            let d = m.box_lower_bound(&[-2.0, 1.0], &lo, &hi);
-            let expect = m.distance(&[-2.0, 1.0], &[0.0, 1.0]);
-            assert_eq!(d, expect);
-        }
-    }
-
-    #[test]
-    fn box_bound_never_exceeds_any_contained_point_distance() {
-        // Deterministic pseudo-grid of queries/points; the computed-bound
-        // property must hold exactly (<=, not approximately).
-        let lo = [-1.25, 0.5, 3.0];
-        let hi = [0.75, 2.5, 3.0];
-        let inside = [
-            [-1.25, 0.5, 3.0],
-            [0.75, 2.5, 3.0],
-            [0.0, 1.75, 3.0],
-            [-0.5, 2.5, 3.0],
-        ];
-        let queries = [
-            [5.0, -2.0, 3.5],
-            [-3.0, 1.0, 3.0],
-            [0.1, 0.9, 2.0],
-            [0.75, 2.5, 3.0],
-        ];
-        for m in [
-            SpatialMetric::Euclidean,
-            SpatialMetric::SquaredEuclidean,
-            SpatialMetric::Manhattan,
-            SpatialMetric::Chebyshev,
-        ] {
-            for q in &queries {
-                let bound = m.box_lower_bound(q, &lo, &hi);
-                for p in &inside {
-                    assert!(
-                        bound <= m.distance(q, p),
-                        "{m:?}: bound {bound} exceeds distance to {p:?}"
-                    );
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn axis_bound_matches_single_axis_distance() {
-        for m in [
-            SpatialMetric::Euclidean,
-            SpatialMetric::SquaredEuclidean,
-            SpatialMetric::Manhattan,
-            SpatialMetric::Chebyshev,
-        ] {
-            let signed = -1.5_f64;
-            assert_eq!(
-                m.axis_lower_bound(signed),
-                m.distance(&[0.0], &[1.5]),
-                "{m:?}"
-            );
-        }
-    }
-}
+pub use parfaclo_kernel::DistanceKind as SpatialMetric;

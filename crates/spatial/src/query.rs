@@ -1,8 +1,89 @@
 //! Shared query state: running best / best-k accumulators with the
-//! canonical `(distance, id)` tie-breaking every index must honour.
+//! canonical `(distance, id)` tie-breaking every index must honour, plus
+//! the one blocked scan every structure's contiguous point run (flat set,
+//! grid bucket, kd leaf) funnels through.
 
+use parfaclo_kernel::{block, DistanceKind, SoaPoints};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Streams the contiguous slot range `[start, end)` of `pts` through the
+/// blocked distance kernel — one stack tile at a time, no allocation —
+/// offering each `(distance, ids[slot])` to the accumulator in ascending
+/// slot order. Distances are bit-identical to the scalar
+/// `DistanceKind::distance` per point, and the accumulators' `(distance,
+/// id)` ordering is insensitive to visit order, so a structure that swaps
+/// its per-point loop for this scan changes no output byte.
+pub(crate) fn scan_slots<A: Accumulator>(
+    metric: DistanceKind,
+    q: &[f64],
+    pts: &SoaPoints,
+    start: usize,
+    end: usize,
+    ids: &[u32],
+    acc: &mut A,
+) {
+    let mut buf = [0.0f64; block::TILE];
+    let mut s = start;
+    while s < end {
+        let len = block::TILE.min(end - s);
+        block::dist_range(metric, q, pts, s, &mut buf[..len]);
+        for (o, &d) in buf[..len].iter().enumerate() {
+            acc.consider(d, ids[s + o] as usize);
+        }
+        s += len;
+    }
+}
+
+/// Range-query twin of [`scan_slots`]: pushes `ids[slot]` for every point
+/// in `[start, end)` with distance `<= radius` (inclusive, like every range
+/// query in this crate), in ascending slot order.
+pub(crate) fn collect_slots(
+    metric: DistanceKind,
+    q: &[f64],
+    pts: &SoaPoints,
+    start: usize,
+    end: usize,
+    ids: &[u32],
+    radius: f64,
+    out: &mut Vec<usize>,
+) {
+    let mut buf = [0.0f64; block::TILE];
+    let mut s = start;
+    while s < end {
+        let len = block::TILE.min(end - s);
+        block::dist_range(metric, q, pts, s, &mut buf[..len]);
+        for (o, &d) in buf[..len].iter().enumerate() {
+            if d <= radius {
+                out.push(ids[s + o] as usize);
+            }
+        }
+        s += len;
+    }
+}
+
+/// Sorts a set of distinct ids drawn from `0..n` into ascending order.
+/// Dense results (a range query whose radius covers most of the index) get
+/// a bitmask sweep — O(n) instead of O(m log m) — which matters at the
+/// million-point presets where late solver rounds collect nearly every id.
+pub(crate) fn sort_ids_ascending(out: &mut Vec<usize>, n: usize) {
+    if out.len() < 4096 || out.len() < n / 8 {
+        out.sort_unstable();
+        return;
+    }
+    let mut mask = vec![0u64; n / 64 + 1];
+    for &id in out.iter() {
+        mask[id / 64] |= 1u64 << (id % 64);
+    }
+    out.clear();
+    for (w, &bits) in mask.iter().enumerate() {
+        let mut bits = bits;
+        while bits != 0 {
+            out.push(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+}
 
 /// Compares `(distance, id)` lexicographically. Distances are finite by the
 /// index construction invariants (finite coordinates in, finite distances
