@@ -80,3 +80,9 @@ pub use parfaclo_metric::Backend;
 /// can configure [`RunConfig::graph`] without depending on `parfaclo-graph`
 /// directly.
 pub use parfaclo_graph::GraphBackend;
+
+/// Re-exports of the event-engine and radius-deriver selectors so API
+/// consumers can configure [`RunConfig::engine`] and
+/// [`RunConfig::radius_deriver`] without depending on `parfaclo-bucket`
+/// directly.
+pub use parfaclo_bucket::{EventEngine, RadiusDeriver};

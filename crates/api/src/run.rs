@@ -72,6 +72,13 @@ pub struct Run {
     /// Total inner (subselection / Luby / probe) iterations.
     pub inner_rounds: usize,
     /// Work / primitive-call / round counters accumulated during the run.
+    ///
+    /// Emitted in [`Run::to_json`]'s timing/metadata section and excluded
+    /// from [`Run::canonical_json`]: the counters are deterministic and
+    /// backend/graph/thread/policy-invariant, but the scan and bucket event
+    /// engines legitimately charge different amounts for the same result
+    /// (a full presort vs lazily expanded prefixes), and the canonical
+    /// record is what the engine-conformance tests compare byte-for-byte.
     pub work: CostReport,
     /// Wall-clock milliseconds; stamped by the registry wrapper, excluded
     /// from [`Run::canonical_json`] so determinism comparisons stay exact.
@@ -278,15 +285,6 @@ impl Run {
             .uint("rounds", self.rounds as u64)
             .uint("inner_rounds", self.inner_rounds as u64)
             .field(
-                "work",
-                JsonObject::new()
-                    .uint("element_ops", self.work.element_ops)
-                    .uint("primitive_calls", self.work.primitive_calls)
-                    .uint("sort_calls", self.work.sort_calls)
-                    .uint("rounds", self.work.rounds)
-                    .build(),
-            )
-            .field(
                 "selected",
                 JsonValue::Array(
                     self.selected
@@ -312,6 +310,15 @@ impl Run {
         obj = obj.field("extra", extra);
         if include_timing {
             obj = obj
+                .field(
+                    "work",
+                    JsonObject::new()
+                        .uint("element_ops", self.work.element_ops)
+                        .uint("primitive_calls", self.work.primitive_calls)
+                        .uint("sort_calls", self.work.sort_calls)
+                        .uint("rounds", self.work.rounds)
+                        .build(),
+                )
                 .number("wall_ms", self.wall_ms)
                 .uint("threads", self.threads as u64)
                 .string("backend", self.backend.as_str())
@@ -329,8 +336,10 @@ impl Run {
         self.json_fields(true).to_string()
     }
 
-    /// JSON record with timing omitted: byte-identical across repeat runs
-    /// with the same seed, which is what the determinism tests compare.
+    /// JSON record with timing and work metadata omitted: byte-identical
+    /// across repeat runs with the same seed — and across event engines,
+    /// whose work counters legitimately differ — which is what the
+    /// determinism and engine-conformance tests compare.
     pub fn canonical_json(&self) -> String {
         self.json_fields(false).to_string()
     }
@@ -375,10 +384,12 @@ mod tests {
         b.backend = Backend::Implicit;
         a.memory_bytes = 4800;
         b.memory_bytes = 96;
+        a.work.sort_calls = 1;
+        b.work.sort_calls = 7;
         assert_eq!(
             a.canonical_json(),
             b.canonical_json(),
-            "wall_ms/threads/backend/memory_bytes are workload metadata, not results"
+            "wall_ms/threads/backend/memory_bytes/work are workload metadata, not results"
         );
         assert_ne!(a.to_json(), b.to_json());
         assert!(a.to_json().contains("\"wall_ms\""));
@@ -389,6 +400,12 @@ mod tests {
         assert!(!a.canonical_json().contains("\"threads\""));
         assert!(!a.canonical_json().contains("\"backend\""));
         assert!(!a.canonical_json().contains("\"memory_bytes\""));
+        assert!(
+            !a.canonical_json().contains("\"work\""),
+            "work counters differ legitimately between event engines"
+        );
+        assert!(a.to_json().contains("\"work\""));
+        assert!(a.to_json().contains("\"sort_calls\":1"));
         assert!(a.to_json().contains(RUN_SCHEMA));
     }
 

@@ -122,6 +122,14 @@ pub struct BenchConfig {
     pub subselection: bool,
     /// Explicit dominator threshold (`None` derives from the instance).
     pub threshold: Option<f64>,
+    /// Event-engine label (`scan` / `bucket`). The engines are
+    /// byte-equivalent but charge work differently and have different
+    /// latency profiles, so artifacts measured under different engines are
+    /// never joined.
+    pub engine: String,
+    /// k-center radius-deriver label (`exact` / `sketch`). The sketch
+    /// probes different thresholds, so it is a measurement-relevant knob.
+    pub radius_deriver: String,
 }
 
 impl BenchConfig {
@@ -139,6 +147,8 @@ impl BenchConfig {
             preprocess: cfg.preprocess,
             subselection: cfg.subselection,
             threshold: cfg.threshold,
+            engine: cfg.engine.as_str().to_string(),
+            radius_deriver: cfg.radius_deriver.as_str().to_string(),
         }
     }
 
@@ -157,6 +167,8 @@ impl BenchConfig {
                     None => JsonValue::Null,
                 },
             )
+            .string("engine", &self.engine)
+            .string("radius_deriver", &self.radius_deriver)
             .build()
     }
 
@@ -192,6 +204,25 @@ impl BenchConfig {
                 None => return Err(missing("threshold")),
                 Some(JsonValue::Null) => None,
                 Some(v) => Some(v.as_f64().ok_or_else(|| missing("threshold"))?),
+            },
+            // Optional on parse: artifacts written before the event-engine /
+            // radius-deriver knobs existed were all measured under the
+            // then-only scan/exact paths.
+            engine: match value.get("engine") {
+                None => "scan".to_string(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| "bench config field 'engine' must be a string".to_string())?
+                    .to_string(),
+            },
+            radius_deriver: match value.get("radius_deriver") {
+                None => "exact".to_string(),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| {
+                        "bench config field 'radius_deriver' must be a string".to_string()
+                    })?
+                    .to_string(),
             },
         })
     }

@@ -83,6 +83,24 @@ OPTIONS:
                         representation that makes sparse million-vertex
                         graphs practical. Canonical results are
                         byte-identical either way      [default: dense]
+    --event-engine <e>  Round-loop event engine for the facility-location
+                        solvers: bucket serves greedy's sorted distance
+                        prefixes lazily from deterministic bucket queues
+                        and pops primal-dual's open/freeze events instead
+                        of rescanning; scan keeps the historical
+                        full-presort / per-iteration-rescan paths.
+                        Canonical output is byte-identical either way —
+                        only the work profile changes    [default: bucket]
+    --radius-deriver <d>
+                        k-center candidate-radius derivation: exact sorts
+                        all n² pairwise distances (the paper's Theorem 6.1
+                        search; refused above the 4 GiB scratch cap);
+                        sketch derives candidates from a deterministic
+                        1024-node sample plus a diameter cap, probing
+                        coarse-to-fine — the deriver that lifts k-center
+                        to the sparse-large/sparse-xlarge/xlarge presets.
+                        sketch may settle on a different (sampled) radius
+                        than exact                       [default: exact]
     --eps <f>           Slack parameter epsilon > 0      [default: 0.1]
     --seed <n>          RNG seed                         [default: 0]
     --k <n>             Centers for clustering solvers   [default: 8]
@@ -252,6 +270,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--backend" => cfg.backend = value("--backend")?.parse()?,
             "--graph" => cfg.graph = value("--graph")?.parse()?,
+            "--event-engine" => cfg.engine = value("--event-engine")?.parse()?,
+            "--radius-deriver" => cfg.radius_deriver = value("--radius-deriver")?.parse()?,
             "--no-preprocess" => cfg.preprocess = false,
             "--no-subselection" => cfg.subselection = false,
             "--solver" => solver = Some(value("--solver")?.clone()),

@@ -8,6 +8,7 @@
 //! a prefix sum along the sorted order — which is exactly how Algorithm 4.1 implements
 //! its step 1.
 
+use parfaclo_bucket::{BucketMapping, EventEngine};
 use parfaclo_matrixops::{sort, CostMeter, ExecPolicy};
 use parfaclo_metric::{ClientId, DistanceOracle, FacilityId, FlInstance};
 use rayon::prelude::*;
@@ -165,6 +166,307 @@ pub fn all_cheapest_stars(
     }
 }
 
+/// Number of distinct bucket keys under the default geometric mapping
+/// (4 refinement bits: 12 exponent+mantissa bits survive the shift, and the
+/// sign bit of a non-negative finite `f64` is always 0).
+const LAZY_KEYS: usize = 1 << 16;
+
+/// Per-facility lazily-sorted client order, bucketed by distance.
+///
+/// The clients are partitioned once into geometric distance buckets
+/// (ascending bucket key, ascending client id within a bucket — a counting
+/// pass, no comparison sort). `sorted` is the materialised prefix: whole
+/// buckets, sorted on demand by packed `(distance_bits << 32) | id` exactly
+/// like [`FacilityOrders::presort`]'s row sort, appended in bucket order.
+/// Because the geometric mapping is monotone and its buckets bracket
+/// disjoint value intervals, the concatenation of per-bucket sorted runs
+/// reproduces the full presorted order — just only as far as the star scans
+/// actually consume it.
+#[derive(Debug, Clone)]
+pub struct LazyFacilityOrder {
+    /// Ascending keys of the non-empty buckets.
+    bucket_keys: Vec<u32>,
+    /// CSR offsets into `bucket_ids`, one per non-empty bucket plus the
+    /// terminating total.
+    bucket_offsets: Vec<u32>,
+    /// Client ids grouped by bucket (ascending id within each bucket).
+    bucket_ids: Vec<u32>,
+    /// The sorted prefix: every expanded bucket's clients in full sorted
+    /// order.
+    sorted: Vec<u32>,
+    /// Index of the first unexpanded bucket.
+    next_bucket: usize,
+}
+
+impl LazyFacilityOrder {
+    /// Buckets facility `i`'s client distances. One oracle column fill plus
+    /// a counting pass — `O(|C| + K)` work, no sort.
+    fn build(inst: &FlInstance, i: FacilityId, mapping: BucketMapping) -> Self {
+        let nc = inst.num_clients();
+        let mut row = vec![0.0f64; nc];
+        inst.distances().col_range_into(i, 0, &mut row);
+        let mut starts = vec![0u32; LAZY_KEYS];
+        for &d in &row {
+            let key = mapping.bucket_of(d) as usize;
+            debug_assert!(key < LAZY_KEYS);
+            starts[key] += 1;
+        }
+        let mut bucket_keys = Vec::new();
+        let mut bucket_offsets = Vec::new();
+        let mut total = 0u32;
+        for (key, slot) in starts.iter_mut().enumerate() {
+            let count = *slot;
+            if count > 0 {
+                bucket_keys.push(key as u32);
+                bucket_offsets.push(total);
+            }
+            *slot = total;
+            total += count;
+        }
+        bucket_offsets.push(total);
+        let mut bucket_ids = vec![0u32; nc];
+        for (j, &d) in row.iter().enumerate() {
+            let key = mapping.bucket_of(d) as usize;
+            bucket_ids[starts[key] as usize] = j as u32;
+            starts[key] += 1;
+        }
+        LazyFacilityOrder {
+            bucket_keys,
+            bucket_offsets,
+            bucket_ids,
+            sorted: Vec::new(),
+            next_bucket: 0,
+        }
+    }
+
+    /// Key of the first unexpanded bucket, or `None` when fully expanded.
+    fn next_bucket_key(&self) -> Option<u32> {
+        self.bucket_keys.get(self.next_bucket).copied()
+    }
+
+    /// Sorts the next bucket's clients by `(distance_bits, id)` and appends
+    /// them to the sorted prefix. Charges one sort of the bucket's size.
+    fn expand_next_bucket(&mut self, inst: &FlInstance, i: FacilityId, meter: &CostMeter) {
+        let b = self.next_bucket;
+        debug_assert!(b < self.bucket_keys.len());
+        let start = self.bucket_offsets[b] as usize;
+        let end = self.bucket_offsets[b + 1] as usize;
+        let ids = &self.bucket_ids[start..end];
+        let clients: Vec<usize> = ids.iter().map(|&j| j as usize).collect();
+        let mut dists = vec![0.0f64; clients.len()];
+        inst.distances().col_gather(i, &clients, &mut dists);
+        // The same packed representation as the presort's row argsort:
+        // ties in distance break by ascending client id, so the appended
+        // run continues the exact global presorted order.
+        let mut packed: Vec<u128> = ids
+            .iter()
+            .zip(dists.iter())
+            .map(|(&j, &d)| (u128::from(d.to_bits()) << 32) | u128::from(j))
+            .collect();
+        packed.sort_unstable();
+        self.sorted
+            .extend(packed.iter().map(|&p| (p & 0xFFFF_FFFF) as u32));
+        meter.add_sort(clients.len() as u64);
+        self.next_bucket += 1;
+    }
+}
+
+/// Lazily-sorted client orders for every facility (the bucket event
+/// engine's replacement for [`FacilityOrders`]).
+#[derive(Debug, Clone)]
+pub struct LazyOrders {
+    mapping: BucketMapping,
+    facilities: Vec<LazyFacilityOrder>,
+}
+
+impl LazyOrders {
+    /// Buckets every facility's client distances — the same one-pass-over-m
+    /// primitive charge as [`FacilityOrders::presort`], but no sort: sorting
+    /// is deferred to [`cheapest_maximal_star_bucketed`]'s on-demand bucket
+    /// expansions.
+    pub fn build(inst: &FlInstance, policy: ExecPolicy, meter: &CostMeter) -> Self {
+        let nc = inst.num_clients();
+        let nf = inst.num_facilities();
+        meter.add_primitive((nc * nf) as u64);
+        let mapping = BucketMapping::geometric_default();
+        let build_one = |i: usize| LazyFacilityOrder::build(inst, i, mapping);
+        let facilities: Vec<LazyFacilityOrder> = if policy.run_parallel(inst.m()) {
+            (0..nf).into_par_iter().map(build_one).collect()
+        } else {
+            (0..nf).map(build_one).collect()
+        };
+        LazyOrders {
+            mapping,
+            facilities,
+        }
+    }
+
+    /// Number of facilities covered.
+    pub fn num_facilities(&self) -> usize {
+        self.facilities.len()
+    }
+
+    /// Total clients materialised into sorted prefixes so far (diagnostic).
+    pub fn expanded_clients(&self) -> usize {
+        self.facilities.iter().map(|f| f.sorted.len()).sum()
+    }
+}
+
+/// The bucket-engine variant of [`cheapest_maximal_star`]: identical scan,
+/// but the presorted order is served from the facility's lazily expanded
+/// bucket prefix. When the prefix runs out, the next bucket's exact lower
+/// bound decides between stopping (every later distance already exceeds the
+/// best price — the same condition the presorted scan's early break would
+/// hit) and sorting one more bucket. Byte-identical stars to the presort
+/// path at every backend, policy and thread count.
+pub fn cheapest_maximal_star_bucketed(
+    inst: &FlInstance,
+    i: FacilityId,
+    fcost: f64,
+    mapping: BucketMapping,
+    state: &mut LazyFacilityOrder,
+    remaining: &[bool],
+    meter: &CostMeter,
+) -> Option<Star> {
+    const TILE: usize = 64;
+    let oracle = inst.distances();
+    let mut best_price = f64::INFINITY;
+    let mut best_k = 0usize;
+    let mut dist_sum = 0.0;
+    let mut k = 0usize;
+    let mut clients_in_order: Vec<ClientId> = Vec::new();
+    let mut batch: Vec<usize> = Vec::with_capacity(TILE);
+    let mut dists = [0.0f64; TILE];
+    let mut cursor = 0usize;
+    'outer: loop {
+        // Scan the materialised prefix exactly like the presorted path.
+        while cursor < state.sorted.len() {
+            batch.clear();
+            while cursor < state.sorted.len() && batch.len() < TILE {
+                let j = state.sorted[cursor] as usize;
+                cursor += 1;
+                if remaining[j] {
+                    batch.push(j);
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            oracle.col_gather(i, &batch, &mut dists[..batch.len()]);
+            for (&j, &d) in batch.iter().zip(dists.iter()) {
+                // Same early-termination semantics as the presorted scan
+                // (see `cheapest_maximal_star`): strictly greater ends the
+                // whole scan.
+                if d > best_price {
+                    break 'outer;
+                }
+                dist_sum += d;
+                k += 1;
+                clients_in_order.push(j);
+                let price = (fcost + dist_sum) / k as f64;
+                if price <= best_price {
+                    best_price = price;
+                    best_k = k;
+                }
+            }
+        }
+        // Prefix exhausted. Geometric buckets bracket disjoint intervals,
+        // so `lower_bound(next key)` under-approximates every not-yet-
+        // materialised distance: above the best price, the presorted scan
+        // would break on its first remaining client too.
+        match state.next_bucket_key() {
+            None => break,
+            Some(key) => {
+                if mapping.lower_bound(key) > best_price {
+                    break;
+                }
+                state.expand_next_bucket(inst, i, meter);
+            }
+        }
+    }
+    if k == 0 {
+        return None;
+    }
+    clients_in_order.truncate(best_k);
+    Some(Star {
+        facility: i,
+        price: best_price,
+        clients: clients_in_order,
+    })
+}
+
+/// The bucket-engine variant of [`all_cheapest_stars`]: same per-round
+/// primitive charge, per-facility scans in parallel over independent lazy
+/// states.
+pub fn all_cheapest_stars_lazy(
+    inst: &FlInstance,
+    fcosts: &[f64],
+    orders: &mut LazyOrders,
+    remaining: &[bool],
+    policy: ExecPolicy,
+    meter: &CostMeter,
+) -> Vec<Option<Star>> {
+    let nf = inst.num_facilities();
+    meter.add_primitive((inst.num_clients() * nf) as u64);
+    let mapping = orders.mapping;
+    let one = |(i, state): (usize, &mut LazyFacilityOrder)| {
+        cheapest_maximal_star_bucketed(inst, i, fcosts[i], mapping, state, remaining, meter)
+    };
+    if policy.run_parallel(inst.m()) {
+        orders
+            .facilities
+            .par_iter_mut()
+            .enumerate()
+            .map(one)
+            .collect()
+    } else {
+        orders.facilities.iter_mut().enumerate().map(one).collect()
+    }
+}
+
+/// Engine-selected facility orders: the full presort or the lazy bucket
+/// partition, behind one seam so the greedy round loop is engine-agnostic.
+#[derive(Debug, Clone)]
+pub enum StarOrders {
+    /// Eager `O(m log m)` presort ([`EventEngine::Scan`]).
+    Presort(FacilityOrders),
+    /// Lazy bucket expansion ([`EventEngine::Bucket`]).
+    Lazy(LazyOrders),
+}
+
+impl StarOrders {
+    /// Builds the orders for the configured engine.
+    pub fn build(
+        inst: &FlInstance,
+        engine: EventEngine,
+        policy: ExecPolicy,
+        meter: &CostMeter,
+    ) -> Self {
+        match engine {
+            EventEngine::Scan => StarOrders::Presort(FacilityOrders::presort(inst, policy, meter)),
+            EventEngine::Bucket => StarOrders::Lazy(LazyOrders::build(inst, policy, meter)),
+        }
+    }
+}
+
+/// Computes every facility's cheapest maximal star through whichever orders
+/// representation the engine selected. Both arms return byte-identical
+/// stars; only the work profile (one big sort vs lazily expanded bucket
+/// sorts) differs.
+pub fn all_cheapest_stars_with(
+    inst: &FlInstance,
+    fcosts: &[f64],
+    orders: &mut StarOrders,
+    remaining: &[bool],
+    policy: ExecPolicy,
+    meter: &CostMeter,
+) -> Vec<Option<Star>> {
+    match orders {
+        StarOrders::Presort(o) => all_cheapest_stars(inst, fcosts, o, remaining, policy, meter),
+        StarOrders::Lazy(o) => all_cheapest_stars_lazy(inst, fcosts, o, remaining, policy, meter),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +594,174 @@ mod tests {
                 inst.facility_cost(i)
             );
         }
+    }
+
+    #[test]
+    fn lazy_orders_match_presort_star_for_star() {
+        // Drive both engines through a sequence of rounds with shrinking
+        // remaining sets and zeroed facility costs — the exact access
+        // pattern of the greedy loop — and demand identical stars (prices
+        // bit-equal, client lists element-equal) at every step.
+        let inst = gen::facility_location(GenParams::gaussian_clusters(60, 9, 4).with_seed(11));
+        let meter = CostMeter::new();
+        let presort = FacilityOrders::presort(&inst, ExecPolicy::Sequential, &meter);
+        let mut lazy = LazyOrders::build(&inst, ExecPolicy::Sequential, &meter);
+        let mut remaining = vec![true; 60];
+        let mut fcosts: Vec<f64> = (0..9).map(|i| inst.facility_cost(i)).collect();
+        for round in 0..6 {
+            let eager = all_cheapest_stars(
+                &inst,
+                &fcosts,
+                &presort,
+                &remaining,
+                ExecPolicy::Sequential,
+                &meter,
+            );
+            let bucketed = all_cheapest_stars_lazy(
+                &inst,
+                &fcosts,
+                &mut lazy,
+                &remaining,
+                ExecPolicy::Sequential,
+                &meter,
+            );
+            assert_eq!(eager, bucketed, "round {round}");
+            // Mimic a greedy round: open the cheapest star, zero its cost,
+            // remove its clients.
+            let best = eager
+                .iter()
+                .flatten()
+                .min_by(|a, b| a.price.partial_cmp(&b.price).unwrap())
+                .cloned();
+            let Some(star) = best else { break };
+            fcosts[star.facility] = 0.0;
+            for &j in &star.clients {
+                remaining[j] = false;
+            }
+            if !remaining.iter().any(|&r| r) {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_and_parallel_policies_agree() {
+        let inst = gen::facility_location(GenParams::uniform_square(50, 30).with_seed(4));
+        let meter = CostMeter::new();
+        let mut seq_orders = LazyOrders::build(&inst, ExecPolicy::Sequential, &meter);
+        let mut par_orders = LazyOrders::build(&inst, ExecPolicy::Parallel, &meter);
+        let remaining = vec![true; 50];
+        let fcosts: Vec<f64> = (0..30).map(|i| inst.facility_cost(i)).collect();
+        let seq = all_cheapest_stars_lazy(
+            &inst,
+            &fcosts,
+            &mut seq_orders,
+            &remaining,
+            ExecPolicy::Sequential,
+            &meter,
+        );
+        let par = all_cheapest_stars_lazy(
+            &inst,
+            &fcosts,
+            &mut par_orders,
+            &remaining,
+            ExecPolicy::Parallel,
+            &meter,
+        );
+        assert_eq!(seq, par);
+        assert_eq!(seq_orders.expanded_clients(), par_orders.expanded_clients());
+    }
+
+    #[test]
+    fn lazy_expansion_stops_early() {
+        // One facility, a tight cluster of cheap clients and a far-away
+        // crowd: the scan must stop at the bucket boundary without ever
+        // sorting the expensive tail.
+        let mut dists = vec![1.0, 1.5, 1.25, 2.0];
+        dists.extend((0..60).map(|t| 1e6 + t as f64));
+        let nc = dists.len();
+        let inst = FlInstance::new(vec![2.0], DistanceMatrix::from_rows(nc, 1, dists));
+        let meter = CostMeter::new();
+        let mut lazy = LazyOrders::build(&inst, ExecPolicy::Sequential, &meter);
+        let remaining = vec![true; nc];
+        let star = all_cheapest_stars_lazy(
+            &inst,
+            &[2.0],
+            &mut lazy,
+            &remaining,
+            ExecPolicy::Sequential,
+            &meter,
+        )
+        .remove(0)
+        .expect("star exists");
+        // Presort reference: the same star, computed eagerly.
+        let presort = FacilityOrders::presort(&inst, ExecPolicy::Sequential, &meter);
+        let eager = cheapest_maximal_star(&inst, 0, 2.0, presort.order(0), &remaining).unwrap();
+        assert_eq!(star, eager);
+        assert!(
+            lazy.expanded_clients() < nc,
+            "the 1e6-distance tail must stay unsorted (expanded {} of {nc})",
+            lazy.expanded_clients()
+        );
+    }
+
+    #[test]
+    fn lazy_build_records_no_sort_but_expansion_does() {
+        let inst = gen::facility_location(GenParams::uniform_square(20, 4).with_seed(2));
+        let build_meter = CostMeter::new();
+        let mut lazy = LazyOrders::build(&inst, ExecPolicy::Sequential, &build_meter);
+        assert_eq!(
+            build_meter.report().sort_calls,
+            0,
+            "bucketing is a counting pass, not a sort"
+        );
+        assert!(build_meter.report().primitive_calls > 0);
+        let remaining = vec![true; 20];
+        let fcosts: Vec<f64> = (0..4).map(|i| inst.facility_cost(i)).collect();
+        let scan_meter = CostMeter::new();
+        let stars = all_cheapest_stars_lazy(
+            &inst,
+            &fcosts,
+            &mut lazy,
+            &remaining,
+            ExecPolicy::Sequential,
+            &scan_meter,
+        );
+        assert!(stars.iter().any(|s| s.is_some()));
+        assert!(
+            scan_meter.report().sort_calls >= 1,
+            "expanded prefixes are charged as sorts"
+        );
+    }
+
+    #[test]
+    fn star_orders_engine_selection() {
+        let inst = gen::facility_location(GenParams::uniform_square(10, 3).with_seed(1));
+        let meter = CostMeter::new();
+        let mut scan = StarOrders::build(&inst, EventEngine::Scan, ExecPolicy::Sequential, &meter);
+        let mut bucket =
+            StarOrders::build(&inst, EventEngine::Bucket, ExecPolicy::Sequential, &meter);
+        assert!(matches!(scan, StarOrders::Presort(_)));
+        assert!(matches!(bucket, StarOrders::Lazy(_)));
+        let remaining = vec![true; 10];
+        let fcosts: Vec<f64> = (0..3).map(|i| inst.facility_cost(i)).collect();
+        let a = all_cheapest_stars_with(
+            &inst,
+            &fcosts,
+            &mut scan,
+            &remaining,
+            ExecPolicy::Sequential,
+            &meter,
+        );
+        let b = all_cheapest_stars_with(
+            &inst,
+            &fcosts,
+            &mut bucket,
+            &remaining,
+            ExecPolicy::Sequential,
+            &meter,
+        );
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -133,13 +133,15 @@ impl DenseGraph {
     fn from_threshold_rows(oracle: &parfaclo_metric::Oracle, n: usize, alpha: f64) -> Self {
         use parfaclo_metric::DistanceOracle;
         let mut adj = vec![false; n * n];
-        adj.par_chunks_mut(n.max(1)).enumerate().for_each(|(a, row)| {
-            let mut dists = vec![0.0f64; n];
-            oracle.row_range_into(a, 0, &mut dists);
-            for (b, (slot, &d)) in row.iter_mut().zip(dists.iter()).enumerate() {
-                *slot = a != b && d <= alpha;
-            }
-        });
+        adj.par_chunks_mut(n.max(1))
+            .enumerate()
+            .for_each(|(a, row)| {
+                let mut dists = vec![0.0f64; n];
+                oracle.row_range_into(a, 0, &mut dists);
+                for (b, (slot, &d)) in row.iter_mut().zip(dists.iter()).enumerate() {
+                    *slot = a != b && d <= alpha;
+                }
+            });
         let edges = count_true(&adj, n) / 2;
         DenseGraph { n, adj, edges }
     }

@@ -8,6 +8,7 @@
 //! `MaxDom` algorithm of Section 3 and keeps the binary search over the `O(n²)` distinct
 //! distances, giving `O((n log n)²)` work overall.
 
+use parfaclo_bucket::{BucketMapping, RadiusDeriver};
 use parfaclo_dominator::{max_dom, ThresholdGraph};
 use parfaclo_graph::GraphBackend;
 use parfaclo_matrixops::{CostMeter, CostReport, ExecPolicy};
@@ -20,10 +21,19 @@ pub struct KCenterSolution {
     pub centers: Vec<NodeId>,
     /// The achieved radius `max_j d(j, centers)`.
     pub radius: f64,
-    /// The threshold distance `d_t` the binary search settled on; the 2-approximation
-    /// guarantee is `radius <= 2 * d_t` and `d_t <= opt`.
+    /// The threshold distance `d_t` the search settled on. With the exact
+    /// radius deriver the 2-approximation guarantee is `radius <= 2 * d_t`
+    /// and `d_t <= opt`; with the sketch deriver `d_t` is the smallest
+    /// *sampled* feasible candidate, which may exceed `opt`.
     pub threshold: f64,
-    /// Number of binary-search probes (each probe is one `MaxDom` run).
+    /// A certified lower bound on the optimal radius: the largest probed
+    /// threshold whose dominator set had more than `k` nodes (`k + 1` points
+    /// pairwise further apart than any achievable radius), or the settled
+    /// threshold itself on the exact path (where it is the smallest feasible
+    /// member of the complete distance set). 0.0 when nothing infeasible was
+    /// probed and the exact certificate is unavailable.
+    pub lower_bound: f64,
+    /// Number of feasibility probes (each probe is one `MaxDom` run).
     pub probes: usize,
     /// Total Luby rounds across all probes.
     pub luby_rounds: usize,
@@ -88,6 +98,7 @@ pub fn parallel_kcenter_with(
             centers: (0..n).collect(),
             radius: 0.0,
             threshold: 0.0,
+            lower_bound: 0.0,
             probes: 0,
             luby_rounds: 0,
             work: meter.report(),
@@ -98,7 +109,10 @@ pub fn parallel_kcenter_with(
     // Deriving them materialises all n² distances, so past the oracle's
     // 4 GiB scratch cap the run is refused with an explanation instead of
     // exhausting memory.
-    let distances = inst.distances().try_sorted_distinct_values()?;
+    let distances = inst
+        .distances()
+        .try_sorted_distinct_values()
+        .map_err(|e| format!("{e} — or sample the candidate radii with --radius-deriver sketch"))?;
     meter.add_sort(inst.distances().len() as u64);
 
     // Binary search for the smallest threshold whose dominator set has at most k nodes.
@@ -146,6 +160,235 @@ pub fn parallel_kcenter_with(
         centers,
         radius,
         threshold: distances[t_idx],
+        // The smallest feasible member of the complete distance set is at
+        // most the optimal radius (which is itself a feasible member).
+        lower_bound: distances[t_idx],
+        probes,
+        luby_rounds,
+        work: meter.report(),
+    })
+}
+
+/// Runs the parallel k-center algorithm with an explicit radius deriver.
+///
+/// [`RadiusDeriver::Exact`] is [`parallel_kcenter_with`] verbatim — the binary
+/// search runs over the complete sorted distinct distance set, the exact
+/// 2-approximation of Theorem 6.1, and the run is refused past the oracle's
+/// 4 GiB scratch cap. [`RadiusDeriver::Sketch`] derives candidate radii from a
+/// deterministic O(√m)-ish sample instead (see [`parallel_kcenter_sketched`]),
+/// lifting k-center to instances whose full distance set cannot be
+/// materialised; the guarantee weakens to `radius ≤ 2·t` for a settled
+/// threshold `t` within one geometric sub-bucket (a few percent) of the
+/// smallest sampled feasible candidate.
+pub fn parallel_kcenter_derived(
+    inst: &ClusterInstance,
+    k: usize,
+    seed: u64,
+    policy: ExecPolicy,
+    graph: GraphBackend,
+    deriver: RadiusDeriver,
+) -> Result<KCenterSolution, String> {
+    match deriver {
+        RadiusDeriver::Exact => parallel_kcenter_with(inst, k, seed, policy, graph),
+        RadiusDeriver::Sketch => parallel_kcenter_sketched(inst, k, seed, policy, graph),
+    }
+}
+
+/// Number of sample nodes the sketch deriver draws candidate radii from.
+const SKETCH_SAMPLE: usize = 1024;
+
+/// Runs the parallel k-center algorithm with sampled candidate radii.
+///
+/// Instead of sorting all `n²` pairwise distances (refused beyond the 4 GiB
+/// scratch cap), the candidate set is the pairwise distances of a
+/// deterministic evenly-spaced sample of [`SKETCH_SAMPLE`] nodes, plus a
+/// diameter cap `2·max_j d(0, j)` (by the triangle inequality no threshold
+/// above the diameter can be infeasible, so the search space always contains
+/// a feasible candidate). Feasibility probing is coarse-to-fine in two
+/// geometric levels: the maxima of the **octave** buckets
+/// ([`BucketMapping::Geometric`] with zero mantissa bits) the sorted
+/// candidates fall into are probed ascending until one is feasible, and a
+/// binary search over the mantissa-refined sub-bucket maxima inside that
+/// octave settles the threshold to within one sub-bucket (a few percent) of
+/// the infeasible frontier. Probing ascending keeps every threshold graph the
+/// search builds within a constant factor of the settled one — on sparse CSR
+/// backends a probe's cost is its graph's edge count, so the classic midpoint
+/// binary search (whose first probe is the median candidate) would
+/// materialise enormous graphs on large instances — and stopping at
+/// sub-bucket granularity caps the number of expensive near-frontier probes
+/// at `log₂` of the per-octave refinement, instead of `log₂(candidates)`.
+///
+/// Deterministic for a fixed `seed` at any thread count and backend: the
+/// sample is value-independent, candidates are sorted, and each probe mixes
+/// the candidate index into the `MaxDom` seed exactly like the exact path.
+///
+/// # Errors
+/// Returns `Err` when the requested graph representation cannot be built.
+///
+/// # Panics
+/// Panics if `k == 0` or the instance is empty.
+pub fn parallel_kcenter_sketched(
+    inst: &ClusterInstance,
+    k: usize,
+    seed: u64,
+    policy: ExecPolicy,
+    graph: GraphBackend,
+) -> Result<KCenterSolution, String> {
+    let n = inst.n();
+    assert!(k >= 1, "k must be at least 1");
+    assert!(n >= 1, "instance must be non-empty");
+    let meter = CostMeter::new();
+
+    if n <= k {
+        return Ok(KCenterSolution {
+            centers: (0..n).collect(),
+            radius: 0.0,
+            threshold: 0.0,
+            lower_bound: 0.0,
+            probes: 0,
+            luby_rounds: 0,
+            work: meter.report(),
+        });
+    }
+
+    // Evenly spaced sample (the full node set when it fits): value-independent,
+    // so deterministic under every backend.
+    let s = n.min(SKETCH_SAMPLE);
+    let sample: Vec<usize> = if s == n {
+        (0..n).collect()
+    } else {
+        (0..s).map(|i| i * (n - 1) / (s - 1)).collect()
+    };
+    let mut candidates: Vec<f64> = Vec::with_capacity(s * s + 1);
+    let mut row = vec![0.0f64; s];
+    for &r in &sample {
+        inst.distances().row_gather(r, &sample, &mut row);
+        candidates.extend(row.iter().copied().filter(|d| *d > 0.0));
+    }
+    meter.add_primitive((s * s) as u64);
+
+    // Diameter cap: every node is within max_j d(0, j) of node 0, so by the
+    // triangle inequality twice that covers the true diameter and is always
+    // feasible (the threshold graph is complete, MaxDom selects one node).
+    let mut full_row = vec![0.0f64; n];
+    inst.distances().row_range_into(0, 0, &mut full_row);
+    meter.add_primitive(n as u64);
+    let reach = full_row.iter().copied().fold(0.0f64, f64::max);
+    candidates.push(2.0 * reach);
+
+    candidates.sort_unstable_by(f64::total_cmp);
+    candidates.dedup();
+    meter.add_sort(candidates.len() as u64);
+
+    let mut probes = 0usize;
+    let mut luby_rounds = 0usize;
+    let mut infeasible_below = 0.0f64;
+    let mut best: Option<(usize, Vec<NodeId>)> = None;
+    let probe = |idx: usize, luby_rounds: &mut usize| -> Result<Option<Vec<NodeId>>, String> {
+        let g = ThresholdGraph::build(inst.distances(), candidates[idx], graph)?;
+        meter.add_primitive((n * n) as u64);
+        let dom = max_dom(
+            &g,
+            seed ^ (idx as u64).wrapping_mul(0x9E37_79B9),
+            policy,
+            &meter,
+        );
+        *luby_rounds += dom.rounds;
+        Ok((dom.selected.len() <= k).then_some(dom.selected))
+    };
+
+    // Coarse pass: probe each octave bucket's largest candidate ascending
+    // until one is feasible; everything in earlier octaves is then known
+    // infeasible, so the refinement below only searches inside the winning
+    // octave (every remaining probe stays within 2× the settled threshold,
+    // which is what bounds the probe graphs' edge counts).
+    let coarse = BucketMapping::Geometric { mantissa_bits: 0 };
+    let mut lo = 0usize;
+    let mut hi = candidates.len() - 1;
+    let mut idx = 0usize;
+    while idx < candidates.len() {
+        let bucket = coarse.bucket_of(candidates[idx]);
+        let mut last = idx;
+        while last + 1 < candidates.len() && coarse.bucket_of(candidates[last + 1]) == bucket {
+            last += 1;
+        }
+        probes += 1;
+        match probe(last, &mut luby_rounds)? {
+            Some(centers) => {
+                best = Some((last, centers));
+                lo = idx;
+                hi = last;
+                break;
+            }
+            None => {
+                infeasible_below = candidates[last];
+                idx = last + 1;
+            }
+        }
+    }
+
+    // Refinement pass: bisect over the maxima of the mantissa-refined
+    // sub-buckets inside the winning octave (the coarse pass already
+    // certified `hi` feasible). Stopping at sub-bucket granularity — a few
+    // percent of the threshold value — caps the count of expensive
+    // near-frontier probes at log₂ of the refinement factor; descending to
+    // per-candidate bisection would pay that near-frontier graph cost
+    // log₂(candidates-in-octave) times for no meaningful precision gain.
+    if best.is_some() && lo < hi {
+        let fine = BucketMapping::geometric_default();
+        let mut maxima: Vec<usize> = Vec::new();
+        let mut i = lo;
+        while i <= hi {
+            let bucket = fine.bucket_of(candidates[i]);
+            let mut last = i;
+            while last < hi && fine.bucket_of(candidates[last + 1]) == bucket {
+                last += 1;
+            }
+            maxima.push(last);
+            i = last + 1;
+        }
+        let (mut blo, mut bhi) = (0usize, maxima.len() - 1);
+        // maxima[bhi] == hi, the octave probe already certified feasible.
+        while blo < bhi {
+            let mid = (blo + bhi) / 2;
+            probes += 1;
+            match probe(maxima[mid], &mut luby_rounds)? {
+                Some(centers) => {
+                    best = Some((maxima[mid], centers));
+                    bhi = mid;
+                }
+                None => {
+                    infeasible_below = infeasible_below.max(candidates[maxima[mid]]);
+                    blo = mid + 1;
+                }
+            }
+        }
+    }
+
+    let (t_idx, centers) = match best {
+        Some(found) => found,
+        None => {
+            // Unreachable thanks to the diameter cap, but keep the exact
+            // path's defensive fallback: the largest candidate is feasible.
+            let last = candidates.len() - 1;
+            probes += 1;
+            let g = ThresholdGraph::build(inst.distances(), candidates[last], graph)?;
+            let dom = max_dom(&g, seed, policy, &meter);
+            luby_rounds += dom.rounds;
+            (last, dom.selected)
+        }
+    };
+
+    let radius = inst.kcenter_cost(&centers);
+    Ok(KCenterSolution {
+        centers,
+        radius,
+        threshold: candidates[t_idx],
+        // A threshold with more than k dominators witnesses k + 1 points
+        // pairwise further apart than it, so it strictly lower-bounds the
+        // optimal radius; the sampled feasible threshold itself may overshoot
+        // the optimum and is NOT a valid certificate.
+        lower_bound: infeasible_below,
         probes,
         luby_rounds,
         work: meter.report(),
@@ -270,6 +513,123 @@ mod tests {
             assert_eq!(dense.probes, csr.probes, "seed {seed}");
             assert_eq!(dense.luby_rounds, csr.luby_rounds, "seed {seed}");
             assert_eq!(dense.work, csr.work, "seed {seed}: work counters diverge");
+        }
+    }
+
+    #[test]
+    fn sketch_deriver_is_deterministic_and_backend_invariant() {
+        for seed in 0..4 {
+            let inst = gen::clustering(GenParams::uniform_square(60, 60).with_seed(seed));
+            let a = parallel_kcenter_sketched(
+                &inst,
+                4,
+                seed,
+                ExecPolicy::Sequential,
+                GraphBackend::Dense,
+            )
+            .expect("dense feasible");
+            let b =
+                parallel_kcenter_sketched(&inst, 4, seed, ExecPolicy::Parallel, GraphBackend::Csr)
+                    .expect("csr feasible");
+            assert_eq!(a.centers, b.centers, "seed {seed}");
+            assert_eq!(a.radius, b.radius, "seed {seed}");
+            assert_eq!(a.threshold, b.threshold, "seed {seed}");
+            assert_eq!(a.lower_bound, b.lower_bound, "seed {seed}");
+            assert_eq!(a.probes, b.probes, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sketch_radius_bounded_and_lower_bound_valid() {
+        // The sketch's settled threshold may overshoot opt, but the structural
+        // guarantee radius ≤ 2·threshold must hold, and the reported lower
+        // bound (largest infeasible probe) must never exceed opt.
+        for seed in 0..5 {
+            let inst = gen::clustering(GenParams::uniform_square(14, 14).with_seed(seed));
+            for k in 1..4 {
+                let (_, opt) =
+                    lower_bounds::brute_force_kclustering(&inst, k, ClusterObjective::KCenter);
+                let sol = parallel_kcenter_sketched(
+                    &inst,
+                    k,
+                    seed,
+                    ExecPolicy::Sequential,
+                    GraphBackend::Dense,
+                )
+                .expect("feasible");
+                assert!(
+                    sol.radius <= 2.0 * sol.threshold + 1e-9,
+                    "seed {seed} k {k}: radius {} threshold {}",
+                    sol.radius,
+                    sol.threshold
+                );
+                assert!(
+                    sol.lower_bound <= opt + 1e-9,
+                    "seed {seed} k {k}: lower bound {} exceeds opt {opt}",
+                    sol.lower_bound
+                );
+                assert!(sol.centers.len() <= k);
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_stays_competitive_with_exact_on_full_sample() {
+        // With n ≤ SKETCH_SAMPLE the sample covers every positive pairwise
+        // distance, but the probe *sequence* still differs from the exact
+        // path (and maximal dominator sets make feasibility non-monotone in
+        // the threshold), so the two searches may settle on different
+        // feasible candidates. The sketch must stay within the same
+        // constant-factor regime.
+        for seed in 0..4 {
+            let inst = gen::clustering(GenParams::gaussian_clusters(40, 40, 5).with_seed(seed));
+            let exact =
+                parallel_kcenter_with(&inst, 5, seed, ExecPolicy::Parallel, GraphBackend::Dense)
+                    .expect("exact feasible");
+            let sketch = parallel_kcenter_sketched(
+                &inst,
+                5,
+                seed,
+                ExecPolicy::Parallel,
+                GraphBackend::Dense,
+            )
+            .expect("sketch feasible");
+            assert!(
+                sketch.radius <= 2.0 * exact.radius + 1e-9,
+                "seed {seed}: sketch radius {} vs exact {}",
+                sketch.radius,
+                exact.radius
+            );
+            assert!(
+                sketch.threshold <= 4.0 * exact.threshold + 1e-9 || exact.threshold == 0.0,
+                "seed {seed}: sketch threshold {} vs exact {}",
+                sketch.threshold,
+                exact.threshold
+            );
+            assert!(sketch.radius <= 2.0 * sketch.threshold + 1e-9);
+        }
+    }
+
+    #[test]
+    fn derived_exact_is_bit_identical_to_historical_path() {
+        for seed in 0..3 {
+            let inst = gen::clustering(GenParams::uniform_square(25, 25).with_seed(seed));
+            let a = parallel_kcenter_with(&inst, 3, seed, ExecPolicy::Parallel, GraphBackend::Csr)
+                .expect("feasible");
+            let b = parallel_kcenter_derived(
+                &inst,
+                3,
+                seed,
+                ExecPolicy::Parallel,
+                GraphBackend::Csr,
+                RadiusDeriver::Exact,
+            )
+            .expect("feasible");
+            assert_eq!(a.centers, b.centers);
+            assert_eq!(a.threshold.to_bits(), b.threshold.to_bits());
+            assert_eq!(a.lower_bound.to_bits(), b.lower_bound.to_bits());
+            assert_eq!(a.probes, b.probes);
+            assert_eq!(a.work, b.work);
         }
     }
 

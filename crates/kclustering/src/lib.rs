@@ -22,7 +22,10 @@ pub mod kcenter;
 pub mod local_search;
 pub mod solvers;
 
-pub use kcenter::{parallel_kcenter, parallel_kcenter_with, KCenterSolution};
+pub use kcenter::{
+    parallel_kcenter, parallel_kcenter_derived, parallel_kcenter_sketched, parallel_kcenter_with,
+    KCenterSolution,
+};
 pub use local_search::{
     parallel_kmeans, parallel_kmedian, ClusterObjective, KClusterSolution, LocalSearchConfig,
 };

@@ -5,7 +5,7 @@
 //! the native argument lists and repackage the solutions into [`Run`]
 //! envelopes.
 
-use crate::kcenter::parallel_kcenter_with;
+use crate::kcenter::parallel_kcenter_derived;
 use crate::local_search::{parallel_local_search, ClusterObjective, LocalSearchConfig};
 use parfaclo_api::{ProblemKind, Run, RunConfig, Solver};
 use parfaclo_metric::ClusterInstance;
@@ -53,15 +53,24 @@ impl Solver for KCenterSolver {
     }
 
     fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Result<Run, String> {
-        let sol = parallel_kcenter_with(inst, cfg.k, cfg.seed, cfg.policy, cfg.graph)?;
+        let sol = parallel_kcenter_derived(
+            inst,
+            cfg.k,
+            cfg.seed,
+            cfg.policy,
+            cfg.graph,
+            cfg.radius_deriver,
+        )?;
         let assignment = inst.center_assignment(&sol.centers);
         Ok(Run::new(Solver::name(self), ProblemKind::KClustering)
             .with_guarantee(Solver::guarantee(self))
             .with_instance_size(inst.n(), inst.n() * inst.n())
             .with_cost(sol.radius)
-            // The binary-search threshold is itself a lower bound on the
-            // optimal radius (see `KCenterSolution::threshold`).
-            .with_lower_bound(sol.threshold)
+            // With the exact deriver this equals the settled threshold (the
+            // smallest feasible member of the complete distance set); the
+            // sketch deriver certifies via its largest infeasible probe
+            // instead (see `KCenterSolution::lower_bound`).
+            .with_lower_bound(sol.lower_bound)
             .with_selected(sol.centers)
             .with_assignment(assignment)
             .with_rounds(sol.probes, sol.luby_rounds)

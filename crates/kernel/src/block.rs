@@ -268,7 +268,13 @@ pub fn count_within(
 /// Largest distance from `q` to `pts[start .. start + len]`
 /// (`-∞` for an empty range). `max` is an exact reduction, so the blocked
 /// scan equals any scalar fold over the same values.
-pub fn max_in_range(kind: DistanceKind, q: &[f64], pts: &SoaPoints, start: usize, len: usize) -> f64 {
+pub fn max_in_range(
+    kind: DistanceKind,
+    q: &[f64],
+    pts: &SoaPoints,
+    start: usize,
+    len: usize,
+) -> f64 {
     let mut buf = [0.0f64; TILE];
     let mut best = f64::NEG_INFINITY;
     let (mut pos, end) = (start, start + len);
@@ -395,7 +401,10 @@ mod tests {
             let mut out = vec![0.0; idxs.len()];
             dist_gather(kind, &q, &pts, &idxs, &mut out);
             for (j, &i) in idxs.iter().enumerate() {
-                assert_eq!(out[j].to_bits(), scalar_dist(kind, &q, &flat, dim, i).to_bits());
+                assert_eq!(
+                    out[j].to_bits(),
+                    scalar_dist(kind, &q, &flat, dim, i).to_bits()
+                );
             }
             // u32 indices give the same answers.
             let idxs32: Vec<u32> = idxs.iter().map(|&i| i as u32).collect();
@@ -482,17 +491,26 @@ mod tests {
         let pts = SoaPoints::from_flat(&flat, dim, n);
         let q = [1.0, 2.0, 3.0];
         for kind in ALL {
-            let all: Vec<f64> = (0..n).map(|i| scalar_dist(kind, &q, &flat, dim, i)).collect();
+            let all: Vec<f64> = (0..n)
+                .map(|i| scalar_dist(kind, &q, &flat, dim, i))
+                .collect();
             let max = all.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
             assert_eq!(max_in_range(kind, &q, &pts, 0, n), max);
-            let minpos = all.iter().copied().filter(|&d| d > 0.0).fold(f64::INFINITY, f64::min);
+            let minpos = all
+                .iter()
+                .copied()
+                .filter(|&d| d > 0.0)
+                .fold(f64::INFINITY, f64::min);
             assert_eq!(min_positive_in_range(kind, &q, &pts, 0, n), Some(minpos));
         }
         assert_eq!(
             max_in_range(DistanceKind::Euclidean, &q, &pts, 4, 0),
             f64::NEG_INFINITY
         );
-        assert_eq!(min_positive_in_range(DistanceKind::Euclidean, &q, &pts, 4, 0), None);
+        assert_eq!(
+            min_positive_in_range(DistanceKind::Euclidean, &q, &pts, 4, 0),
+            None
+        );
     }
 
     #[test]
@@ -508,7 +526,10 @@ mod tests {
                 .iter()
                 .map(|&i| scalar_dist(kind, &q, &flat, dim, i))
                 .sum();
-            assert_eq!(sum_gather(kind, &q, &pts, &idxs).to_bits(), expect.to_bits());
+            assert_eq!(
+                sum_gather(kind, &q, &pts, &idxs).to_bits(),
+                expect.to_bits()
+            );
         }
     }
 

@@ -22,7 +22,11 @@ impl SoaPoints {
     /// # Panics
     /// Panics if `coords.len() != n * dim`.
     pub fn from_flat(coords: &[f64], dim: usize, n: usize) -> Self {
-        assert_eq!(coords.len(), n * dim, "flat coordinate buffer has wrong length");
+        assert_eq!(
+            coords.len(),
+            n * dim,
+            "flat coordinate buffer has wrong length"
+        );
         let mut dims = vec![vec![0.0; n]; dim];
         for (d, axis) in dims.iter_mut().enumerate() {
             for (i, slot) in axis.iter_mut().enumerate() {

@@ -251,7 +251,25 @@ pub trait DistanceOracle {
     /// Maximum entry over the whole oracle (0.0 when empty).
     fn max_entry(&self) -> f64;
 
-    /// Minimum strictly positive entry, if any.
+    /// Minimum strictly positive entry, if any (`None` when every entry is
+    /// zero or the oracle is empty).
+    ///
+    /// # Contract
+    ///
+    /// The returned value anchors the primal-dual dual-level ladder when
+    /// preprocessing is disabled (`α₀ = min_pos/m²`), and through it the
+    /// bucket event engine's geometric bucket keys, so it must be:
+    ///
+    /// * **exact** — the bit-exact smallest entry satisfying `d > 0.0`, not
+    ///   an approximation (`-0.0` and `+0.0` are both excluded; denormals
+    ///   are positive and therefore *included*);
+    /// * **backend-invariant** — dense, implicit and spatial oracles over
+    ///   the same instance return the same bits (the blocked kernels
+    ///   evaluate the same arithmetic as the scalar path); and
+    /// * **thread-invariant** — parallel sweeps chunk by
+    ///   `deterministic_chunk_len` and combine partials with the exact
+    ///   `f64::min` (associative and commutative on non-NaN values), so the
+    ///   result is a pure function of the entries.
     fn min_positive_entry(&self) -> Option<f64>;
 
     /// All distinct entry values, sorted ascending (the k-center binary
@@ -466,7 +484,11 @@ impl ImplicitMetric {
     /// Decomposes a flat entry range (row-major `idx = row·cols + col`) into
     /// per-row contiguous column segments, in ascending order — the shape
     /// the blocked sweeps hand to the range kernels.
-    fn for_row_segments(&self, range: std::ops::Range<usize>, mut f: impl FnMut(usize, usize, usize)) {
+    fn for_row_segments(
+        &self,
+        range: std::ops::Range<usize>,
+        mut f: impl FnMut(usize, usize, usize),
+    ) {
         let cols = self.cols();
         let mut idx = range.start;
         while idx < range.end {
@@ -494,14 +516,26 @@ impl DistanceOracle for ImplicitMetric {
     }
 
     fn row_range_into(&self, row: usize, col_start: usize, out: &mut [f64]) {
-        block::dist_range(self.kind, self.from[row].coords(), &self.to_soa, col_start, out);
+        block::dist_range(
+            self.kind,
+            self.from[row].coords(),
+            &self.to_soa,
+            col_start,
+            out,
+        );
     }
 
     fn col_range_into(&self, col: usize, row_start: usize, out: &mut [f64]) {
         // The kernel computes (facility − client) displacements where the
         // scalar path computes (client − facility): IEEE negation symmetry
         // (see `DistanceKind::distance`) makes the values bit-identical.
-        block::dist_range(self.kind, self.to[col].coords(), &self.from_soa, row_start, out);
+        block::dist_range(
+            self.kind,
+            self.to[col].coords(),
+            &self.from_soa,
+            row_start,
+            out,
+        );
     }
 
     fn row_gather(&self, row: usize, cols: &[usize], out: &mut [f64]) {
@@ -546,14 +580,19 @@ impl DistanceOracle for ImplicitMetric {
             .par_iter()
             .with_min_len(chunk)
             .map(|p| {
-                block::argmin_ids(self.kind, p.coords(), &sub, &ids)
-                    .map(|(id, d)| (id as usize, d))
+                block::argmin_ids(self.kind, p.coords(), &sub, &ids).map(|(id, d)| (id as usize, d))
             })
             .collect()
     }
 
     fn row_min(&self, row: usize) -> Option<(usize, f64)> {
-        block::argmin_range(self.kind, self.from[row].coords(), &self.to_soa, 0, self.cols())
+        block::argmin_range(
+            self.kind,
+            self.from[row].coords(),
+            &self.to_soa,
+            0,
+            self.cols(),
+        )
     }
 
     fn rows_within(&self, col: usize, radius: f64) -> Vec<usize> {
@@ -1194,6 +1233,50 @@ mod tests {
         for c in 0..dense.cols() {
             assert_eq!(dense.col_to_vec(c), implicit.col_to_vec(c));
         }
+    }
+
+    #[test]
+    fn min_positive_entry_agrees_bit_for_bit_across_all_backends() {
+        // The primal-dual dual-level ladder (and through it the bucket event
+        // engine's keys) anchors on this value, so the three backends must
+        // return identical bits, not just approximately equal values.
+        let (dense, implicit, spatial) = triple();
+        let d = dense.min_positive_entry().expect("positive entries exist");
+        let i = implicit
+            .min_positive_entry()
+            .expect("positive entries exist");
+        let s = spatial
+            .min_positive_entry()
+            .expect("positive entries exist");
+        assert_eq!(d.to_bits(), i.to_bits());
+        assert_eq!(d.to_bits(), s.to_bits());
+        // And it is exactly the scalar-scan answer.
+        let mut expect = f64::INFINITY;
+        for r in 0..dense.rows() {
+            for c in 0..dense.cols() {
+                let v = dense.dist(r, c);
+                if v > 0.0 {
+                    expect = expect.min(v);
+                }
+            }
+        }
+        assert_eq!(d.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn min_positive_entry_is_exact_about_zero_and_denormals() {
+        // Strictly positive: +0.0 and -0.0 are excluded, denormals included
+        // (they are positive numbers, and the event-engine bucket mapping
+        // handles them).
+        let tiny = f64::from_bits(1);
+        let m = DistanceMatrix::from_rows(2, 2, vec![0.0, -0.0, tiny, 3.0]);
+        let oracle = Oracle::Dense(m);
+        assert_eq!(
+            oracle.min_positive_entry().map(f64::to_bits),
+            Some(tiny.to_bits())
+        );
+        let zeros = Oracle::Dense(DistanceMatrix::from_rows(2, 2, vec![0.0; 4]));
+        assert_eq!(zeros.min_positive_entry(), None);
     }
 
     #[test]

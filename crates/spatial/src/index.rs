@@ -90,7 +90,15 @@ impl Flat {
     /// The one scan behind both nearest and k-nearest.
     fn scan_into<A: Accumulator>(&self, q: &[f64], acc: &mut A) {
         assert_eq!(q.len(), self.dim, "query dimension mismatch");
-        scan_slots(self.metric, q, &self.soa, 0, self.len(), &self.slot_ids, acc);
+        scan_slots(
+            self.metric,
+            q,
+            &self.soa,
+            0,
+            self.len(),
+            &self.slot_ids,
+            acc,
+        );
     }
 
     fn nearest(&self, q: &[f64]) -> Option<(usize, f64)> {

@@ -99,9 +99,13 @@ fn gamma_bounds_bracket_algorithm_costs() {
 
 /// Work accounting sanity: the parallel primal-dual does `O(m)` work per round, so its
 /// recorded element operations are at most a small constant times `m × rounds` (plus the
-/// post-processing term), and the greedy presort records exactly one sort.
+/// post-processing term), and greedy's sort accounting pins each event engine's shape —
+/// the scan engine presorts every column exactly once up front, while the bucket engine
+/// replaces that single O(m log m) presort with many small lazy prefix expansions.
 #[test]
 fn work_accounting_is_plausible() {
+    use parfaclo_api::EventEngine;
+
     let inst = gen::facility_location(GenParams::uniform_square(64, 32).with_seed(2));
     let cfg = FlConfig::new(0.1).with_seed(2);
     let pd = primal_dual::parallel_primal_dual(&inst, &cfg);
@@ -113,6 +117,14 @@ fn work_accounting_is_plausible() {
         pd.work.element_ops
     );
 
-    let g = greedy::parallel_greedy(&inst, &cfg);
-    assert_eq!(g.work.sort_calls, 1, "greedy presorts exactly once");
+    let scan = greedy::parallel_greedy(&inst, &cfg.with_engine(EventEngine::Scan));
+    assert_eq!(scan.work.sort_calls, 1, "scan greedy presorts exactly once");
+
+    let bucket = greedy::parallel_greedy(&inst, &cfg.with_engine(EventEngine::Bucket));
+    assert!(
+        bucket.work.sort_calls > 1,
+        "bucket greedy expands lazily: many small sorts, never one full presort (got {})",
+        bucket.work.sort_calls
+    );
+    assert_eq!(scan.cost.to_bits(), bucket.cost.to_bits());
 }

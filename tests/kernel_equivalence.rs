@@ -129,8 +129,7 @@ fn blocked_kernels_bit_equal_scalar_at_tile_boundaries() {
                 let radius = scalar[if n >= 8 { 5 } else { 0 }];
                 let mut within = Vec::new();
                 block::collect_within(kind, &q, &pts, 0, n, radius, &mut within);
-                let ref_within: Vec<usize> =
-                    (0..n).filter(|&i| scalar[i] <= radius).collect();
+                let ref_within: Vec<usize> = (0..n).filter(|&i| scalar[i] <= radius).collect();
                 assert_eq!(within, ref_within, "collect dim {dim} n {n} {kind:?}");
                 assert_eq!(
                     block::count_within(kind, &q, &pts, 0, n, radius),
@@ -150,10 +149,12 @@ fn blocked_kernels_bit_equal_scalar_at_tile_boundaries() {
                     });
                 assert_eq!(minp.map(f64::to_bits), ref_minp.map(f64::to_bits));
                 let sum = block::sum_gather(kind, &q, &pts, &idxs);
-                let ref_sum = idxs
-                    .iter()
-                    .fold(0.0f64, |acc, &i| acc + scalar[i as usize]);
-                assert_eq!(sum.to_bits(), ref_sum.to_bits(), "sum dim {dim} n {n} {kind:?}");
+                let ref_sum = idxs.iter().fold(0.0f64, |acc, &i| acc + scalar[i as usize]);
+                assert_eq!(
+                    sum.to_bits(),
+                    ref_sum.to_bits(),
+                    "sum dim {dim} n {n} {kind:?}"
+                );
             }
         }
     }
