@@ -3,7 +3,7 @@
 use parfaclo_bucket::{EventEngine, RadiusDeriver};
 use parfaclo_graph::GraphBackend;
 use parfaclo_matrixops::ExecPolicy;
-use parfaclo_metric::Backend;
+use parfaclo_metric::{Backend, Coreset};
 
 /// Configuration accepted by every registered solver.
 ///
@@ -79,6 +79,16 @@ pub struct RunConfig {
     /// path, so it changes results (while keeping the 2-approximation
     /// structure) — which is why it is opt-in per run.
     pub radius_deriver: RadiusDeriver,
+    /// Coreset mode for the clustering solvers: `Off` (the default) solves
+    /// on the full instance; `Eps(ε)` aggregates the points into a
+    /// deterministic ε-grid coreset (one lowest-id medoid per occupied
+    /// cell, weighted by population), solves on that weighted sub-instance,
+    /// and finishes with one full-set assignment sweep. Like
+    /// `radius_deriver`, this changes results (the reported cost is the
+    /// full-set cost of the coreset-chosen centers) and is opt-in per run;
+    /// the output is still byte-identical at any thread count and backend.
+    /// Ignored by the facility-location and dominator solvers.
+    pub coreset: Coreset,
 }
 
 impl RunConfig {
@@ -104,6 +114,7 @@ impl RunConfig {
             graph: GraphBackend::Dense,
             engine: EventEngine::default(),
             radius_deriver: RadiusDeriver::default(),
+            coreset: Coreset::Off,
         }
     }
 
@@ -193,6 +204,12 @@ impl RunConfig {
         self.radius_deriver = radius_deriver;
         self
     }
+
+    /// Replaces the clustering coreset mode.
+    pub fn with_coreset(mut self, coreset: Coreset) -> Self {
+        self.coreset = coreset;
+        self
+    }
 }
 
 impl Default for RunConfig {
@@ -225,7 +242,8 @@ mod tests {
             .with_backend(Backend::Implicit)
             .with_graph(GraphBackend::Csr)
             .with_engine(EventEngine::Scan)
-            .with_radius_deriver(RadiusDeriver::Sketch);
+            .with_radius_deriver(RadiusDeriver::Sketch)
+            .with_coreset(Coreset::Eps(0.25));
         assert_eq!(cfg.epsilon, 0.25);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.policy, ExecPolicy::Sequential);
@@ -240,6 +258,7 @@ mod tests {
         assert_eq!(cfg.graph, GraphBackend::Csr);
         assert_eq!(cfg.engine, EventEngine::Scan);
         assert_eq!(cfg.radius_deriver, RadiusDeriver::Sketch);
+        assert_eq!(cfg.coreset, Coreset::Eps(0.25));
     }
 
     #[test]
@@ -258,6 +277,7 @@ mod tests {
             RadiusDeriver::Exact,
             "the exact deriver preserves the paper's k-center bytes"
         );
+        assert_eq!(cfg.coreset, Coreset::Off, "coresets are opt-in");
     }
 
     #[test]

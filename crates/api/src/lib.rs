@@ -76,6 +76,11 @@ pub use trial::TrialStats;
 /// directly.
 pub use parfaclo_metric::Backend;
 
+/// Re-exports of the coreset selector and the unified instance-construction
+/// error so API consumers can configure [`RunConfig::coreset`] and handle
+/// [`SolveError::Build`] without depending on `parfaclo-metric` directly.
+pub use parfaclo_metric::{BuildError, Coreset};
+
 /// Re-export of the threshold-graph representation selector so API consumers
 /// can configure [`RunConfig::graph`] without depending on `parfaclo-graph`
 /// directly.

@@ -2,7 +2,7 @@
 
 use crate::config::RunConfig;
 use crate::run::{ProblemKind, Run};
-use parfaclo_metric::{Backend, ClusterInstance, FlInstance};
+use parfaclo_metric::{Backend, BuildError, ClusterInstance, FlInstance};
 use std::time::Instant;
 
 /// A solver for one problem family, with its native instance and config
@@ -150,6 +150,16 @@ pub enum SolveError {
         /// Human-readable explanation, including the suggested fix.
         reason: String,
     },
+    /// The instance could not be constructed in the first place (dense
+    /// overflow or a byte-cap refusal) — the unified [`BuildError`] mapped
+    /// in at the registry boundary.
+    Build(BuildError),
+}
+
+impl From<BuildError> for SolveError {
+    fn from(e: BuildError) -> Self {
+        SolveError::Build(e)
+    }
 }
 
 impl std::fmt::Display for SolveError {
@@ -162,6 +172,7 @@ impl std::fmt::Display for SolveError {
             SolveError::Infeasible { solver, reason } => {
                 write!(f, "solver '{solver}': {reason}")
             }
+            SolveError::Build(e) => e.fmt(f),
         }
     }
 }

@@ -13,7 +13,7 @@
 
 use crate::runner::{run_solver_cached, GenSpec, InstanceCache};
 use parfaclo_api::json::{JsonObject, JsonValue};
-use parfaclo_api::{Backend, GraphBackend, Registry, Run, RunConfig, TrialStats};
+use parfaclo_api::{Backend, Coreset, GraphBackend, Registry, Run, RunConfig, TrialStats};
 use parfaclo_matrixops::{CostReport, ExecPolicy};
 
 /// Schema tag of the matrix-benchmark artifact; bump on shape changes.
@@ -250,6 +250,11 @@ pub struct BenchMatrix {
     /// facility-location solvers never build a threshold graph, so sweeping
     /// them over graph backends would duplicate identical cells.
     pub graphs: Vec<GraphBackend>,
+    /// Coreset settings to sweep. Only the clustering solvers (see
+    /// [`solver_uses_coreset`]) fan out over this axis — the
+    /// facility-location and dominator solvers ignore the knob, so sweeping
+    /// them over coresets would duplicate identical cells.
+    pub coresets: Vec<Coreset>,
     /// Thread counts to sweep.
     pub threads: Vec<usize>,
     /// Untimed warmup runs per cell (page in the instance, warm the
@@ -279,6 +284,7 @@ impl Default for BenchMatrix {
             nf: 64,
             backends: vec![Backend::Dense, Backend::Implicit, Backend::Spatial],
             graphs: vec![GraphBackend::Dense, GraphBackend::Csr],
+            coresets: vec![Coreset::Off],
             threads: vec![1, 4],
             warmup: 1,
             trials: 3,
@@ -295,20 +301,36 @@ pub fn solver_uses_graph(name: &str) -> bool {
     matches!(name, "maxdom" | "mis" | "kcenter")
 }
 
+/// Whether a registry solver consults the [`RunConfig::coreset`] knob — and
+/// therefore whether the bench matrix's coreset axis applies to it. The
+/// knob belongs to the k-clustering family (hierarchical coreset solve);
+/// every other solver ignores it, so sweeping coresets over it would
+/// measure identical cells twice.
+pub fn solver_uses_coreset(name: &str) -> bool {
+    matches!(name, "kcenter" | "kmedian-ls" | "kmeans-ls")
+}
+
 impl BenchMatrix {
     /// Number of cells the matrix will measure: graph-touching solvers fan
-    /// out over the graph axis, the rest contribute one cell per
-    /// (workload, backend, thread) combination.
+    /// out over the graph axis, coreset-aware solvers over the coreset
+    /// axis; the rest contribute one cell per (workload, backend, thread)
+    /// combination.
     pub fn cells(&self) -> usize {
         let solver_cells: usize = self
             .solvers
             .iter()
             .map(|s| {
-                if solver_uses_graph(s) {
+                let graphs = if solver_uses_graph(s) {
                     self.graphs.len()
                 } else {
                     1
-                }
+                };
+                let coresets = if solver_uses_coreset(s) {
+                    self.coresets.len()
+                } else {
+                    1
+                };
+                graphs * coresets
             })
             .sum();
         solver_cells * self.workloads.len() * self.backends.len() * self.threads.len()
@@ -319,6 +341,7 @@ impl BenchMatrix {
             || self.workloads.is_empty()
             || self.backends.is_empty()
             || self.graphs.is_empty()
+            || self.coresets.is_empty()
             || self.threads.is_empty()
         {
             return Err("bench matrix has an empty dimension".to_string());
@@ -349,6 +372,9 @@ pub struct BenchRecord {
     /// Threshold-graph representation the cell ran under (always `Dense`
     /// for solvers that never build a threshold graph).
     pub graph: GraphBackend,
+    /// Coreset setting the cell ran under (always `Off` for solvers that
+    /// ignore the knob).
+    pub coreset: Coreset,
     /// Worker threads the cell ran on.
     pub threads: usize,
     /// Wall-clock statistics over the timed trials.
@@ -369,7 +395,7 @@ impl BenchRecord {
     /// measured on differently-shaped instances must never be compared as
     /// if they were the same workload.
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "{}/{}:n={},nf={},c={}/{}:t={}/g={}",
             self.solver,
             self.workload,
@@ -379,7 +405,14 @@ impl BenchRecord {
             self.backend.as_str(),
             self.threads,
             self.graph.as_str()
-        )
+        );
+        // Appended only when set, so the keys of every cell measured before
+        // the coreset axis existed — including all committed baselines —
+        // stay byte-identical and keep joining.
+        if self.coreset != Coreset::Off {
+            key.push_str(&format!("/cs={}", self.coreset));
+        }
+        key
     }
 
     fn to_json_value(&self) -> JsonValue {
@@ -391,6 +424,7 @@ impl BenchRecord {
             .uint("clusters", self.clusters as u64)
             .string("backend", self.backend.as_str())
             .string("graph", self.graph.as_str())
+            .string("coreset", &self.coreset.as_string())
             .uint("threads", self.threads as u64)
             .field("wall_ms", self.stats.to_json_value())
             .uint("memory_bytes", self.memory_bytes)
@@ -442,6 +476,15 @@ impl BenchRecord {
                 Some(v) => v
                     .as_str()
                     .ok_or_else(|| "bench record field 'graph' must be a string".to_string())?
+                    .parse()?,
+            },
+            // Optional on parse: artifacts written before the coreset axis
+            // existed all measured the full-instance path.
+            coreset: match value.get("coreset") {
+                None => Coreset::Off,
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| "bench record field 'coreset' must be a string".to_string())?
                     .parse()?,
             },
             threads: uint(value, "threads")? as usize,
@@ -605,55 +648,65 @@ pub fn run_matrix(
                 } else {
                     &[GraphBackend::Dense]
                 };
+                let coresets: &[Coreset] = if solver_uses_coreset(solver) {
+                    &matrix.coresets
+                } else {
+                    &[Coreset::Off]
+                };
                 for &graph in graphs {
-                    for &threads in &matrix.threads {
-                        let cfg = base
-                            .clone()
-                            .with_backend(backend)
-                            .with_graph(graph)
-                            .with_threads(threads);
-                        for _ in 0..matrix.warmup {
-                            run_solver_cached(registry, solver, &mut cache, &cfg)?;
-                        }
-                        let mut samples = Vec::with_capacity(matrix.trials);
-                        let mut first: Option<Run> = None;
-                        let mut deterministic = true;
-                        for _ in 0..matrix.trials {
-                            let run = run_solver_cached(registry, solver, &mut cache, &cfg)?;
-                            samples.push(run.wall_ms);
-                            match &first {
-                                None => first = Some(run),
-                                Some(f) => {
-                                    deterministic &= f.canonical_json() == run.canonical_json();
+                    for &coreset in coresets {
+                        for &threads in &matrix.threads {
+                            let cfg = base
+                                .clone()
+                                .with_backend(backend)
+                                .with_graph(graph)
+                                .with_coreset(coreset)
+                                .with_threads(threads);
+                            for _ in 0..matrix.warmup {
+                                run_solver_cached(registry, solver, &mut cache, &cfg)?;
+                            }
+                            let mut samples = Vec::with_capacity(matrix.trials);
+                            let mut first: Option<Run> = None;
+                            let mut deterministic = true;
+                            for _ in 0..matrix.trials {
+                                let run = run_solver_cached(registry, solver, &mut cache, &cfg)?;
+                                samples.push(run.wall_ms);
+                                match &first {
+                                    None => first = Some(run),
+                                    Some(f) => {
+                                        deterministic &= f.canonical_json() == run.canonical_json();
+                                    }
                                 }
                             }
+                            let first = first.expect("trials >= 1 checked in validate");
+                            if !deterministic {
+                                return Err(format!(
+                                    "solver '{solver}' on workload '{workload}' \
+                                     (backend {}, graph {}, coreset {coreset}, threads \
+                                     {threads}) produced different canonical JSON across \
+                                     trials — determinism contract violated",
+                                    backend.as_str(),
+                                    graph.as_str()
+                                ));
+                            }
+                            let stats = TrialStats::from_samples(&samples);
+                            records.push(BenchRecord {
+                                solver: solver.clone(),
+                                workload: workload.clone(),
+                                n: spec.n,
+                                nf: spec.nf,
+                                clusters: spec.clusters,
+                                backend,
+                                graph,
+                                coreset,
+                                threads: first.threads,
+                                stats: stats.clone(),
+                                memory_bytes: first.memory_bytes,
+                                work: first.work,
+                                deterministic,
+                            });
+                            runs.push(first.with_trials(stats));
                         }
-                        let first = first.expect("trials >= 1 checked in validate");
-                        if !deterministic {
-                            return Err(format!(
-                                "solver '{solver}' on workload '{workload}' \
-                                 (backend {}, graph {}, threads {threads}) produced different \
-                                 canonical JSON across trials — determinism contract violated",
-                                backend.as_str(),
-                                graph.as_str()
-                            ));
-                        }
-                        let stats = TrialStats::from_samples(&samples);
-                        records.push(BenchRecord {
-                            solver: solver.clone(),
-                            workload: workload.clone(),
-                            n: spec.n,
-                            nf: spec.nf,
-                            clusters: spec.clusters,
-                            backend,
-                            graph,
-                            threads: first.threads,
-                            stats: stats.clone(),
-                            memory_bytes: first.memory_bytes,
-                            work: first.work,
-                            deterministic,
-                        });
-                        runs.push(first.with_trials(stats));
                     }
                 }
             }
@@ -805,6 +858,7 @@ mod tests {
             clusters: 8,
             backend: Backend::Dense,
             graph: GraphBackend::Dense,
+            coreset: Coreset::Off,
             threads: 1,
             stats: TrialStats {
                 trials: 3,
@@ -945,6 +999,7 @@ mod tests {
             nf: 12,
             backends: vec![Backend::Dense],
             graphs: vec![GraphBackend::Dense],
+            coresets: vec![Coreset::Off],
             threads: vec![1, 2],
             warmup: 1,
             trials: 3,
@@ -1011,7 +1066,55 @@ mod tests {
         assert!(m.backends.contains(&Backend::Implicit));
         assert!(m.backends.contains(&Backend::Spatial));
         assert!(m.graphs.contains(&GraphBackend::Csr));
+        // Coresets are opt-in: the default axis is the full-instance path
+        // only, so committed baselines keep their historical cell count.
+        assert_eq!(m.coresets, vec![Coreset::Off]);
         assert!(m.threads.contains(&1) && m.threads.len() > 1);
+    }
+
+    #[test]
+    fn coreset_axis_sweeps_only_clustering_solvers() {
+        let registry = standard_registry();
+        let matrix = BenchMatrix {
+            solvers: vec!["greedy".to_string(), "kmedian-ls".to_string()],
+            workloads: vec!["uniform".to_string()],
+            n: 48,
+            nf: 24,
+            backends: vec![Backend::Dense],
+            graphs: vec![GraphBackend::Dense],
+            coresets: vec![Coreset::Off, Coreset::Eps(0.25)],
+            threads: vec![1],
+            warmup: 0,
+            trials: 2,
+        };
+        let base = RunConfig::new(0.1).with_seed(5).with_k(3);
+        let (artifact, _) = run_matrix(&registry, &matrix, &base).unwrap();
+        assert_eq!(artifact.records.len(), matrix.cells());
+        assert_eq!(matrix.cells(), 3, "greedy x1 + kmedian-ls x2 coresets");
+        let greedy: Vec<_> = artifact
+            .records
+            .iter()
+            .filter(|r| r.solver == "greedy")
+            .collect();
+        assert_eq!(greedy.len(), 1, "non-clustering solver must not fan out");
+        assert_eq!(greedy[0].coreset, Coreset::Off);
+        let kmedian: Vec<_> = artifact
+            .records
+            .iter()
+            .filter(|r| r.solver == "kmedian-ls")
+            .collect();
+        assert_eq!(kmedian.len(), 2);
+        assert_ne!(kmedian[0].key(), kmedian[1].key());
+        assert!(kmedian.iter().any(|r| r.coreset == Coreset::Eps(0.25)));
+        // The coreset cell key carries the axis; the off cell's key is the
+        // historical (pre-axis) spelling, so old baselines keep joining.
+        let off = kmedian.iter().find(|r| r.coreset == Coreset::Off).unwrap();
+        assert!(!off.key().contains("cs="), "{}", off.key());
+        let eps = kmedian.iter().find(|r| r.coreset != Coreset::Off).unwrap();
+        assert!(eps.key().ends_with("/cs=eps:0.25"), "{}", eps.key());
+        // And the artifact with coreset cells round-trips.
+        let back = BenchArtifact::parse(&artifact.to_json()).unwrap();
+        assert_eq!(back, artifact);
     }
 
     #[test]
@@ -1024,6 +1127,7 @@ mod tests {
             nf: 12,
             backends: vec![Backend::Dense],
             graphs: vec![GraphBackend::Dense, GraphBackend::Csr],
+            coresets: vec![Coreset::Off],
             threads: vec![1],
             warmup: 0,
             trials: 1,

@@ -11,7 +11,7 @@
 //! parfaclo ablation --gen uniform:n=128,nf=64 --json ablation.json
 //! ```
 
-use parfaclo_api::{Backend, GraphBackend, ProblemKind, Registry, Run, RunConfig};
+use parfaclo_api::{Backend, Coreset, GraphBackend, ProblemKind, Registry, Run, RunConfig};
 use parfaclo_bench::bench::{compare, run_matrix, BenchArtifact, BenchMatrix};
 use parfaclo_bench::runner::{
     run_solver, run_solver_cached, runs_to_json, table_header, table_row, GenSpec, InstanceCache,
@@ -27,8 +27,13 @@ USAGE:
     parfaclo list
         List every registered solver (name, problem, guarantee, paper ref).
 
-    parfaclo run --solver <name> [options]
-        Run one solver on a generated instance and print/emit its Run record.
+    parfaclo run <name> [options]
+        Run one solver on a generated instance and print/emit its Run
+        record. The solver can be named positionally or via --solver;
+        kmedian-local and kmeans-local are accepted as aliases for the
+        registry names kmedian-ls and kmeans-ls. Example:
+        parfaclo run kmedian-local --gen xxlarge --backend spatial \\
+            --coreset eps:0.1
 
     parfaclo suite [--solvers a,b,c] [options]
         Run a set of solvers (default: all) over the standard workload
@@ -101,6 +106,18 @@ OPTIONS:
                         to the sparse-large/sparse-xlarge/xlarge presets.
                         sketch may settle on a different (sampled) radius
                         than exact                       [default: exact]
+    --coreset <c>       Clustering coreset: off solves on the full
+                        instance; eps:<f64> snaps the points to a uniform
+                        grid with ceil(1/eps) cells per axis, solves on
+                        one lowest-id medoid per occupied cell (weighted
+                        by cell population), then assigns every original
+                        point in one sweep — the path that lifts the
+                        k-clustering solvers to the xxlarge preset. The
+                        run reports both the full-set cost (cost) and the
+                        coreset-internal cost (extra.coreset_cost).
+                        Byte-identical at any thread count and backend;
+                        ignored by the facility-location and dominator
+                        solvers                          [default: off]
     --eps <f>           Slack parameter epsilon > 0      [default: 0.1]
     --seed <n>          RNG seed                         [default: 0]
     --k <n>             Centers for clustering solvers   [default: 8]
@@ -129,6 +146,10 @@ BENCH OPTIONS (parfaclo bench only):
     --graphs <a,b>      Threshold-graph representations to sweep for the
                         graph-backed solvers (dense,csr); non-graph
                         solvers always run once   [default: dense,csr]
+    --coresets <a,b>    Coreset settings to sweep for the k-clustering
+                        solvers (off and/or eps:<f64> entries);
+                        non-clustering solvers always run once
+                        [default: off]
     --thread-list <a,b> Thread counts to sweep           [default: 1,4]
     --warmup <n>        Untimed warmup runs per cell     [default: 1]
     --trials <n>        Timed trials per cell            [default: 3]
@@ -157,6 +178,9 @@ struct Options {
     /// Whether --gen was passed explicitly (suite honours its dimensions).
     gen_given: bool,
     cfg: RunConfig,
+    /// Bare (non-flag) arguments, e.g. the solver name in `parfaclo run
+    /// greedy`. Consumed by `run`; rejected by the other subcommands.
+    positional: Vec<String>,
     solver: Option<String>,
     solvers: Option<Vec<String>>,
     size: usize,
@@ -171,6 +195,8 @@ struct Options {
     backends: Option<Vec<Backend>>,
     /// bench: threshold-graph representation subset.
     graphs: Option<Vec<GraphBackend>>,
+    /// bench: coreset settings to sweep.
+    coresets: Option<Vec<Coreset>>,
     /// bench: thread counts to sweep.
     thread_list: Option<Vec<usize>>,
     /// bench: untimed warmup runs per cell.
@@ -190,6 +216,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut gen = GenSpec::parse("uniform:n=200")?;
     let mut gen_given = false;
     let mut cfg = RunConfig::new(0.1).with_k(8);
+    let mut positional = Vec::new();
     let mut solver = None;
     let mut solvers = None;
     let mut size = 64usize;
@@ -200,6 +227,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut workloads = None;
     let mut backends = None;
     let mut graphs = None;
+    let mut coresets = None;
     let mut thread_list = None;
     let mut warmup = 1usize;
     let mut trials = 3usize;
@@ -270,6 +298,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--backend" => cfg.backend = value("--backend")?.parse()?,
             "--graph" => cfg.graph = value("--graph")?.parse()?,
+            "--coreset" => cfg.coreset = value("--coreset")?.parse()?,
             "--event-engine" => cfg.engine = value("--event-engine")?.parse()?,
             "--radius-deriver" => cfg.radius_deriver = value("--radius-deriver")?.parse()?,
             "--no-preprocess" => cfg.preprocess = false,
@@ -333,6 +362,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .collect::<Result<Vec<_>, _>>()?,
                 )
             }
+            "--coresets" => {
+                coresets = Some(
+                    value("--coresets")?
+                        .split(',')
+                        .map(|s| s.trim().parse::<Coreset>())
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
             "--thread-list" => {
                 let list: Vec<usize> = value("--thread-list")?
                     .split(',')
@@ -368,13 +405,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 fail_on_regress = Some(pct);
             }
-            other => return Err(format!("unknown option '{other}'\n\n{USAGE}")),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'\n\n{USAGE}"))
+            }
+            bare => positional.push(bare.to_string()),
         }
     }
     Ok(Options {
         gen,
         gen_given,
         cfg,
+        positional,
         solver,
         solvers,
         size,
@@ -385,6 +426,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         workloads,
         backends,
         graphs,
+        coresets,
         thread_list,
         warmup,
         trials,
@@ -448,20 +490,59 @@ fn emit(runs: &[Run], json: Option<&str>, quiet: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// CLI-level solver-name aliases. The registry requires unique names, so
+/// the objective-spelled variants live here: `kmedian-local` and
+/// `kmeans-local` name the same swap-based local searches as the registry's
+/// `kmedian-ls` / `kmeans-ls`.
+fn resolve_solver_alias(name: &str) -> &str {
+    match name {
+        "kmedian-local" => "kmedian-ls",
+        "kmeans-local" => "kmeans-ls",
+        other => other,
+    }
+}
+
 fn cmd_run(registry: &Registry, opts: Options) -> Result<(), String> {
-    let solver = opts.solver.as_deref().ok_or_else(|| {
-        format!(
-            "run needs --solver <name>; available: {}",
-            registry.names().join(", ")
-        )
-    })?;
+    let solver = match (&opts.solver, opts.positional.as_slice()) {
+        (Some(_), [extra, ..]) => {
+            return Err(format!(
+                "run got both --solver and a positional solver name '{extra}'; pass one"
+            ))
+        }
+        (Some(name), []) => name.clone(),
+        (None, [name]) => name.clone(),
+        (None, []) => {
+            return Err(format!(
+                "run needs a solver name (positional or --solver); available: {}",
+                registry.names().join(", ")
+            ))
+        }
+        (None, extra) => {
+            return Err(format!(
+                "run takes one solver name, got {}: {}",
+                extra.len(),
+                extra.join(", ")
+            ))
+        }
+    };
+    let solver = resolve_solver_alias(&solver);
     let run = run_solver(registry, solver, &opts.gen, &opts.cfg)?;
     run.validate()
         .map_err(|e| format!("solver '{solver}' produced a structurally invalid run: {e}"))?;
     emit(std::slice::from_ref(&run), opts.json.as_deref(), opts.quiet)
 }
 
+/// The non-`run` subcommands take no bare arguments; a stray one is most
+/// likely a typo'd flag value, so fail instead of silently ignoring it.
+fn reject_positional(command: &str, opts: &Options) -> Result<(), String> {
+    match opts.positional.first() {
+        Some(extra) => Err(format!("{command} takes no positional argument '{extra}'")),
+        None => Ok(()),
+    }
+}
+
 fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
+    reject_positional("suite", &opts)?;
     let names: Vec<String> = match &opts.solvers {
         Some(list) => list.clone(),
         None => registry.names().iter().map(|s| s.to_string()).collect(),
@@ -562,6 +643,7 @@ fn write_artifact(path: &str, payload: &str, force: bool, quiet: bool) -> Result
 }
 
 fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
+    reject_positional("bench", &opts)?;
     // A gate with nothing to gate against is a CI invocation bug, not a
     // no-op: fail loudly instead of exiting green forever.
     if opts.fail_on_regress.is_some() && opts.baseline.is_none() {
@@ -579,6 +661,14 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
     }
     if let Some(graphs) = &opts.graphs {
         matrix.graphs = graphs.clone();
+    }
+    if let Some(coresets) = &opts.coresets {
+        matrix.coresets = coresets.clone();
+    }
+    // A bare --coreset would silently apply to every clustering cell while
+    // staying invisible in the matrix header; the sweep axis is explicit.
+    if opts.coresets.is_none() && opts.cfg.coreset != Coreset::Off {
+        matrix.coresets = vec![opts.cfg.coreset];
     }
     // --thread-list defines the sweep; a bare --threads pins the sweep to
     // that single count. Passing both is ambiguous, not silently resolved.
@@ -621,13 +711,14 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
     if !opts.quiet {
         println!(
             "bench: {} solvers x {} workloads x {} backends x {} thread counts \
-             (graph solvers x {} graphs) = {} cells, {} warmup + {} trials each, \
-             n = {}, nf = {}\n",
+             (graph solvers x {} graphs, clustering solvers x {} coresets) = \
+             {} cells, {} warmup + {} trials each, n = {}, nf = {}\n",
             matrix.solvers.len(),
             matrix.workloads.len(),
             matrix.backends.len(),
             matrix.threads.len(),
             matrix.graphs.len(),
+            matrix.coresets.len(),
             matrix.cells(),
             matrix.warmup,
             matrix.trials,
@@ -642,6 +733,7 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
             "workload",
             "backend",
             "graph",
+            "coreset",
             "thr",
             "min_ms",
             "median_ms",
@@ -656,6 +748,7 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
                 rec.workload.clone(),
                 rec.backend.as_str().to_string(),
                 rec.graph.as_str().to_string(),
+                rec.coreset.as_string(),
                 rec.threads.to_string(),
                 format!("{:.3}", rec.stats.min_ms),
                 format!("{:.3}", rec.stats.median_ms),
@@ -740,6 +833,7 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
 }
 
 fn cmd_ablation(registry: &Registry, opts: Options) -> Result<(), String> {
+    reject_positional("ablation", &opts)?;
     let mut runs = Vec::new();
     // One generated instance serves the whole grid (the knobs and ε vary,
     // the workload and seed do not).

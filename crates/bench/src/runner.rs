@@ -4,7 +4,9 @@
 //! Kept in the library (rather than the binary) so the conformance tests can
 //! exercise exactly the code path the CLI runs.
 
-use parfaclo_api::{AnyInstance, Backend, ProblemKind, Registry, Run, RunConfig};
+use parfaclo_api::{
+    AnyInstance, Backend, BuildError, ProblemKind, Registry, Run, RunConfig, SolveError,
+};
 use parfaclo_metric::gen::{self, GenParams};
 
 /// A parsed `--gen` specification, e.g. `uniform:n=2000,k=40`.
@@ -163,7 +165,7 @@ impl GenSpec {
         problem: ProblemKind,
         fallback_seed: u64,
         backend: Backend,
-    ) -> Result<AnyInstance, String> {
+    ) -> Result<AnyInstance, BuildError> {
         if backend == Backend::Dense {
             let cols = match problem {
                 ProblemKind::FacilityLocation => self.nf,
@@ -171,22 +173,20 @@ impl GenSpec {
             };
             let bytes = (self.n as u128) * (cols as u128) * 8;
             if bytes > DENSE_BYTES_CAP as u128 {
-                return Err(format!(
-                    "the dense backend would materialise a {:.1} GiB distance matrix \
-                     ({} x {cols}); use --backend implicit or --backend spatial, which \
-                     stay O(points) at any size (e.g. `--gen xxlarge --backend spatial`)",
-                    bytes as f64 / (1u64 << 30) as f64,
-                    self.n,
-                ));
+                return Err(BuildError::DenseBytesExceedCap {
+                    rows: self.n,
+                    cols,
+                    cap_bytes: DENSE_BYTES_CAP,
+                });
             }
         }
         let params = self.params(fallback_seed);
         match problem {
             ProblemKind::FacilityLocation => {
-                gen::facility_location_with(params, backend).map(AnyInstance::Fl)
+                gen::build_facility_location(params, backend).map(AnyInstance::Fl)
             }
             ProblemKind::KClustering | ProblemKind::DominatorSet => {
-                gen::clustering_with(params, backend).map(AnyInstance::Cluster)
+                gen::build_clustering(params, backend).map(AnyInstance::Cluster)
             }
         }
     }
@@ -230,7 +230,7 @@ impl<'a> InstanceCache<'a> {
     /// The instance variant the given problem family consumes, generated on
     /// first use. Errors if dense generation is requested at an overflowing
     /// size.
-    pub fn get(&mut self, problem: ProblemKind) -> Result<&AnyInstance, String> {
+    pub fn get(&mut self, problem: ProblemKind) -> Result<&AnyInstance, BuildError> {
         let (spec, seed, backend) = (self.spec, self.fallback_seed, self.backend);
         let slot = match problem {
             ProblemKind::FacilityLocation => &mut self.fl,
@@ -271,7 +271,12 @@ pub fn run_solver_cached(
             registry.names().join(", ")
         )
     })?;
-    let inst = cache.get(entry.problem())?;
+    // Construction failures become `SolveError::Build` here — the registry
+    // boundary — so callers see one error type family for "could not build"
+    // and "could not solve" alike.
+    let inst = cache
+        .get(entry.problem())
+        .map_err(|e| SolveError::from(e).to_string())?;
     entry.run(inst, cfg).map_err(|e| e.to_string())
 }
 
@@ -405,7 +410,8 @@ mod tests {
                 0,
                 parfaclo_api::Backend::Dense,
             )
-            .unwrap_err();
+            .unwrap_err()
+            .to_string();
         assert!(
             err.contains("spatial"),
             "error must point at spatial: {err}"

@@ -100,7 +100,8 @@ impl Default for LocalSearchConfig {
 pub struct KClusterSolution {
     /// Final centers (exactly `min(k, n)` of them, sorted ascending).
     pub centers: Vec<NodeId>,
-    /// Final objective value.
+    /// Final objective value (weighted, when the instance carries per-node
+    /// weights).
     pub cost: f64,
     /// Objective value of the k-center-based initial solution.
     pub initial_cost: f64,
@@ -187,11 +188,14 @@ pub fn parallel_local_search(
         }
     }
 
+    // Per-node weights (coreset cell populations) scale each node's term;
+    // an unweighted instance multiplies by 1.0, which is bitwise identity,
+    // so the historical unweighted outputs are byte-for-byte unchanged.
     let eval = |centers: &[NodeId]| -> f64 {
         (0..n)
             .map(|j| {
                 let d = inst.closest_center(j, centers).unwrap().1;
-                objective.cost_of(d)
+                inst.weight(j) * objective.cost_of(d)
             })
             .sum()
     };
@@ -237,7 +241,7 @@ pub fn parallel_local_search(
                     for (j, &dj) in col.iter().enumerate() {
                         let (ci, d1, d2) = nearest[j];
                         let keep = if ci == pos { d2 } else { d1 };
-                        sum += objective.cost_of(keep.min(dj));
+                        sum += inst.weight(j) * objective.cost_of(keep.min(dj));
                     }
                     (pos, add, sum)
                 })
@@ -250,7 +254,7 @@ pub fn parallel_local_search(
                 .flat_map_iter(|add| eval_add(add).into_iter())
                 .collect()
         } else {
-            candidates.iter().flat_map(|add| eval_add(add)).collect()
+            candidates.iter().flat_map(eval_add).collect()
         };
 
         // Best swap, deterministic tie-breaking.
@@ -440,6 +444,38 @@ mod tests {
         let sol = parallel_kmedian(&inst, 3, &LocalSearchConfig::new(0.1));
         assert!(sol.work.element_ops > 0);
         assert!(sol.work.primitive_calls > 0);
+    }
+
+    #[test]
+    fn unit_weights_are_bitwise_identical_to_unweighted() {
+        let base = gen::clustering(GenParams::uniform_square(20, 20).with_seed(4));
+        let unit = base.clone().with_weights(vec![1.0; 20]);
+        let cfg = LocalSearchConfig::new(0.1).with_seed(4);
+        for objective in [ClusterObjective::KMedian, ClusterObjective::KMeans] {
+            let a = parallel_local_search(&base, 3, objective, &cfg);
+            let b = parallel_local_search(&unit, 3, objective, &cfg);
+            assert_eq!(a.centers, b.centers);
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.rounds, b.rounds);
+        }
+    }
+
+    #[test]
+    fn heavy_weight_attracts_a_center() {
+        let base = gen::clustering(GenParams::uniform_square(20, 20).with_seed(4));
+        let mut w = vec![1.0; 20];
+        w[7] = 1e6;
+        let heavy = parallel_kmedian(
+            &base.clone().with_weights(w),
+            3,
+            &LocalSearchConfig::new(0.1).with_seed(4),
+        );
+        let d7 = heavy
+            .centers
+            .iter()
+            .map(|&c| base.dist(7, c))
+            .fold(f64::INFINITY, f64::min);
+        assert!(d7 <= 1.0, "heavy node left uncovered at distance {d7}");
     }
 
     #[test]

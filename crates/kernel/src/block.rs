@@ -372,9 +372,9 @@ mod tests {
                 for kind in ALL {
                     let mut out = vec![0.0; n];
                     dist_range(kind, &q, &pts, 0, &mut out);
-                    for i in 0..n {
+                    for (i, &v) in out.iter().enumerate() {
                         assert_eq!(
-                            out[i].to_bits(),
+                            v.to_bits(),
                             scalar_dist(kind, &q, &flat, dim, i).to_bits(),
                             "{kind:?} dim {dim} n {n} i {i}"
                         );

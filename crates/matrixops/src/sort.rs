@@ -42,8 +42,7 @@ impl RowOrder {
     fn from_row_with(row: &[f64], packed: &mut Vec<u128>) -> RowOrder {
         let n = row.len();
         assert!(n <= u32::MAX as usize, "row length exceeds u32 index space");
-        let order: Vec<u32>;
-        if row.iter().all(|&v| v.is_finite() && v.to_bits() >> 63 == 0) {
+        let order: Vec<u32> = if row.iter().all(|&v| v.is_finite() && v.to_bits() >> 63 == 0) {
             packed.clear();
             packed.extend(
                 row.iter()
@@ -51,7 +50,7 @@ impl RowOrder {
                     .map(|(i, &v)| (u128::from(v.to_bits()) << 32) | i as u128),
             );
             packed.sort_unstable();
-            order = packed.iter().map(|&p| p as u32).collect();
+            packed.iter().map(|&p| p as u32).collect()
         } else {
             let mut ord: Vec<u32> = (0..n as u32).collect();
             ord.sort_by(|&a, &b| {
@@ -60,8 +59,8 @@ impl RowOrder {
                     .unwrap()
                     .then(a.cmp(&b))
             });
-            order = ord;
-        }
+            ord
+        };
         RowOrder { order }
     }
 

@@ -18,6 +18,7 @@
 //! Facility opening costs come from a [`FacilityCostModel`], and everything is seeded so
 //! experiments are reproducible.
 
+use crate::coreset::BuildError;
 use crate::distmat::{DistanceMatrix, SizeOverflowError};
 use crate::instance::{ClusterInstance, FlInstance};
 use crate::oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle, SpatialOracle};
@@ -431,7 +432,8 @@ impl InstanceGenerator {
     /// # Panics
     /// Panics (with the [`SizeOverflowError`] message) if the dense
     /// `num_clients x num_facilities` matrix shape overflows; use
-    /// [`InstanceGenerator::facility_location_implicit`] at such sizes.
+    /// [`InstanceGenerator::build_facility_location`] with a point-backed
+    /// backend at such sizes.
     pub fn facility_location(&mut self) -> FlInstance {
         self.try_facility_location()
             .unwrap_or_else(|e| panic!("{e}"))
@@ -449,32 +451,33 @@ impl InstanceGenerator {
         Ok(FlInstance::new(costs, dist).with_points(clients, facilities))
     }
 
-    /// Generates an **implicit-backend** facility-location instance: the same
-    /// points, spread and costs as [`InstanceGenerator::facility_location`] for the
-    /// same parameters and seed (same RNG stream, bit-identical distances), but the
-    /// `|C| x |F|` matrix is never materialised — memory stays `O(|C| + |F|)`.
-    pub fn facility_location_implicit(&mut self) -> FlInstance {
-        let clients = self.sample_points(self.params.num_clients);
-        let facilities = self.sample_points(self.params.num_facilities);
-        let oracle = ImplicitMetric::between(clients, facilities, self.params.distance);
-        let spread = oracle.max_entry().max(1.0);
-        let costs = self.facility_costs(self.params.num_facilities, spread);
-        FlInstance::with_oracle(costs, Oracle::Implicit(oracle))
-    }
-
-    /// Generates a **spatial-backend** facility-location instance: identical
-    /// points, spread and costs to the other backends for the same parameters and
-    /// seed (same RNG stream), plus deterministic spatial indexes over both point
-    /// sides so structured oracle queries run sublinearly. Memory stays
-    /// `O(|C| + |F|)` — the only backend that makes the 10M-point `xxlarge`
-    /// preset practical.
-    pub fn facility_location_spatial(&mut self) -> FlInstance {
-        let clients = self.sample_points(self.params.num_clients);
-        let facilities = self.sample_points(self.params.num_facilities);
-        let oracle = ImplicitMetric::between(clients, facilities, self.params.distance);
-        let spread = oracle.max_entry().max(1.0);
-        let costs = self.facility_costs(self.params.num_facilities, spread);
-        FlInstance::with_oracle(costs, Oracle::Spatial(SpatialOracle::from_implicit(oracle)))
+    /// The backend-parameterized generator: produces the facility-location
+    /// instance under the requested [`Backend`]. Every backend draws the
+    /// same RNG stream, so points, spread and costs — and therefore every
+    /// distance — are bit-identical across the three.
+    ///
+    /// The dense path reports overflowing matrix shapes as a typed
+    /// [`BuildError`] **before sampling a single point**; the point-backed
+    /// backends have no shape limit and stay `O(|C| + |F|)` in memory
+    /// (spatial being the one that makes the 10M-point `xxlarge` preset
+    /// practical).
+    pub fn build_facility_location(&mut self, backend: Backend) -> Result<FlInstance, BuildError> {
+        match backend {
+            Backend::Dense => self.try_facility_location().map_err(BuildError::from),
+            Backend::Implicit | Backend::Spatial => {
+                let clients = self.sample_points(self.params.num_clients);
+                let facilities = self.sample_points(self.params.num_facilities);
+                let oracle = ImplicitMetric::between(clients, facilities, self.params.distance);
+                let spread = oracle.max_entry().max(1.0);
+                let costs = self.facility_costs(self.params.num_facilities, spread);
+                let oracle = if backend == Backend::Implicit {
+                    Oracle::Implicit(oracle)
+                } else {
+                    Oracle::Spatial(SpatialOracle::from_implicit(oracle))
+                };
+                Ok(FlInstance::with_oracle(costs, oracle))
+            }
+        }
     }
 
     /// Generates a dense-backend clustering instance over `num_clients` nodes (the
@@ -482,7 +485,8 @@ impl InstanceGenerator {
     ///
     /// # Panics
     /// Panics (with the [`SizeOverflowError`] message) if the dense `n x n` shape
-    /// overflows; use [`InstanceGenerator::clustering_implicit`] at such sizes.
+    /// overflows; use [`InstanceGenerator::build_clustering`] with a
+    /// point-backed backend at such sizes.
     pub fn clustering(&mut self) -> ClusterInstance {
         self.try_clustering().unwrap_or_else(|e| panic!("{e}"))
     }
@@ -496,79 +500,59 @@ impl InstanceGenerator {
         Ok(ClusterInstance::new(dist).with_points(points))
     }
 
-    /// Generates an **implicit-backend** clustering instance: same points as
-    /// [`InstanceGenerator::clustering`] for the same parameters and seed, stored
-    /// once (`O(n)` memory) with distances computed on demand.
-    pub fn clustering_implicit(&mut self) -> ClusterInstance {
-        let points = self.sample_points(self.params.num_clients);
-        ClusterInstance::implicit(points, self.params.distance)
-    }
-
-    /// Generates a **spatial-backend** clustering instance: same points as
-    /// [`InstanceGenerator::clustering`] for the same parameters and seed, stored
-    /// once with one shared deterministic spatial index (`O(n)` memory).
-    pub fn clustering_spatial(&mut self) -> ClusterInstance {
-        let points = self.sample_points(self.params.num_clients);
-        ClusterInstance::spatial(points, self.params.distance)
+    /// The backend-parameterized generator for clustering instances: same
+    /// points as [`InstanceGenerator::clustering`] for the same parameters
+    /// and seed (same RNG stream, bit-identical distances) under any
+    /// [`Backend`]. The point-backed backends store the points once
+    /// (`O(n)` memory); the dense path reports overflowing `n x n` shapes
+    /// as a typed [`BuildError`] before sampling.
+    pub fn build_clustering(&mut self, backend: Backend) -> Result<ClusterInstance, BuildError> {
+        match backend {
+            Backend::Dense => self.try_clustering().map_err(BuildError::from),
+            Backend::Implicit | Backend::Spatial => {
+                let points = self.sample_points(self.params.num_clients);
+                ClusterInstance::build(points, self.params.distance, backend)
+            }
+        }
     }
 }
 
 /// Convenience: generate a dense facility-location instance directly from parameters.
+///
+/// # Panics
+/// Panics on overflowing dense shapes; use [`build_facility_location`] for
+/// the checked, backend-parameterized path.
 pub fn facility_location(params: GenParams) -> FlInstance {
     InstanceGenerator::new(params).facility_location()
 }
 
-/// Convenience: generate an implicit facility-location instance directly from
-/// parameters.
-pub fn facility_location_implicit(params: GenParams) -> FlInstance {
-    InstanceGenerator::new(params).facility_location_implicit()
-}
-
-/// Convenience: generate an implicit facility-location instance and wrap it with
-/// spatial indexes, directly from parameters.
-pub fn facility_location_spatial(params: GenParams) -> FlInstance {
-    InstanceGenerator::new(params).facility_location_spatial()
-}
-
-/// Convenience: generate a facility-location instance under the given backend.
-/// The dense path reports overflowing shapes as a typed error string; the
-/// implicit and spatial paths have no shape limit.
-pub fn facility_location_with(params: GenParams, backend: Backend) -> Result<FlInstance, String> {
-    match backend {
-        Backend::Dense => InstanceGenerator::new(params)
-            .try_facility_location()
-            .map_err(|e| e.to_string()),
-        Backend::Implicit => Ok(facility_location_implicit(params)),
-        Backend::Spatial => Ok(facility_location_spatial(params)),
-    }
+/// Generate a facility-location instance under the given backend — the one
+/// construction entry point for every backend. The dense path reports
+/// overflowing shapes as a typed [`BuildError`]; the point-backed paths
+/// have no shape limit.
+pub fn build_facility_location(
+    params: GenParams,
+    backend: Backend,
+) -> Result<FlInstance, BuildError> {
+    InstanceGenerator::new(params).build_facility_location(backend)
 }
 
 /// Convenience: generate a dense clustering instance directly from parameters.
+///
+/// # Panics
+/// Panics on overflowing dense shapes; use [`build_clustering`] for the
+/// checked, backend-parameterized path.
 pub fn clustering(params: GenParams) -> ClusterInstance {
     InstanceGenerator::new(params).clustering()
 }
 
-/// Convenience: generate an implicit clustering instance directly from parameters.
-pub fn clustering_implicit(params: GenParams) -> ClusterInstance {
-    InstanceGenerator::new(params).clustering_implicit()
-}
-
-/// Convenience: generate a spatial-backend clustering instance directly from
-/// parameters.
-pub fn clustering_spatial(params: GenParams) -> ClusterInstance {
-    InstanceGenerator::new(params).clustering_spatial()
-}
-
-/// Convenience: generate a clustering instance under the given backend (see
-/// [`facility_location_with`]).
-pub fn clustering_with(params: GenParams, backend: Backend) -> Result<ClusterInstance, String> {
-    match backend {
-        Backend::Dense => InstanceGenerator::new(params)
-            .try_clustering()
-            .map_err(|e| e.to_string()),
-        Backend::Implicit => Ok(clustering_implicit(params)),
-        Backend::Spatial => Ok(clustering_spatial(params)),
-    }
+/// Generate a clustering instance under the given backend (see
+/// [`build_facility_location`]).
+pub fn build_clustering(
+    params: GenParams,
+    backend: Backend,
+) -> Result<ClusterInstance, BuildError> {
+    InstanceGenerator::new(params).build_clustering(backend)
 }
 
 #[cfg(test)]
@@ -672,7 +656,7 @@ mod tests {
     fn implicit_generation_matches_dense_bit_for_bit() {
         for wl in standard_suite(18, 9, 4) {
             let dense = facility_location(wl.params);
-            let implicit = facility_location_implicit(wl.params);
+            let implicit = build_facility_location(wl.params, Backend::Implicit).unwrap();
             assert_eq!(dense.backend(), Backend::Dense);
             assert_eq!(implicit.backend(), Backend::Implicit);
             assert_eq!(
@@ -692,7 +676,7 @@ mod tests {
                 }
             }
             let cd = clustering(wl.params);
-            let ci = clustering_implicit(wl.params);
+            let ci = build_clustering(wl.params, Backend::Implicit).unwrap();
             for a in 0..cd.n() {
                 for b in 0..cd.n() {
                     assert_eq!(cd.dist(a, b).to_bits(), ci.dist(a, b).to_bits());
@@ -708,7 +692,7 @@ mod tests {
         // so the gap widens with instance size.
         let params = GenParams::uniform_square(128, 64).with_seed(2);
         let dense = facility_location(params);
-        let implicit = facility_location_implicit(params);
+        let implicit = build_facility_location(params, Backend::Implicit).unwrap();
         assert_eq!(dense.memory_bytes(), 128 * 64 * 8);
         assert!(
             implicit.memory_bytes() < dense.memory_bytes() / 4,
@@ -723,15 +707,15 @@ mod tests {
     #[test]
     fn backend_dispatching_constructors() {
         let params = GenParams::grid(10, 5).with_seed(0);
-        let d = facility_location_with(params, Backend::Dense).unwrap();
-        let i = facility_location_with(params, Backend::Implicit).unwrap();
-        let s = facility_location_with(params, Backend::Spatial).unwrap();
+        let d = build_facility_location(params, Backend::Dense).unwrap();
+        let i = build_facility_location(params, Backend::Implicit).unwrap();
+        let s = build_facility_location(params, Backend::Spatial).unwrap();
         assert_eq!(d.dist(3, 2), i.dist(3, 2));
         assert_eq!(d.dist(3, 2), s.dist(3, 2));
         assert_eq!(s.backend(), Backend::Spatial);
-        let cd = clustering_with(params, Backend::Dense).unwrap();
-        let ci = clustering_with(params, Backend::Implicit).unwrap();
-        let cs = clustering_with(params, Backend::Spatial).unwrap();
+        let cd = build_clustering(params, Backend::Dense).unwrap();
+        let ci = build_clustering(params, Backend::Implicit).unwrap();
+        let cs = build_clustering(params, Backend::Spatial).unwrap();
         assert_eq!(cd.dist(1, 4), ci.dist(1, 4));
         assert_eq!(cd.dist(1, 4), cs.dist(1, 4));
     }
@@ -742,7 +726,7 @@ mod tests {
         // spread, costs and distances — on every workload shape.
         for wl in standard_suite(18, 9, 4) {
             let dense = facility_location(wl.params);
-            let spatial = facility_location_spatial(wl.params);
+            let spatial = build_facility_location(wl.params, Backend::Spatial).unwrap();
             assert_eq!(spatial.backend(), Backend::Spatial, "{}", wl.name);
             assert_eq!(
                 dense.facility_costs(),
@@ -761,7 +745,7 @@ mod tests {
                 }
             }
             let cd = clustering(wl.params);
-            let cs = clustering_spatial(wl.params);
+            let cs = build_clustering(wl.params, Backend::Spatial).unwrap();
             for a in 0..cd.n() {
                 for b in 0..cd.n() {
                     assert_eq!(cd.dist(a, b).to_bits(), cs.dist(a, b).to_bits());
@@ -782,15 +766,22 @@ mod tests {
             distance: DistanceKind::Euclidean,
             seed: 0,
         };
-        let err = facility_location_with(params, Backend::Dense).unwrap_err();
-        assert!(err.contains("implicit backend"), "unexpected error: {err}");
+        let err = build_facility_location(params, Backend::Dense).unwrap_err();
+        assert!(
+            err.to_string().contains("implicit backend"),
+            "unexpected error: {err}"
+        );
         // (The implicit path would accept the shape but sampling usize::MAX/2
         // points is itself absurd — not exercised here.)
     }
 
     #[test]
     fn power_law_threshold_graph_is_sparse_with_heavy_hubs() {
-        let inst = clustering_implicit(GenParams::power_law(400, 400).with_seed(6));
+        let inst = build_clustering(
+            GenParams::power_law(400, 400).with_seed(6),
+            Backend::Implicit,
+        )
+        .unwrap();
         let n = inst.n();
         // With threshold 3 (> 2·radius, < separation − 2·radius) the edges
         // are exactly the intra-cluster cliques.
@@ -816,7 +807,8 @@ mod tests {
 
     #[test]
     fn road_network_threshold_graph_has_bounded_density() {
-        let inst = clustering_implicit(GenParams::road(300, 300).with_seed(2));
+        let inst =
+            build_clustering(GenParams::road(300, 300).with_seed(2), Backend::Implicit).unwrap();
         let n = inst.n();
         let mut edges = 0usize;
         for a in 0..n {
@@ -839,8 +831,8 @@ mod tests {
             GenParams::road(60, 60).with_seed(3),
         ] {
             let dense = clustering(params);
-            let implicit = clustering_implicit(params);
-            let spatial = clustering_spatial(params);
+            let implicit = build_clustering(params, Backend::Implicit).unwrap();
+            let spatial = build_clustering(params, Backend::Spatial).unwrap();
             for a in 0..dense.n() {
                 for b in 0..dense.n() {
                     assert_eq!(dense.dist(a, b).to_bits(), implicit.dist(a, b).to_bits());

@@ -1,5 +1,6 @@
 //! Problem instances: facility location and k-clustering.
 
+use crate::coreset::BuildError;
 use crate::distmat::DistanceMatrix;
 use crate::oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle, SpatialOracle};
 use crate::point::{DistanceKind, Point};
@@ -13,13 +14,13 @@ use crate::{ClientId, FacilityId, NodeId};
 /// paper's work bounds is `m = |C| * |F|` ([`FlInstance::m`]).
 ///
 /// Distances are served by a [`DistanceOracle`] with three interchangeable
-/// backends: the classic dense `|C| x |F|` matrix ([`FlInstance::new`]), an
+/// backends behind one backend-parameterized constructor
+/// ([`FlInstance::build`]): the classic dense `|C| x |F|` matrix, an
 /// implicit geometric backend computing distances on demand from stored
-/// [`Point`]s ([`FlInstance::implicit`]) in `O(|C| + |F|)` memory, or the
-/// index-accelerated spatial backend ([`FlInstance::spatial`]) answering
-/// nearest/range queries sublinearly at the same memory order. All produce
-/// bit-identical distances for the same point set, so solvers behave
-/// identically under any of them.
+/// [`Point`]s in `O(|C| + |F|)` memory, or the index-accelerated spatial
+/// backend answering nearest/range queries sublinearly at the same memory
+/// order. All produce bit-identical distances for the same point set, so
+/// solvers behave identically under any of them.
 ///
 /// Instances built by the generators also carry the underlying [`Point`]s, which is
 /// convenient for examples and for validating the metric axioms; instances built
@@ -66,45 +67,55 @@ impl FlInstance {
         }
     }
 
-    /// Creates an **implicit-backend** instance: only the points are stored and
-    /// every `d(j, i)` is computed on demand — `O(|C| + |F|)` memory, never
-    /// materialising the `|C| x |F|` matrix.
-    pub fn implicit(
+    /// The backend-parameterized constructor: builds an instance from point
+    /// sets under the requested [`Backend`].
+    ///
+    /// * [`Backend::Dense`] materialises the `|C| x |F|` matrix (`O(m)`
+    ///   memory; overflowing shapes come back as a typed [`BuildError`])
+    ///   and keeps the points attached for provenance.
+    /// * [`Backend::Implicit`] stores only the points and computes every
+    ///   `d(j, i)` on demand — `O(|C| + |F|)` memory.
+    /// * [`Backend::Spatial`] adds deterministic exact spatial indexes over
+    ///   both sides, so nearest/range queries run sublinearly at the same
+    ///   memory order.
+    ///
+    /// All three serve bit-identical distances for the same point set.
+    ///
+    /// # Panics
+    /// Panics if the number of facility costs does not match the number of
+    /// facility points, or if any facility cost is negative or non-finite.
+    pub fn build(
         facility_costs: Vec<f64>,
         client_points: Vec<Point>,
         facility_points: Vec<Point>,
         kind: DistanceKind,
-    ) -> Self {
-        Self::with_oracle(
-            facility_costs,
-            Oracle::Implicit(ImplicitMetric::between(
-                client_points,
-                facility_points,
-                kind,
+        backend: Backend,
+    ) -> Result<Self, BuildError> {
+        match backend {
+            Backend::Dense => {
+                let dist = DistanceMatrix::try_between(&client_points, &facility_points, kind)?;
+                Ok(FlInstance::new(facility_costs, dist)
+                    .with_points(client_points, facility_points))
+            }
+            Backend::Implicit => Ok(Self::with_oracle(
+                facility_costs,
+                Oracle::Implicit(ImplicitMetric::between(
+                    client_points,
+                    facility_points,
+                    kind,
+                )),
             )),
-        )
-    }
-
-    /// Creates a **spatial-backend** instance: the implicit point storage
-    /// plus deterministic exact spatial indexes over both sides, so
-    /// nearest/range queries run sublinearly instead of as O(n) sweeps.
-    /// Memory stays `O(|C| + |F|)`; every answer is bit-identical to the
-    /// other backends.
-    pub fn spatial(
-        facility_costs: Vec<f64>,
-        client_points: Vec<Point>,
-        facility_points: Vec<Point>,
-        kind: DistanceKind,
-    ) -> Self {
-        Self::with_oracle(
-            facility_costs,
-            Oracle::Spatial(SpatialOracle::between(client_points, facility_points, kind)),
-        )
+            Backend::Spatial => Ok(Self::with_oracle(
+                facility_costs,
+                Oracle::Spatial(SpatialOracle::between(client_points, facility_points, kind)),
+            )),
+        }
     }
 
     /// Creates an instance from explicit client and facility point sets, Euclidean
     /// distances, and facility opening costs, materialising the dense matrix. Use
-    /// [`FlInstance::implicit`] to keep memory at `O(|C| + |F|)` instead.
+    /// [`FlInstance::build`] with [`Backend::Implicit`] to keep memory at
+    /// `O(|C| + |F|)` instead.
     pub fn from_points(
         facility_costs: Vec<f64>,
         client_points: Vec<Point>,
@@ -304,12 +315,19 @@ impl FlInstance {
 ///
 /// Every node is simultaneously a client and a potential center, as in Section 2 of the
 /// paper; distances form a symmetric `n x n` oracle — dense
-/// ([`ClusterInstance::new`]) or implicit geometric ([`ClusterInstance::implicit`],
-/// `O(n)` memory).
+/// ([`ClusterInstance::new`]) or point-backed (implicit / spatial,
+/// [`ClusterInstance::build`], `O(n)` memory).
+///
+/// Nodes may carry optional positive **weights** (coreset cell populations;
+/// see [`crate::coreset`]): the k-median and k-means objectives multiply
+/// each node's term by its weight, defaulting to `1.0` everywhere — and
+/// since `1.0 * x` is bitwise `x`, unweighted instances are byte-for-byte
+/// unaffected.
 #[derive(Debug, Clone)]
 pub struct ClusterInstance {
     oracle: Oracle,
     points: Option<Vec<Point>>,
+    weights: Option<Vec<f64>>,
 }
 
 impl ClusterInstance {
@@ -334,31 +352,52 @@ impl ClusterInstance {
         ClusterInstance {
             oracle,
             points: None,
+            weights: None,
         }
     }
 
-    /// Creates an **implicit-backend** clustering instance: only the `n` points are
-    /// stored (once, shared between the row and column sides) and every `d(a, b)` is
-    /// computed on demand — `O(n)` memory instead of the `O(n²)` matrix.
-    pub fn implicit(points: Vec<Point>, kind: DistanceKind) -> Self {
-        Self::with_oracle(Oracle::Implicit(ImplicitMetric::symmetric(points, kind)))
-    }
-
-    /// Creates a **spatial-backend** clustering instance: implicit point storage plus
-    /// one shared deterministic spatial index serving nearest/range queries
-    /// sublinearly. `O(n)` memory; answers bit-identical to the other backends.
-    pub fn spatial(points: Vec<Point>, kind: DistanceKind) -> Self {
-        Self::with_oracle(Oracle::Spatial(SpatialOracle::symmetric(points, kind)))
+    /// The backend-parameterized constructor: builds a clustering instance
+    /// from a point set under the requested [`Backend`].
+    ///
+    /// * [`Backend::Dense`] materialises the symmetric `n x n` matrix
+    ///   (overflowing shapes come back as a typed [`BuildError`]) and keeps
+    ///   the points attached.
+    /// * [`Backend::Implicit`] stores the `n` points once (shared between
+    ///   the row and column sides) and computes every `d(a, b)` on demand —
+    ///   `O(n)` memory instead of the `O(n²)` matrix.
+    /// * [`Backend::Spatial`] adds one shared deterministic spatial index
+    ///   serving nearest/range queries sublinearly, at the same memory
+    ///   order.
+    ///
+    /// All three serve bit-identical distances for the same point set.
+    pub fn build(
+        points: Vec<Point>,
+        kind: DistanceKind,
+        backend: Backend,
+    ) -> Result<Self, BuildError> {
+        match backend {
+            Backend::Dense => {
+                let dist = DistanceMatrix::try_between(&points, &points, kind)?;
+                Ok(ClusterInstance::new(dist).with_points(points))
+            }
+            Backend::Implicit => Ok(Self::with_oracle(Oracle::Implicit(
+                ImplicitMetric::symmetric(points, kind),
+            ))),
+            Backend::Spatial => Ok(Self::with_oracle(Oracle::Spatial(
+                SpatialOracle::symmetric(points, kind),
+            ))),
+        }
     }
 
     /// Creates a clustering instance from a point set under Euclidean distance,
-    /// materialising the dense matrix. Use [`ClusterInstance::implicit`] to keep
-    /// memory at `O(n)` instead.
+    /// materialising the dense matrix. Use [`ClusterInstance::build`] with
+    /// [`Backend::Implicit`] to keep memory at `O(n)` instead.
     pub fn from_points(points: Vec<Point>) -> Self {
         let dist = DistanceMatrix::pairwise(&points, crate::point::DistanceKind::Euclidean);
         ClusterInstance {
             oracle: Oracle::Dense(dist),
             points: Some(points),
+            weights: None,
         }
     }
 
@@ -370,6 +409,37 @@ impl ClusterInstance {
         assert_eq!(points.len(), self.n(), "points must match matrix dimension");
         self.points = Some(points);
         self
+    }
+
+    /// Attaches per-node weights (e.g. coreset cell populations). The
+    /// k-median / k-means objectives multiply each node's term by its
+    /// weight; k-center (a max, not a sum) ignores them.
+    ///
+    /// # Panics
+    /// Panics if the weight count does not match `n` or any weight is not
+    /// finite and positive.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        assert_eq!(weights.len(), self.n(), "weights must match node count");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be finite and positive"
+        );
+        self.weights = Some(weights);
+        self
+    }
+
+    /// The per-node weights, if any were attached.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Weight of node `j` (`1.0` when the instance is unweighted).
+    #[inline]
+    pub fn weight(&self, j: NodeId) -> f64 {
+        match &self.weights {
+            Some(w) => w[j],
+            None => 1.0,
+        }
     }
 
     /// Number of nodes `n`.
@@ -423,27 +493,32 @@ impl ClusterInstance {
         self.oracle.nearest_in_set_all(centers)
     }
 
-    /// k-median objective: sum over nodes of the distance to the closest center.
+    /// k-median objective: weighted sum over nodes of the distance to the
+    /// closest center (all weights `1.0` on an unweighted instance —
+    /// bitwise identical to the plain sum).
     pub fn kmedian_cost(&self, centers: &[NodeId]) -> f64 {
         self.closest_center_all(centers)
             .into_iter()
-            .map(|c| c.expect("centers empty").1)
+            .enumerate()
+            .map(|(j, c)| self.weight(j) * c.expect("centers empty").1)
             .sum()
     }
 
-    /// k-means objective: sum over nodes of the **squared** distance to the closest
-    /// center.
+    /// k-means objective: weighted sum over nodes of the **squared** distance to the
+    /// closest center.
     pub fn kmeans_cost(&self, centers: &[NodeId]) -> f64 {
         self.closest_center_all(centers)
             .into_iter()
-            .map(|c| {
+            .enumerate()
+            .map(|(j, c)| {
                 let d = c.expect("centers empty").1;
-                d * d
+                self.weight(j) * (d * d)
             })
             .sum()
     }
 
     /// k-center objective: maximum over nodes of the distance to the closest center.
+    /// Weights do not enter a max objective.
     pub fn kcenter_cost(&self, centers: &[NodeId]) -> f64 {
         self.closest_center_all(centers)
             .into_iter()
@@ -574,5 +649,67 @@ mod tests {
     #[should_panic(expected = "square")]
     fn cluster_non_square_panics() {
         let _ = ClusterInstance::new(DistanceMatrix::filled(2, 3, 1.0));
+    }
+
+    #[test]
+    fn weighted_objectives_scale_per_node_terms() {
+        let inst = tiny_cluster().with_weights(vec![2.0, 1.0, 3.0, 1.0]);
+        // centers {0, 3}: distances 0,1,1,0 -> weighted kmedian 0+1+3+0.
+        assert_eq!(inst.kmedian_cost(&[0, 3]), 4.0);
+        assert_eq!(inst.kmeans_cost(&[0, 3]), 4.0);
+        // k-center is a max; weights do not enter.
+        assert_eq!(inst.kcenter_cost(&[0, 3]), 1.0);
+        assert_eq!(inst.weight(2), 3.0);
+        assert_eq!(inst.weights().unwrap().len(), 4);
+        // Unweighted default is 1.0 everywhere.
+        assert_eq!(tiny_cluster().weight(2), 1.0);
+        assert!(tiny_cluster().weights().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_positive_weights_panic() {
+        let _ = tiny_cluster().with_weights(vec![1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn build_constructors_are_backend_invariant() {
+        let pts = vec![
+            Point::xy(0.0, 0.0),
+            Point::xy(3.0, 4.0),
+            Point::xy(1.0, 1.0),
+        ];
+        let d =
+            ClusterInstance::build(pts.clone(), DistanceKind::Euclidean, Backend::Dense).unwrap();
+        let i = ClusterInstance::build(pts.clone(), DistanceKind::Euclidean, Backend::Implicit)
+            .unwrap();
+        let s =
+            ClusterInstance::build(pts.clone(), DistanceKind::Euclidean, Backend::Spatial).unwrap();
+        assert_eq!(d.backend(), Backend::Dense);
+        assert_eq!(i.backend(), Backend::Implicit);
+        assert_eq!(s.backend(), Backend::Spatial);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(d.dist(a, b).to_bits(), i.dist(a, b).to_bits());
+                assert_eq!(d.dist(a, b).to_bits(), s.dist(a, b).to_bits());
+            }
+        }
+        // Every backend keeps the points reachable.
+        assert!(d.points().is_some() && i.points().is_some() && s.points().is_some());
+
+        let costs = vec![1.0, 2.0];
+        let fac = vec![Point::xy(0.0, 1.0), Point::xy(2.0, 0.0)];
+        let fd = FlInstance::build(
+            costs.clone(),
+            pts.clone(),
+            fac.clone(),
+            DistanceKind::Euclidean,
+            Backend::Dense,
+        )
+        .unwrap();
+        let fs =
+            FlInstance::build(costs, pts, fac, DistanceKind::Euclidean, Backend::Spatial).unwrap();
+        assert_eq!(fd.dist(1, 0).to_bits(), fs.dist(1, 0).to_bits());
+        assert!(fd.client_points().is_some() && fs.facility_points().is_some());
     }
 }

@@ -25,7 +25,9 @@
 //!
 //! This crate provides those instance types, the geometric [`Point`] representation used
 //! to build them, a suite of synthetic [`gen`]erators standing in for the datasets the
-//! paper does not provide (each with dense and implicit constructors), metric-axiom
+//! paper does not provide (each behind one backend-parameterized builder,
+//! [`gen::build_facility_location`] / [`gen::build_clustering`]), deterministic
+//! ε-grid [`coreset`]s for solving clustering at 10M-point scale, metric-axiom
 //! [`validate`]-ion, simple text [`io`], and the elementary [`lower_bounds`] from
 //! Equation (2) of the paper that the experiment harness uses to certify approximation
 //! ratios.
@@ -47,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod coreset;
 pub mod distmat;
 pub mod gen;
 pub mod instance;
@@ -56,6 +59,7 @@ pub mod oracle;
 pub mod point;
 pub mod validate;
 
+pub use coreset::{build_coreset, coreset_instance, BuildError, Coreset, GridCoreset};
 pub use distmat::{DistanceMatrix, SizeOverflowError};
 pub use instance::{ClusterInstance, FlInstance};
 pub use oracle::{Backend, DistanceOracle, ImplicitMetric, Oracle, SpatialOracle};

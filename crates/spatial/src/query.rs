@@ -38,6 +38,7 @@ pub(crate) fn scan_slots<A: Accumulator>(
 /// Range-query twin of [`scan_slots`]: pushes `ids[slot]` for every point
 /// in `[start, end)` with distance `<= radius` (inclusive, like every range
 /// query in this crate), in ascending slot order.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn collect_slots(
     metric: DistanceKind,
     q: &[f64],

@@ -3,7 +3,7 @@
 //! code path the CI `perf-smoke` job drives through the `parfaclo bench`
 //! CLI.
 
-use parfaclo_api::{Backend, GraphBackend, RunConfig};
+use parfaclo_api::{Backend, Coreset, GraphBackend, RunConfig};
 use parfaclo_bench::bench::{compare, run_matrix, BenchArtifact, BenchMatrix, BENCH_V2_SCHEMA};
 use parfaclo_bench::standard_registry;
 
@@ -18,6 +18,9 @@ fn smoke_matrix() -> BenchMatrix {
         // the graph axis has its own dedicated coverage in the bench crate
         // and in graph_engine.rs.
         graphs: vec![GraphBackend::Dense],
+        // Likewise for the coreset axis: its dedicated coverage lives in the
+        // bench crate and in coreset_conformance.rs.
+        coresets: vec![Coreset::Off],
         threads: vec![1, 4],
         warmup: 1,
         trials: 2,

@@ -1,0 +1,180 @@
+//! Conformance tests for the deterministic ε-grid coreset path: byte-level
+//! determinism across thread counts and backends, the quality regression
+//! against the full-instance solve, and the 10M-point acceptance run.
+
+use parfaclo_api::{Backend, Coreset, RunConfig};
+use parfaclo_bench::runner::{run_solver, GenSpec};
+use parfaclo_bench::standard_registry;
+
+const CLUSTERING_SOLVERS: [&str; 3] = ["kcenter", "kmedian-ls", "kmeans-ls"];
+
+fn coreset_cfg(eps: f64) -> RunConfig {
+    RunConfig::new(0.1)
+        .with_seed(7)
+        .with_k(4)
+        .with_coreset(Coreset::Eps(eps))
+}
+
+/// The coreset build is a sequential pass plus a sort, so the canonical Run
+/// JSON — centers, assignment, both costs, rounds, extras — is
+/// byte-identical at any pool size.
+#[test]
+fn coreset_runs_are_thread_count_invariant() {
+    let registry = standard_registry();
+    let spec = GenSpec::parse("clustered:n=600").unwrap();
+    for solver in CLUSTERING_SOLVERS {
+        let base = coreset_cfg(0.1).with_backend(Backend::Spatial);
+        let one = run_solver(&registry, solver, &spec, &base.clone().with_threads(1)).unwrap();
+        let four = run_solver(&registry, solver, &spec, &base.with_threads(4)).unwrap();
+        assert_eq!(
+            one.canonical_json(),
+            four.canonical_json(),
+            "{solver}: coreset run differs between 1 and 4 threads"
+        );
+    }
+}
+
+/// The coreset representatives are medoids (actual input points), so their
+/// pairwise distances — and everything downstream — are bit-identical under
+/// every distance backend.
+#[test]
+fn coreset_runs_are_backend_invariant() {
+    let registry = standard_registry();
+    let spec = GenSpec::parse("uniform:n=500").unwrap();
+    for solver in CLUSTERING_SOLVERS {
+        let runs: Vec<String> = [Backend::Dense, Backend::Implicit, Backend::Spatial]
+            .into_iter()
+            .map(|b| {
+                run_solver(&registry, solver, &spec, &coreset_cfg(0.2).with_backend(b))
+                    .unwrap()
+                    .canonical_json()
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1], "{solver}: dense vs implicit");
+        assert_eq!(runs[1], runs[2], "{solver}: implicit vs spatial");
+    }
+}
+
+/// Quality regression: across two instance sizes and two seeds, the
+/// full-set cost of the hierarchical coreset solve stays within a pinned
+/// factor of the direct (`--coreset off`) solve, and the factor tightens as
+/// ε shrinks. The pinned factors are empirical for these workloads — the
+/// documented guidance (README "Coresets") is ε ≤ 0.25 for a ≤1.5x k-median
+/// cost ratio; k-center is a max objective and is pinned looser.
+#[test]
+fn coreset_eps_sweep_quality_vs_full_solve() {
+    let registry = standard_registry();
+    for solver in ["kmedian-ls", "kcenter"] {
+        // Max objective (one point decides the cost) vs sum objective
+        // (grid-snap error averages out): pin them separately.
+        let cap = if solver == "kcenter" { 2.0 } else { 1.5 };
+        for n in [400usize, 1200] {
+            for seed in [3u64, 11] {
+                let spec = GenSpec::parse(&format!("uniform:n={n}")).unwrap();
+                let base = RunConfig::new(0.1).with_seed(seed).with_k(4);
+                let off = run_solver(&registry, solver, &spec, &base).unwrap();
+                assert!(off.cost > 0.0);
+                for eps in [0.5, 0.25, 0.1] {
+                    let run = run_solver(
+                        &registry,
+                        solver,
+                        &spec,
+                        &base.clone().with_coreset(Coreset::Eps(eps)),
+                    )
+                    .unwrap();
+                    run.validate().expect("valid envelope");
+                    let ratio = run.cost / off.cost;
+                    assert!(ratio.is_finite() && ratio > 0.0);
+                    // No monotonicity claim across ε — both solves are
+                    // local searches, so a finer grid can land in a worse
+                    // local optimum — only the pinned ceiling.
+                    if eps <= 0.25 {
+                        assert!(
+                            ratio <= cap,
+                            "{solver} n={n} seed={seed} eps={eps}: \
+                             full-set cost ratio {ratio:.3} exceeds the pinned {cap}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The coreset-internal cost is reported alongside the full-set cost, and
+/// the envelope echoes the coreset parameters, so the Run JSON alone
+/// documents the approximation being made.
+#[test]
+fn coreset_run_json_carries_both_costs() {
+    let registry = standard_registry();
+    let spec = GenSpec::parse("uniform:n=300").unwrap();
+    let run = run_solver(&registry, "kmedian-ls", &spec, &coreset_cfg(0.2)).unwrap();
+    let json = run.canonical_json();
+    for key in ["coreset_cost", "coreset_size", "coreset_eps"] {
+        assert!(json.contains(key), "canonical JSON lacks '{key}': {json}");
+    }
+    // And the off path stays byte-identical to the historical output —
+    // no coreset keys leak into it.
+    let off = run_solver(
+        &registry,
+        "kmedian-ls",
+        &spec,
+        &coreset_cfg(0.2).with_coreset(Coreset::Off),
+    )
+    .unwrap();
+    assert!(!off.canonical_json().contains("coreset"));
+}
+
+/// Without a coreset the local searches refuse xxlarge-scale inputs (the
+/// swap sweep is O(n²k) per round) and the error points at the knob.
+#[test]
+fn direct_local_search_refuses_scale_and_points_at_coreset() {
+    let registry = standard_registry();
+    let spec = GenSpec::parse("uniform:n=40000,nf=10").unwrap();
+    let cfg = RunConfig::new(0.1)
+        .with_seed(1)
+        .with_k(4)
+        .with_backend(Backend::Implicit);
+    let err = run_solver(&registry, "kmedian-ls", &spec, &cfg).unwrap_err();
+    assert!(err.contains("--coreset eps:<f64>"), "{err}");
+    // The same spec solves with the coreset enabled.
+    let run = run_solver(
+        &registry,
+        "kmedian-ls",
+        &spec,
+        &cfg.with_coreset(Coreset::Eps(0.1)),
+    )
+    .unwrap();
+    assert_eq!(run.assignment.len(), 40_000);
+}
+
+/// The acceptance run: `parfaclo run kmedian-local --gen xxlarge --backend
+/// spatial --coreset eps:0.1` completes — 10M points solved hierarchically
+/// (the direct path refuses this scale outright). Ignored by default
+/// (minutes); run explicitly with `-- --ignored`.
+#[test]
+#[ignore = "10M-point acceptance run (minutes); run with -- --ignored"]
+fn xxlarge_coreset_run_completes() {
+    let registry = standard_registry();
+    let spec = GenSpec::parse("xxlarge").unwrap();
+    let cfg = RunConfig::new(0.1)
+        .with_seed(7)
+        .with_k(8)
+        .with_backend(Backend::Spatial)
+        .with_coreset(Coreset::Eps(0.1));
+    let run = run_solver(&registry, "kmedian-ls", &spec, &cfg).expect("xxlarge coreset run");
+    run.validate().expect("structurally valid run");
+    assert_eq!(run.n, 10_000_000);
+    assert_eq!(run.assignment.len(), 10_000_000);
+    assert_eq!(run.backend, Backend::Spatial);
+    assert!(run.cost > 0.0 && run.cost.is_finite());
+    // The non-coreset path refuses the same configuration.
+    let err = run_solver(
+        &registry,
+        "kmedian-ls",
+        &spec,
+        &cfg.with_coreset(Coreset::Off),
+    )
+    .unwrap_err();
+    assert!(err.contains("--coreset"), "{err}");
+}

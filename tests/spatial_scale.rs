@@ -65,7 +65,7 @@ fn xxlarge_preset_shape_and_scaled_down_construction() {
     // Same preset, overridden to a testable size: constructs a spatial
     // instance and serves index-accelerated queries.
     let spec = GenSpec::parse("xxlarge:n=50000").expect("override parses");
-    let inst = gen::facility_location_with(spec.params(3), Backend::Spatial).expect("generate");
+    let inst = gen::build_facility_location(spec.params(3), Backend::Spatial).expect("generate");
     assert_eq!(inst.num_clients(), 50_000);
     assert_eq!(inst.num_facilities(), 100);
     let oracle = inst.distances();
@@ -109,7 +109,7 @@ fn xxlarge_spatial_run_completes() {
 fn clustering_spatial_queries_match_dense_at_scale() {
     let params = GenParams::gaussian_clusters(3000, 3000, 12).with_seed(5);
     let dense = gen::clustering(params);
-    let spatial = gen::clustering_spatial(params);
+    let spatial = gen::build_clustering(params, Backend::Spatial).expect("O(n) construction");
     let d_oracle = dense.distances();
     let s_oracle = spatial.distances();
     let radius = d_oracle.max_entry() * 0.05;
