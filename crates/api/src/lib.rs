@@ -91,3 +91,8 @@ pub use parfaclo_graph::GraphBackend;
 /// [`RunConfig::radius_deriver`] without depending on `parfaclo-bucket`
 /// directly.
 pub use parfaclo_bucket::{EventEngine, RadiusDeriver};
+
+/// Re-exports of the tracing subsystem so harnesses can install a
+/// [`Tracer`] (picked up by the registry wrapper and every instrumented
+/// solver phase) without depending on `parfaclo-trace` directly.
+pub use parfaclo_trace::{InstallGuard, PhaseSummary, TraceDetail, Tracer, TRACE_SCHEMA};

@@ -99,6 +99,13 @@ pub struct Run {
     /// implicit. Stamped by the registry wrapper; excluded from
     /// [`Run::canonical_json`] alongside `backend`.
     pub memory_bytes: u64,
+    /// Wall-clock milliseconds per top-level solver phase (orders-build,
+    /// star-rounds, coreset-build, …), aggregated from the trace span tree
+    /// by the registry wrapper. Timing metadata like `wall_ms`: emitted in
+    /// [`Run::to_json`]'s timing section and excluded from
+    /// [`Run::canonical_json`] — phase *topology* is workload-pure, but
+    /// these are wall-clock durations.
+    pub phase_wall_ms: Vec<(String, f64)>,
     /// Wall-clock statistics over repeated trials of this run, when the
     /// measurement harness re-ran it (`None` for ordinary single runs).
     /// Timing metadata like `wall_ms`: emitted in [`Run::to_json`]'s timing
@@ -133,6 +140,7 @@ impl Run {
             threads: 0,
             backend: Backend::Dense,
             memory_bytes: 0,
+            phase_wall_ms: Vec::new(),
             trials: None,
             epsilon: 0.0,
             seed: 0,
@@ -323,6 +331,14 @@ impl Run {
                 .uint("threads", self.threads as u64)
                 .string("backend", self.backend.as_str())
                 .uint("memory_bytes", self.memory_bytes);
+            if !self.phase_wall_ms.is_empty() {
+                let phases = self
+                    .phase_wall_ms
+                    .iter()
+                    .fold(JsonObject::new(), |o, (k, v)| o.number(k, *v))
+                    .build();
+                obj = obj.field("phase_wall_ms", phases);
+            }
             if let Some(stats) = &self.trials {
                 obj = obj.field("trials", stats.to_json_value());
             }
@@ -407,6 +423,24 @@ mod tests {
         assert!(a.to_json().contains("\"work\""));
         assert!(a.to_json().contains("\"sort_calls\":1"));
         assert!(a.to_json().contains(RUN_SCHEMA));
+    }
+
+    #[test]
+    fn phase_walls_are_timing_metadata_only() {
+        let bare = sample();
+        let mut phased = sample();
+        phased.phase_wall_ms = vec![
+            ("orders-build".to_string(), 1.5),
+            ("star-rounds".to_string(), 20.25),
+        ];
+        assert_eq!(
+            bare.canonical_json(),
+            phased.canonical_json(),
+            "phase wall times must not leak into the canonical record"
+        );
+        assert!(!bare.to_json().contains("\"phase_wall_ms\""));
+        let json = phased.to_json();
+        assert!(json.contains("\"phase_wall_ms\":{\"orders-build\":1.5,\"star-rounds\":20.25}"));
     }
 
     #[test]

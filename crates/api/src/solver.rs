@@ -3,6 +3,8 @@
 use crate::config::RunConfig;
 use crate::run::{ProblemKind, Run};
 use parfaclo_metric::{Backend, BuildError, ClusterInstance, FlInstance};
+use parfaclo_trace as trace;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A solver for one problem family, with its native instance and config
@@ -238,11 +240,28 @@ where
             got: inst.describes(),
         })?;
         let native_cfg = S::Config::from(cfg);
+        // Every run executes under a tracer: the harness's, when one is
+        // installed (`--trace` / `--progress` / the conformance tests),
+        // else an ephemeral phase-level tracer, so `Run.phase_wall_ms` is
+        // attributed unconditionally. Span bookkeeping is a handful of
+        // mutex ops per phase — noise next to any solve — and spans never
+        // charge the meter, so canonical results are untouched.
+        let (tracer, _tracer_guard) = match trace::current() {
+            Some(tracer) => (tracer, None),
+            None => {
+                let tracer = Arc::new(trace::Tracer::new(trace::TraceDetail::Phases));
+                let guard = trace::install(Arc::clone(&tracer));
+                (tracer, Some(guard))
+            }
+        };
+        tracer.note_memory(inst.memory_bytes());
         // `Some(n)` pins the solve to an n-thread pool; `None` inherits the
         // ambient pool (process default / RAYON_NUM_THREADS / an enclosing
         // `install`). Either way the actual count is stamped into the
         // envelope's timing metadata.
         let start = Instant::now();
+        let root = trace::span(&format!("solve:{}", Solver::name(self)), None);
+        let root_index = root.index();
         let (solved, threads) = match cfg.threads {
             Some(n) => {
                 let pool = rayon::ThreadPoolBuilder::new()
@@ -256,6 +275,7 @@ where
             }
             None => (self.solve(typed, &native_cfg), rayon::current_num_threads()),
         };
+        drop(root);
         let mut run = solved.map_err(|reason| SolveError::Infeasible {
             solver: Solver::name(self).to_string(),
             reason,
@@ -264,6 +284,9 @@ where
         run.threads = threads;
         run.backend = inst.backend();
         run.memory_bytes = inst.memory_bytes();
+        if let Some(root) = root_index {
+            run.phase_wall_ms = tracer.phase_walls(root);
+        }
         Ok(run)
     }
 }

@@ -387,6 +387,13 @@ pub struct BenchRecord {
     /// Whether every trial's canonical JSON was byte-identical to the
     /// first's (self-certifying determinism check).
     pub deterministic: bool,
+    /// Per-phase median wall-clock milliseconds over the timed trials
+    /// (from each trial `Run`'s `phase_wall_ms` timing metadata), in
+    /// first-encounter order. Lets the comparator say *which phase* of a
+    /// regressed cell slowed down. Empty for artifacts written before
+    /// phase attribution existed — optional on parse, like `graph` and
+    /// `coreset`.
+    pub phases: Vec<(String, f64)>,
 }
 
 impl BenchRecord {
@@ -416,7 +423,7 @@ impl BenchRecord {
     }
 
     fn to_json_value(&self) -> JsonValue {
-        JsonObject::new()
+        let mut obj = JsonObject::new()
             .string("solver", &self.solver)
             .string("workload", &self.workload)
             .uint("n", self.n as u64)
@@ -437,8 +444,17 @@ impl BenchRecord {
                     .uint("rounds", self.work.rounds)
                     .build(),
             )
-            .bool("deterministic", self.deterministic)
-            .build()
+            .bool("deterministic", self.deterministic);
+        // Omitted when empty so artifacts from solvers without phase
+        // attribution stay byte-identical to the pre-phases spelling.
+        if !self.phases.is_empty() {
+            let mut ph = JsonObject::new();
+            for (name, ms) in &self.phases {
+                ph = ph.number(name, *ms);
+            }
+            obj = obj.field("phases", ph.build());
+        }
+        obj.build()
     }
 
     fn from_json_value(value: &JsonValue) -> Result<Self, String> {
@@ -504,6 +520,20 @@ impl BenchRecord {
                 .get("deterministic")
                 .and_then(JsonValue::as_bool)
                 .ok_or_else(|| "bench record missing field 'deterministic'".to_string())?,
+            // Optional on parse: artifacts written before phase attribution
+            // existed carry no per-phase medians.
+            phases: match value.get("phases") {
+                None => Vec::new(),
+                Some(JsonValue::Object(fields)) => fields
+                    .iter()
+                    .map(|(name, v)| {
+                        v.as_f64()
+                            .map(|ms| (name.clone(), ms))
+                            .ok_or_else(|| format!("bench record phase '{name}' must be a number"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+                Some(_) => return Err("bench record field 'phases' must be an object".to_string()),
+            },
         })
     }
 }
@@ -618,6 +648,20 @@ fn resolve_workloads(matrix: &BenchMatrix) -> Result<Vec<GenSpec>, String> {
     Ok(specs)
 }
 
+/// Median of a non-empty sample vector (same definition as
+/// [`TrialStats::from_samples`]): middle element, or the mean of the two
+/// middle elements when even.
+fn median(mut samples: Vec<f64>) -> f64 {
+    debug_assert!(!samples.is_empty());
+    samples.sort_by(f64::total_cmp);
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
 /// Runs the full matrix under one base [`RunConfig`]: per cell, `warmup`
 /// untimed runs then `trials` timed runs, each trial byte-compared
 /// (canonical JSON) against the first. The base configuration supplies
@@ -666,11 +710,18 @@ pub fn run_matrix(
                                 run_solver_cached(registry, solver, &mut cache, &cfg)?;
                             }
                             let mut samples = Vec::with_capacity(matrix.trials);
+                            let mut phase_samples: Vec<(String, Vec<f64>)> = Vec::new();
                             let mut first: Option<Run> = None;
                             let mut deterministic = true;
                             for _ in 0..matrix.trials {
                                 let run = run_solver_cached(registry, solver, &mut cache, &cfg)?;
                                 samples.push(run.wall_ms);
+                                for (name, ms) in &run.phase_wall_ms {
+                                    match phase_samples.iter_mut().find(|(n, _)| n == name) {
+                                        Some((_, v)) => v.push(*ms),
+                                        None => phase_samples.push((name.clone(), vec![*ms])),
+                                    }
+                                }
                                 match &first {
                                     None => first = Some(run),
                                     Some(f) => {
@@ -704,6 +755,10 @@ pub fn run_matrix(
                                 memory_bytes: first.memory_bytes,
                                 work: first.work,
                                 deterministic,
+                                phases: phase_samples
+                                    .into_iter()
+                                    .map(|(name, walls)| (name, median(walls)))
+                                    .collect(),
                             });
                             runs.push(first.with_trials(stats));
                         }
@@ -732,6 +787,10 @@ pub struct ComparisonRow {
     pub baseline_ms: f64,
     /// Current median wall-clock (ms).
     pub current_ms: f64,
+    /// Per-phase medians joined by name: `(phase, baseline_ms,
+    /// current_ms)`, in the current record's order. Empty when either side
+    /// predates phase attribution.
+    pub phases: Vec<(String, f64, f64)>,
 }
 
 impl ComparisonRow {
@@ -746,6 +805,29 @@ impl ComparisonRow {
         } else {
             1.0
         }
+    }
+
+    /// The phases slower than baseline by more than `threshold_pct`
+    /// percent, worst first: `(phase, ratio)`. This is how the comparator
+    /// answers *which phase* of a regressed cell slowed down. Phases under
+    /// 1% of the cell's baseline median are ignored — a 5x blowup of a
+    /// microsecond-scale phase is noise, not a verdict.
+    pub fn phase_regressions(&self, threshold_pct: f64) -> Vec<(&str, f64)> {
+        let floor = self.baseline_ms / 100.0;
+        let mut out: Vec<(&str, f64)> = self
+            .phases
+            .iter()
+            .filter(|(_, base, _)| *base > floor)
+            .map(|(name, base, cur)| (name.as_str(), cur / base))
+            .filter(|(_, ratio)| *ratio > 1.0 + threshold_pct / 100.0)
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out
+    }
+
+    /// The single worst-shifting phase past the threshold, if any.
+    pub fn worst_phase(&self, threshold_pct: f64) -> Option<(&str, f64)> {
+        self.phase_regressions(threshold_pct).into_iter().next()
     }
 
     /// Human verdict against a regression threshold in percent.
@@ -827,6 +909,16 @@ pub fn compare(
                 key: cur.key(),
                 baseline_ms: base.stats.median_ms,
                 current_ms: cur.stats.median_ms,
+                phases: cur
+                    .phases
+                    .iter()
+                    .filter_map(|(name, cur_ms)| {
+                        base.phases
+                            .iter()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, base_ms)| (name.clone(), *base_ms, *cur_ms))
+                    })
+                    .collect(),
             }),
             None => added.push(cur.key()),
         }
@@ -875,6 +967,7 @@ mod tests {
                 rounds: 4,
             },
             deterministic: true,
+            phases: Vec::new(),
         }
     }
 
@@ -942,6 +1035,102 @@ mod tests {
         // A generous-enough threshold accepts the 3x slowdown.
         assert!(report.regressions(250.0).is_empty());
         assert!((report.rows[2].ratio() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phases_field_round_trips_and_is_optional_on_parse() {
+        let mut rec = record("greedy", "uniform", 10.0);
+        rec.phases = vec![
+            ("orders-build".to_string(), 2.5),
+            ("star-rounds".to_string(), 6.0),
+        ];
+        let art = artifact(vec![rec]);
+        let text = art.to_json();
+        assert!(text.contains("\"phases\":{\"orders-build\":2.5,\"star-rounds\":6.0}"));
+        let back = BenchArtifact::parse(&text).unwrap();
+        assert_eq!(back, art);
+
+        // Empty phases are omitted from the JSON and parse back as empty —
+        // the pre-phases artifact spelling keeps parsing.
+        let bare = artifact(vec![record("greedy", "uniform", 10.0)]);
+        let text = bare.to_json();
+        assert!(!text.contains("\"phases\""));
+        assert_eq!(BenchArtifact::parse(&text).unwrap(), bare);
+    }
+
+    #[test]
+    fn comparator_names_the_regressed_phase() {
+        let mut base_rec = record("greedy", "uniform", 10.0);
+        base_rec.phases = vec![
+            ("orders-build".to_string(), 4.0),
+            ("star-rounds".to_string(), 5.0),
+            ("finalize".to_string(), 0.05), // under the 1% noise floor
+        ];
+        let mut cur_rec = record("greedy", "uniform", 21.0);
+        cur_rec.phases = vec![
+            ("orders-build".to_string(), 4.2),
+            ("star-rounds".to_string(), 16.0), // 3.2x — the culprit
+            ("finalize".to_string(), 0.5),     // 10x but noise-scale
+        ];
+        let report = compare(&artifact(vec![base_rec]), &artifact(vec![cur_rec])).unwrap();
+        let row = &report.rows[0];
+        assert_eq!(row.verdict(50.0), "REGRESSED");
+        let culprits = row.phase_regressions(50.0);
+        assert_eq!(culprits.len(), 1, "{culprits:?}");
+        assert_eq!(culprits[0].0, "star-rounds");
+        assert!((culprits[0].1 - 3.2).abs() < 1e-12);
+        assert_eq!(row.worst_phase(50.0), Some(("star-rounds", 3.2)));
+        // orders-build moved 5% — under the gate, not a phase regression.
+        assert!(row
+            .phase_regressions(50.0)
+            .iter()
+            .all(|(n, _)| *n != "orders-build"));
+    }
+
+    #[test]
+    fn comparator_tolerates_phaseless_sides() {
+        // Baseline predates phase attribution: the join yields no phases
+        // and phase-level verdicts stay silent rather than erroring.
+        let base_rec = record("greedy", "uniform", 10.0);
+        let mut cur_rec = record("greedy", "uniform", 30.0);
+        cur_rec.phases = vec![("star-rounds".to_string(), 25.0)];
+        let report = compare(&artifact(vec![base_rec]), &artifact(vec![cur_rec])).unwrap();
+        let row = &report.rows[0];
+        assert_eq!(row.verdict(50.0), "REGRESSED");
+        assert!(row.phases.is_empty());
+        assert_eq!(row.worst_phase(0.0), None);
+    }
+
+    #[test]
+    fn run_matrix_records_per_phase_medians() {
+        let registry = standard_registry();
+        let matrix = BenchMatrix {
+            solvers: vec!["greedy".to_string()],
+            workloads: vec!["uniform".to_string()],
+            n: 24,
+            nf: 12,
+            backends: vec![Backend::Dense],
+            graphs: vec![GraphBackend::Dense],
+            coresets: vec![Coreset::Off],
+            threads: vec![1],
+            warmup: 0,
+            trials: 3,
+        };
+        let base = RunConfig::new(0.1).with_seed(5).with_k(3);
+        let (artifact, _) = run_matrix(&registry, &matrix, &base).unwrap();
+        let rec = &artifact.records[0];
+        let names: Vec<&str> = rec.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(
+            names.contains(&"star-rounds"),
+            "greedy cell should attribute its round loop: {names:?}"
+        );
+        assert!(rec
+            .phases
+            .iter()
+            .all(|(_, ms)| ms.is_finite() && *ms >= 0.0));
+        // And phased records survive the artifact round trip.
+        let back = BenchArtifact::parse(&artifact.to_json()).unwrap();
+        assert_eq!(back, artifact);
     }
 
     #[test]

@@ -18,7 +18,9 @@ use parfaclo_bench::runner::{
 };
 use parfaclo_bench::{reset_sigpipe, standard_registry, Table};
 use parfaclo_matrixops::ExecPolicy;
+use parfaclo_trace::{install, InstallGuard, TraceDetail, Tracer};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const USAGE: &str = "\
 parfaclo — unified runner for the Blelloch-Tangwongsan SPAA'10 reproduction
@@ -62,7 +64,8 @@ USAGE:
 OPTIONS:
     --gen <spec>        Generator spec, e.g. uniform:n=2000,k=40
                         (workloads: uniform|clustered|grid|line|planted|
-                        powerlaw|road, plus the implicit-scale presets
+                        powerlaw|road, plus the CI-smoke preset medium
+                        (n=2000, nf=64), the implicit-scale presets
                         large (n=100000, nf=100) and xlarge (n=1000000,
                         nf=50), the spatial-scale preset xxlarge
                         (n=10000000, nf=100), and the sparse-graph presets
@@ -132,8 +135,18 @@ OPTIONS:
     --solvers <a,b,c>   Suite/bench solver subset        [default: all (suite);
                         greedy,primal-dual,kcenter,maxdom (bench)]
     --json <path>       Also write the run records as a JSON array
-    --force             Allow bench --out to overwrite an existing
-                        artifact file
+    --trace <path>      Record a deterministic span/event trace of the
+                        invocation and write it as Chrome trace-event JSON
+                        (load via chrome://tracing or Perfetto); a
+                        <path>.canonical sidecar holds the timing-free
+                        canonical trace (span topology + round events),
+                        byte-identical across backends and thread counts.
+                        Refuses to overwrite existing files without --force
+    --progress          Stream per-round progress events (round number,
+                        frontier size, work counter) to stderr as the
+                        solvers run
+    --force             Allow bench --out and run/bench --trace to
+                        overwrite an existing artifact file
     --quiet             Suppress the human-readable table
 
 BENCH OPTIONS (parfaclo bench only):
@@ -187,6 +200,10 @@ struct Options {
     /// Whether --size was passed explicitly (overrides --gen's n in suite).
     size_given: bool,
     json: Option<String>,
+    /// Chrome-trace output path; also enables the rounds-level tracer.
+    trace: Option<String>,
+    /// Stream per-round progress events to stderr.
+    progress: bool,
     quiet: bool,
     force: bool,
     /// bench: workload subset.
@@ -222,6 +239,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut size = 64usize;
     let mut size_given = false;
     let mut json = None;
+    let mut trace = None;
+    let mut progress = false;
     let mut quiet = false;
     let mut force = false;
     let mut workloads = None;
@@ -323,6 +342,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 size_given = true;
             }
             "--json" => json = Some(value("--json")?.clone()),
+            "--trace" => trace = Some(value("--trace")?.clone()),
+            "--progress" => progress = true,
             // Removed in favour of `parfaclo bench` (which measures the same
             // threads=1-vs-N comparison with warmup, repeated trials and a
             // baseline comparator). A hard error beats silently ignoring a
@@ -421,6 +442,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         size,
         size_given,
         json,
+        trace,
+        progress,
         quiet,
         force,
         workloads,
@@ -490,6 +513,66 @@ fn emit(runs: &[Run], json: Option<&str>, quiet: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// A rounds-level tracer installed for the duration of a subcommand, plus
+/// the guard that keeps it ambient on this thread.
+struct TraceSession {
+    tracer: Arc<Tracer>,
+    _guard: InstallGuard,
+}
+
+/// Installs a rounds-level tracer when `--trace` or `--progress` asked for
+/// one; every solve in the subcommand then records its spans and round
+/// events into it (instead of the ephemeral per-solve phase tracer).
+fn start_trace(opts: &Options) -> Option<TraceSession> {
+    if opts.trace.is_none() && !opts.progress {
+        return None;
+    }
+    let mut tracer = Tracer::new(TraceDetail::Rounds);
+    if opts.progress {
+        tracer = tracer.with_progress();
+    }
+    let tracer = Arc::new(tracer);
+    let guard = install(Arc::clone(&tracer));
+    Some(TraceSession {
+        tracer,
+        _guard: guard,
+    })
+}
+
+/// Writes the Chrome trace (plus the `<path>.canonical` sidecar) and prints
+/// the per-phase summary table. The canonical sidecar carries no
+/// timestamps, so it byte-compares across backends and thread counts —
+/// that is what the CI determinism check diffs.
+fn finish_trace(session: Option<TraceSession>, opts: &Options) -> Result<(), String> {
+    let Some(session) = session else {
+        return Ok(());
+    };
+    if !opts.quiet {
+        let table = Table::new(&["phase", "count", "wall_ms", "share", "rounds", "work"]);
+        for phase in session.tracer.phase_summary() {
+            table.row(&[
+                phase.name.clone(),
+                phase.count.to_string(),
+                format!("{:.3}", phase.wall_ms),
+                format!("{:.1}%", 100.0 * phase.share),
+                phase.rounds.to_string(),
+                phase.element_ops.to_string(),
+            ]);
+        }
+    }
+    let Some(path) = &opts.trace else {
+        return Ok(()); // --progress alone: stream only, nothing to write
+    };
+    write_artifact(path, &session.tracer.chrome_json(), opts.force, opts.quiet)?;
+    let canonical = format!("{path}.canonical");
+    write_artifact(
+        &canonical,
+        &session.tracer.canonical_json(),
+        opts.force,
+        opts.quiet,
+    )
+}
+
 /// CLI-level solver-name aliases. The registry requires unique names, so
 /// the objective-spelled variants live here: `kmedian-local` and
 /// `kmeans-local` name the same swap-based local searches as the registry's
@@ -526,10 +609,12 @@ fn cmd_run(registry: &Registry, opts: Options) -> Result<(), String> {
         }
     };
     let solver = resolve_solver_alias(&solver);
+    let trace_session = start_trace(&opts);
     let run = run_solver(registry, solver, &opts.gen, &opts.cfg)?;
     run.validate()
         .map_err(|e| format!("solver '{solver}' produced a structurally invalid run: {e}"))?;
-    emit(std::slice::from_ref(&run), opts.json.as_deref(), opts.quiet)
+    emit(std::slice::from_ref(&run), opts.json.as_deref(), opts.quiet)?;
+    finish_trace(trace_session, &opts)
 }
 
 /// The non-`run` subcommands take no bare arguments; a stray one is most
@@ -602,6 +687,7 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
         );
     }
     let workloads = ["uniform", "clustered", "grid", "line", "planted"];
+    let trace_session = start_trace(&opts);
     let mut runs = Vec::new();
     for workload in workloads {
         let spec = GenSpec {
@@ -623,7 +709,8 @@ fn cmd_suite(registry: &Registry, opts: Options) -> Result<(), String> {
             workloads.len(),
         );
     }
-    emit(&runs, opts.json.as_deref(), opts.quiet)
+    emit(&runs, opts.json.as_deref(), opts.quiet)?;
+    finish_trace(trace_session, &opts)
 }
 
 /// Writes an artifact file, refusing to clobber an existing one unless the
@@ -707,6 +794,7 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
     }
     matrix.warmup = opts.warmup;
     matrix.trials = opts.trials;
+    let trace_session = start_trace(&opts);
 
     if !opts.quiet {
         println!(
@@ -771,6 +859,7 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
     // quiet=true: the bench table above already summarised the cells; emit
     // only handles the --json output here.
     emit(&runs, opts.json.as_deref(), true)?;
+    finish_trace(trace_session, &opts)?;
     if let Some(path) = &opts.baseline {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
@@ -794,6 +883,18 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
                     format!("{:.3}", row.ratio()),
                     row.verdict(display_pct).to_string(),
                 ]);
+            }
+            // Name the culprit phase for each regressed cell (both sides
+            // must carry per-phase medians for the join to be non-empty).
+            for row in &report.rows {
+                if row.verdict(display_pct) == "REGRESSED" {
+                    if let Some((phase, ratio)) = row.worst_phase(display_pct) {
+                        println!(
+                            "  {}: worst phase '{phase}' ({ratio:.2}x baseline)",
+                            row.key
+                        );
+                    }
+                }
             }
             for key in &report.missing {
                 println!("missing from current run (in baseline only): {key}");
@@ -834,6 +935,7 @@ fn cmd_bench(registry: &Registry, opts: Options) -> Result<(), String> {
 
 fn cmd_ablation(registry: &Registry, opts: Options) -> Result<(), String> {
     reject_positional("ablation", &opts)?;
+    let trace_session = start_trace(&opts);
     let mut runs = Vec::new();
     // One generated instance serves the whole grid (the knobs and ε vary,
     // the workload and seed do not).
@@ -862,5 +964,6 @@ fn cmd_ablation(registry: &Registry, opts: Options) -> Result<(), String> {
     if !opts.quiet {
         println!("ablation: greedy knob grid (4 combos) + eps sweep (6 values x 2 solvers)\n");
     }
-    emit(&runs, opts.json.as_deref(), opts.quiet)
+    emit(&runs, opts.json.as_deref(), opts.quiet)?;
+    finish_trace(trace_session, &opts)
 }

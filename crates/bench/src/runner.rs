@@ -15,7 +15,9 @@ use parfaclo_metric::gen::{self, GenParams};
 /// `clustered`, `grid`, `line`, `planted`, the sparse-metric workloads
 /// `powerlaw` (power-law cluster sizes — a few heavy hubs, a long singleton
 /// tail, `O(n)` threshold-graph edges) and `road` (road-network-like
-/// bounded-degree metric), the large presets `large` (uniform, n=100000,
+/// bounded-degree metric), the preset `medium` (uniform, n=2000, nf=64 —
+/// big enough that every solver phase does real work, small enough for CI
+/// smoke runs), the large presets `large` (uniform, n=100000,
 /// nf=100) and `xlarge` (uniform, n=1000000, nf=50) — both sized for the
 /// implicit/spatial backends; the dense matrix at these scales is
 /// 80 MB–400 MB for facility location and entirely out of reach for square
@@ -57,6 +59,13 @@ impl GenSpec {
         // Large presets expand to a uniform workload at implicit-backend
         // scale; explicit key=value options still override their dimensions.
         let mut out = match workload.as_str() {
+            "medium" => GenSpec {
+                workload: "uniform".to_string(),
+                n: 2_000,
+                nf: 64,
+                clusters: 8,
+                seed: None,
+            },
             "large" => GenSpec {
                 workload: "uniform".to_string(),
                 n: 100_000,
@@ -105,7 +114,7 @@ impl GenSpec {
                 return Err(format!(
                     "unknown workload '{workload}' \
                      (expected uniform|clustered|grid|line|planted|powerlaw|road\
-                     |large|xlarge|xxlarge|sparse-large|sparse-xlarge)"
+                     |medium|large|xlarge|xxlarge|sparse-large|sparse-xlarge)"
                 ))
             }
         };
@@ -181,6 +190,9 @@ impl GenSpec {
             }
         }
         let params = self.params(fallback_seed);
+        // Under an installed tracer the generator + backend construction
+        // shows up as its own top-level phase, outside any solve span.
+        let _span = parfaclo_trace::span("instance-build", None);
         match problem {
             ProblemKind::FacilityLocation => {
                 gen::build_facility_location(params, backend).map(AnyInstance::Fl)
@@ -347,6 +359,10 @@ mod tests {
 
     #[test]
     fn large_presets_parse_and_allow_overrides() {
+        let medium = GenSpec::parse("medium").unwrap();
+        assert_eq!(medium.workload, "uniform");
+        assert_eq!(medium.n, 2_000);
+        assert_eq!(medium.nf, 64);
         let large = GenSpec::parse("large").unwrap();
         assert_eq!(large.workload, "uniform");
         assert_eq!(large.n, 100_000);

@@ -27,6 +27,7 @@ use crate::stars::{self, StarOrders};
 use parfaclo_lp::dual;
 use parfaclo_matrixops::CostMeter;
 use parfaclo_metric::{ClientId, DistanceOracle, FacilityId, FlInstance};
+use parfaclo_trace as trace;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -85,7 +86,10 @@ pub fn parallel_greedy_detailed(inst: &FlInstance, cfg: &FlConfig) -> GreedyOutp
     // each bucket only when a star scan actually reaches it. Both serve the
     // scans bit-identical distance sequences, so everything downstream —
     // stars, τ, the subselection RNG stream, the open set — is byte-equal.
-    let mut orders = StarOrders::build(inst, cfg.engine, cfg.policy, &meter);
+    let mut orders = {
+        let _span = trace::span("orders-build", Some(&meter));
+        StarOrders::build(inst, cfg.engine, cfg.policy, &meter)
+    };
     let mut remaining: Vec<bool> = vec![true; nc];
     let mut remaining_count = nc;
     let mut fcost: Vec<f64> = (0..nf).map(|i| inst.facility_cost(i)).collect();
@@ -98,6 +102,7 @@ pub fn parallel_greedy_detailed(inst: &FlInstance, cfg: &FlConfig) -> GreedyOutp
     // Open every facility whose cheapest maximal star costs at most γ/m²; this costs at
     // most opt/m extra and guarantees τ >= γ/m² in the first real round.
     if cfg.preprocess {
+        let _span = trace::span("preprocess", Some(&meter));
         let gamma = inst.gamma();
         let threshold = gamma / (inst.m() as f64 * inst.m() as f64);
         let stars = stars::all_cheapest_stars_with(
@@ -127,10 +132,12 @@ pub fn parallel_greedy_detailed(inst: &FlInstance, cfg: &FlConfig) -> GreedyOutp
     }
 
     // ---- Main rounds -----------------------------------------------------------------
+    let rounds_span = trace::span("star-rounds", Some(&meter));
     let mut outer_rounds = 0usize;
     while remaining_count > 0 {
         outer_rounds += 1;
         meter.add_round();
+        trace::round(outer_rounds as u64, || remaining_count as u64, &meter);
         assert!(
             outer_rounds <= cfg.max_rounds,
             "parallel greedy exceeded {} rounds — this indicates a bug",
@@ -354,8 +361,10 @@ pub fn parallel_greedy_detailed(inst: &FlInstance, cfg: &FlConfig) -> GreedyOutp
             subselection_iters,
         });
     }
+    drop(rounds_span);
 
     // ---- Wrap up ----------------------------------------------------------------------
+    let finalize_span = trace::span("finalize", Some(&meter));
     let open: Vec<FacilityId> = (0..nf).filter(|&i| opened[i]).collect();
     let open = if open.is_empty() {
         // Degenerate: all clients were removed by preprocessing alone without opening
@@ -382,6 +391,7 @@ pub fn parallel_greedy_detailed(inst: &FlInstance, cfg: &FlConfig) -> GreedyOutp
     solution.alpha = alpha;
     solution.rounds = outer_rounds;
     solution.inner_rounds = inner_rounds_total;
+    drop(finalize_span);
     solution.work = meter.report();
 
     GreedyOutput {

@@ -19,6 +19,7 @@ use crate::config::FlConfig;
 use crate::solution::FlSolution;
 use parfaclo_matrixops::CostMeter;
 use parfaclo_metric::{FacilityId, FlInstance};
+use parfaclo_trace as trace;
 use rayon::prelude::*;
 
 /// One candidate local-search move.
@@ -109,6 +110,7 @@ pub fn parallel_local_search_fl(inst: &FlInstance, cfg: &FlConfig) -> FlSolution
     let threshold = 1.0 - beta;
     let mut rounds = 0usize;
 
+    let search_span = trace::span("swap-search", Some(&meter));
     loop {
         assert!(
             rounds <= cfg.max_rounds,
@@ -178,10 +180,13 @@ pub fn parallel_local_search_fl(inst: &FlInstance, cfg: &FlConfig) -> FlSolution
                 cost = new_cost;
                 rounds += 1;
                 meter.add_round();
+                // Swap-round frontier = candidate moves the sweep evaluated.
+                trace::round(rounds as u64, || moves.len() as u64, &meter);
             }
             _ => break,
         }
     }
+    drop(search_span);
 
     let mut solution = FlSolution::from_open_set(inst, open_set(&open));
     solution.rounds = rounds;

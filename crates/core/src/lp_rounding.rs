@@ -24,6 +24,7 @@ use parfaclo_dominator::{max_u_dom, BipartiteGraph};
 use parfaclo_lp::FlLpSolution;
 use parfaclo_matrixops::CostMeter;
 use parfaclo_metric::{ClientId, FacilityId, FlInstance};
+use parfaclo_trace as trace;
 use rayon::prelude::*;
 
 /// Extended result of the parallel rounding algorithm.
@@ -79,6 +80,7 @@ pub fn parallel_lp_rounding_detailed(
     let meter = CostMeter::new();
 
     // ---- Filtering (Lemma 6.2) ---------------------------------------------------------
+    let filter_span = trace::span("filtering", Some(&meter));
     meter.add_primitive(inst.m() as u64);
     let delta: Vec<f64> = if cfg.policy.run_parallel(inst.m()) {
         (0..nc).into_par_iter().map(|j| lp.delta(inst, j)).collect()
@@ -119,8 +121,10 @@ pub fn parallel_lp_rounding_detailed(
         .iter()
         .map(|&y| (1.0_f64).min((1.0 + 1.0 / filter_alpha) * y))
         .collect();
+    drop(filter_span);
 
     // ---- Rounding rounds ----------------------------------------------------------------
+    let rounds_span = trace::span("rounding-rounds", Some(&meter));
     let theta = lp.value();
     let mut client_alive: Vec<bool> = vec![true; nc];
     let mut facility_alive: Vec<bool> = vec![true; nf];
@@ -138,6 +142,12 @@ pub fn parallel_lp_rounding_detailed(
     while client_alive.iter().any(|&a| a) {
         rounds += 1;
         meter.add_round();
+        // Round frontier = clients still unprocessed; counted only when traced.
+        trace::round(
+            rounds as u64,
+            || client_alive.iter().filter(|&&a| a).count() as u64,
+            &meter,
+        );
         assert!(
             rounds <= cfg.max_rounds,
             "LP rounding exceeded {} rounds — this indicates a bug",
@@ -210,13 +220,16 @@ pub fn parallel_lp_rounding_detailed(
         }
         clients_per_round.push(s.len());
     }
+    drop(rounds_span);
 
+    let finalize_span = trace::span("finalize", Some(&meter));
     let open_set: Vec<FacilityId> = (0..nf).filter(|&i| open[i]).collect();
     debug_assert!(!open_set.is_empty());
     let mut solution = FlSolution::from_open_set(inst, open_set);
     solution.lower_bound = lp.value();
     solution.rounds = rounds;
     solution.inner_rounds = inner_rounds;
+    drop(finalize_span);
     solution.work = meter.report();
 
     RoundingOutput {

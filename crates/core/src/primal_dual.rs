@@ -25,6 +25,7 @@ use parfaclo_dominator::{max_u_dom, BipartiteGraph};
 use parfaclo_lp::dual;
 use parfaclo_matrixops::CostMeter;
 use parfaclo_metric::{DistanceOracle, FacilityId, FlInstance};
+use parfaclo_trace as trace;
 use rayon::prelude::*;
 
 /// Extended result of the parallel primal-dual algorithm.
@@ -87,6 +88,7 @@ pub fn parallel_primal_dual_detailed(inst: &FlInstance, cfg: &FlConfig) -> Prima
 
     // ---- Preprocessing: free facilities ------------------------------------------------
     if cfg.preprocess && gamma > 0.0 {
+        let _span = trace::span("preprocess", Some(&meter));
         meter.add_primitive(inst.m() as u64);
         let threshold = gamma / (m * m);
         let is_free = |i: usize| -> bool {
@@ -127,6 +129,7 @@ pub fn parallel_primal_dual_detailed(inst: &FlInstance, cfg: &FlConfig) -> Prima
     // iteration (the paper's data-parallel formulation); `Bucket` schedules each
     // facility/client on a deterministic bucket queue and touches it only when its
     // event level arrives.
+    let ascent_span = trace::span("dual-ascent", Some(&meter));
     let mut iterations = 0usize;
     let mut t = alpha0;
     match cfg.engine {
@@ -134,6 +137,14 @@ pub fn parallel_primal_dual_detailed(inst: &FlInstance, cfg: &FlConfig) -> Prima
             while frozen.iter().any(|&f| !f) && opened.iter().any(|&o| !o) {
                 iterations += 1;
                 meter.add_round();
+                // Frontier = unfrozen clients at the start of the iteration;
+                // identical to the bucket engine's `unfrozen_count` because
+                // the engines replay the same ladder state-for-state.
+                trace::round(
+                    iterations as u64,
+                    || frozen.iter().filter(|&&f| !f).count() as u64,
+                    &meter,
+                );
                 assert!(
                     iterations <= cfg.max_rounds,
                     "parallel primal-dual exceeded {} iterations — this indicates a bug",
@@ -223,9 +234,11 @@ pub fn parallel_primal_dual_detailed(inst: &FlInstance, cfg: &FlConfig) -> Prima
             frozen[j] = true;
         }
     }
+    drop(ascent_span);
 
     // ---- Post-processing: MaxUDom over the tight-edge graph ----------------------------
     // H = (F_T, C, E) with ij ∈ E iff (1+ε)·α_j > d(j, i).
+    let postprocess_span = trace::span("postprocess-maxudom", Some(&meter));
     let ft: Vec<FacilityId> = temporarily_open.clone();
     let h =
         BipartiteGraph::from_predicate(ft.len(), nc, |u, j| slack * alpha[j] > inst.dist(j, ft[u]));
@@ -254,7 +267,9 @@ pub fn parallel_primal_dual_detailed(inst: &FlInstance, cfg: &FlConfig) -> Prima
                 .unwrap(),
         );
     }
+    drop(postprocess_span);
 
+    let certify_span = trace::span("certify", Some(&meter));
     let mut solution = FlSolution::from_open_set(inst, open_set);
     // α is dual feasible by Claim 5.1; certify numerically (and fall back to scaling if
     // floating-point slack pushed it marginally over).
@@ -264,6 +279,7 @@ pub fn parallel_primal_dual_detailed(inst: &FlInstance, cfg: &FlConfig) -> Prima
     solution.alpha = alpha;
     solution.rounds = iterations;
     solution.inner_rounds = dom.rounds;
+    drop(certify_span);
     solution.work = meter.report();
 
     PrimalDualOutput {
@@ -401,6 +417,8 @@ fn bucket_event_loop(
     while unfrozen_count > 0 && unopened_count > 0 {
         *iterations += 1;
         meter.add_round();
+        // Mirrors the scan engine's frontier exactly (same ladder state).
+        trace::round(*iterations as u64, || unfrozen_count as u64, meter);
         assert!(
             *iterations <= cfg.max_rounds,
             "parallel primal-dual exceeded {} iterations — this indicates a bug",

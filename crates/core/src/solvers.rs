@@ -13,6 +13,7 @@ use crate::{greedy, local_search_fl, lp_rounding, primal_dual};
 use parfaclo_api::{ProblemKind, Run, RunConfig, Solver};
 use parfaclo_lp::solve_facility_lp;
 use parfaclo_metric::FlInstance;
+use parfaclo_trace as trace;
 
 impl From<&RunConfig> for FlConfig {
     fn from(cfg: &RunConfig) -> Self {
@@ -153,8 +154,11 @@ impl Solver for LpRoundingSolver {
     }
 
     fn solve(&self, inst: &FlInstance, cfg: &FlConfig) -> Result<Run, String> {
-        let lp = solve_facility_lp(inst)
-            .map_err(|e| format!("facility-location LP relaxation unsolvable: {e}"))?;
+        let lp = {
+            let _span = trace::span("lp-solve", None);
+            solve_facility_lp(inst)
+                .map_err(|e| format!("facility-location LP relaxation unsolvable: {e}"))?
+        };
         let sol = lp_rounding::parallel_lp_rounding(inst, &lp, cfg);
         Ok(echo(
             fl_envelope(self, inst, sol, cfg).with_extra("lp_value", lp.value()),

@@ -27,6 +27,7 @@ use crate::graph::DenseGraph;
 use crate::DominatorResult;
 use parfaclo_graph::{edge_map, edge_map_min, Neighbors, VertexSubset};
 use parfaclo_matrixops::{CostMeter, ExecPolicy};
+use parfaclo_trace as trace;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
@@ -64,6 +65,12 @@ pub fn maximal_independent_set<G: Neighbors>(
     while alive.iter().any(|&a| a) {
         rounds += 1;
         meter.add_round();
+        // Luby-round frontier = live vertices; counted only when traced.
+        trace::round(
+            rounds as u64,
+            || alive.iter().filter(|&&a| a).count() as u64,
+            meter,
+        );
         let pri = draw_priorities(&mut rng, n, &alive);
         meter.add_primitive(n as u64);
         let alive_set = VertexSubset::from_mask(&alive);

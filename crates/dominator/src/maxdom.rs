@@ -31,6 +31,7 @@ use crate::luby::draw_priorities;
 use crate::DominatorResult;
 use parfaclo_graph::{edge_map, edge_map_min, Neighbors, VertexSubset};
 use parfaclo_matrixops::{CostMeter, ExecPolicy};
+use parfaclo_trace as trace;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -55,6 +56,13 @@ pub fn max_dom<G: Neighbors>(
     while alive.iter().any(|&a| a) {
         rounds += 1;
         meter.add_round();
+        // Luby-round frontier = live vertices; the count is only computed
+        // when a rounds-level tracer is installed.
+        trace::round(
+            rounds as u64,
+            || alive.iter().filter(|&&a| a).count() as u64,
+            meter,
+        );
 
         // Step 1: random priorities for live nodes (+∞ for dead ones).
         let pri = draw_priorities(&mut rng, n, &alive);

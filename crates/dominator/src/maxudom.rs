@@ -22,6 +22,7 @@ use parfaclo_graph::{
     bi_edge_map_u, bi_edge_map_v, bi_min_into_u, bi_min_into_v, BipartiteNeighbors, VertexSubset,
 };
 use parfaclo_matrixops::{CostMeter, ExecPolicy};
+use parfaclo_trace as trace;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -45,6 +46,12 @@ pub fn max_u_dom<H: BipartiteNeighbors>(
     while alive.iter().any(|&a| a) {
         rounds += 1;
         meter.add_round();
+        // Luby-round frontier = live U-nodes; counted only when traced.
+        trace::round(
+            rounds as u64,
+            || alive.iter().filter(|&&a| a).count() as u64,
+            meter,
+        );
 
         // Random priorities for live U-nodes.
         let pri = draw_priorities(&mut rng, nu, &alive);

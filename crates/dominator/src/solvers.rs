@@ -22,6 +22,7 @@ use crate::DominatorResult;
 use parfaclo_api::{ProblemKind, Run, RunConfig, Solver};
 use parfaclo_matrixops::{CostMeter, ExecPolicy};
 use parfaclo_metric::{ClusterInstance, DistanceOracle};
+use parfaclo_trace as trace;
 
 /// Deriving the default threshold sorts all `n²` pairwise distances —
 /// `8n²` bytes of scratch. Past this bound (the same 4 GiB ceiling the
@@ -72,10 +73,19 @@ fn dominator_run(
     cfg: &RunConfig,
     algorithm: impl Fn(&ThresholdGraph, u64, ExecPolicy, &CostMeter) -> DominatorResult,
 ) -> Result<Run, String> {
-    let threshold = resolve_threshold(inst, cfg)?;
-    let g = threshold_graph(inst, threshold, cfg)?;
     let meter = CostMeter::new();
-    let result = algorithm(&g, cfg.seed, cfg.policy, &meter);
+    let threshold = {
+        let _span = trace::span("derive-threshold", Some(&meter));
+        resolve_threshold(inst, cfg)?
+    };
+    let g = {
+        let _span = trace::span("threshold-graph", Some(&meter));
+        threshold_graph(inst, threshold, cfg)?
+    };
+    let result = {
+        let _span = trace::span("luby-rounds", Some(&meter));
+        algorithm(&g, cfg.seed, cfg.policy, &meter)
+    };
     Ok(Run::new(Solver::name(solver), ProblemKind::DominatorSet)
         .with_guarantee(Solver::guarantee(solver))
         .with_instance_size(inst.n(), inst.n() * inst.n())

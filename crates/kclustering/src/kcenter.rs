@@ -13,6 +13,7 @@ use parfaclo_dominator::{max_dom, ThresholdGraph};
 use parfaclo_graph::GraphBackend;
 use parfaclo_matrixops::{CostMeter, CostReport, ExecPolicy};
 use parfaclo_metric::{ClusterInstance, DistanceOracle, NodeId};
+use parfaclo_trace as trace;
 
 /// Result of the parallel k-center algorithm.
 #[derive(Debug, Clone)]
@@ -109,13 +110,17 @@ pub fn parallel_kcenter_with(
     // Deriving them materialises all n² distances, so past the oracle's
     // 4 GiB scratch cap the run is refused with an explanation instead of
     // exhausting memory.
-    let distances = inst
-        .distances()
-        .try_sorted_distinct_values()
-        .map_err(|e| format!("{e} — or sample the candidate radii with --radius-deriver sketch"))?;
-    meter.add_sort(inst.distances().len() as u64);
+    let distances = {
+        let _span = trace::span("derive-radii", Some(&meter));
+        let distances = inst.distances().try_sorted_distinct_values().map_err(|e| {
+            format!("{e} — or sample the candidate radii with --radius-deriver sketch")
+        })?;
+        meter.add_sort(inst.distances().len() as u64);
+        distances
+    };
 
     // Binary search for the smallest threshold whose dominator set has at most k nodes.
+    let probe_span = trace::span("probe-search", Some(&meter));
     let mut lo = 0usize;
     let mut hi = distances.len() - 1;
     let mut probes = 0usize;
@@ -124,6 +129,8 @@ pub fn parallel_kcenter_with(
     while lo <= hi {
         let mid = (lo + hi) / 2;
         probes += 1;
+        // Probe frontier = candidate radii still in the search range.
+        trace::round(probes as u64, || (hi - lo + 1) as u64, &meter);
         let g = ThresholdGraph::build(inst.distances(), distances[mid], graph)?;
         meter.add_primitive((n * n) as u64);
         let dom = max_dom(
@@ -154,6 +161,7 @@ pub fn parallel_kcenter_with(
             (distances.len() - 1, dom.selected)
         }
     };
+    drop(probe_span);
 
     let radius = inst.kcenter_cost(&centers);
     Ok(KCenterSolution {
@@ -253,6 +261,7 @@ pub fn parallel_kcenter_sketched(
 
     // Evenly spaced sample (the full node set when it fits): value-independent,
     // so deterministic under every backend.
+    let derive_span = trace::span("derive-radii", Some(&meter));
     let s = n.min(SKETCH_SAMPLE);
     let sample: Vec<usize> = if s == n {
         (0..n).collect()
@@ -279,7 +288,9 @@ pub fn parallel_kcenter_sketched(
     candidates.sort_unstable_by(f64::total_cmp);
     candidates.dedup();
     meter.add_sort(candidates.len() as u64);
+    drop(derive_span);
 
+    let probe_span = trace::span("probe-search", Some(&meter));
     let mut probes = 0usize;
     let mut luby_rounds = 0usize;
     let mut infeasible_below = 0.0f64;
@@ -313,6 +324,8 @@ pub fn parallel_kcenter_sketched(
             last += 1;
         }
         probes += 1;
+        // Probe frontier = candidates not yet ruled out by the coarse pass.
+        trace::round(probes as u64, || (candidates.len() - idx) as u64, &meter);
         match probe(last, &mut luby_rounds)? {
             Some(centers) => {
                 best = Some((last, centers));
@@ -352,6 +365,8 @@ pub fn parallel_kcenter_sketched(
         while blo < bhi {
             let mid = (blo + bhi) / 2;
             probes += 1;
+            // Probe frontier = sub-bucket maxima still in the bisection range.
+            trace::round(probes as u64, || (bhi - blo + 1) as u64, &meter);
             match probe(maxima[mid], &mut luby_rounds)? {
                 Some(centers) => {
                     best = Some((maxima[mid], centers));
@@ -372,12 +387,14 @@ pub fn parallel_kcenter_sketched(
             // path's defensive fallback: the largest candidate is feasible.
             let last = candidates.len() - 1;
             probes += 1;
+            trace::round(probes as u64, || 1, &meter);
             let g = ThresholdGraph::build(inst.distances(), candidates[last], graph)?;
             let dom = max_dom(&g, seed, policy, &meter);
             luby_rounds += dom.rounds;
             (last, dom.selected)
         }
     };
+    drop(probe_span);
 
     let radius = inst.kcenter_cost(&centers);
     Ok(KCenterSolution {

@@ -17,6 +17,7 @@
 use crate::kcenter::parallel_kcenter;
 use parfaclo_matrixops::{CostMeter, CostReport, ExecPolicy};
 use parfaclo_metric::{ClusterInstance, DistanceOracle, NodeId};
+use parfaclo_trace as trace;
 use rayon::prelude::*;
 
 /// Which objective the local search optimises.
@@ -270,6 +271,8 @@ pub fn parallel_local_search(
                 cost = new_cost;
                 rounds += 1;
                 meter.add_round();
+                // Swap-round frontier = candidate nodes the sweep evaluated.
+                trace::round(rounds as u64, || candidates.len() as u64, &meter);
             }
             _ => break,
         }

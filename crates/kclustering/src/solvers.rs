@@ -10,6 +10,7 @@ use crate::local_search::{parallel_local_search, ClusterObjective, LocalSearchCo
 use parfaclo_api::{ProblemKind, Run, RunConfig, Solver};
 use parfaclo_metric::coreset::{build_coreset, coreset_instance, Coreset, GridCoreset};
 use parfaclo_metric::ClusterInstance;
+use parfaclo_trace as trace;
 
 /// Largest instance the direct (non-coreset) local search accepts: the swap
 /// sweep is `O(n² k)` per round, so past this point the run would take hours
@@ -87,15 +88,22 @@ impl Solver for KCenterSolver {
 
     fn solve(&self, inst: &ClusterInstance, cfg: &RunConfig) -> Result<Run, String> {
         if let Coreset::Eps(eps) = cfg.coreset {
-            let (cs, sub) = coreset_for(Solver::name(self), inst, eps, cfg.k)?;
-            let sol = parallel_kcenter_derived(
-                &sub,
-                cfg.k,
-                cfg.seed,
-                cfg.policy,
-                cfg.graph,
-                cfg.radius_deriver,
-            )?;
+            let (cs, sub) = {
+                let _span = trace::span("coreset-build", None);
+                coreset_for(Solver::name(self), inst, eps, cfg.k)?
+            };
+            let sol = {
+                let _span = trace::span("sub-solve", None);
+                parallel_kcenter_derived(
+                    &sub,
+                    cfg.k,
+                    cfg.seed,
+                    cfg.policy,
+                    cfg.graph,
+                    cfg.radius_deriver,
+                )?
+            };
+            let sweep_span = trace::span("full-sweep", None);
             // Coreset cell indices are assigned in ascending representative
             // order, so this mapping preserves the sorted-centers invariant.
             let centers: Vec<usize> = sol
@@ -111,6 +119,7 @@ impl Solver for KCenterSolver {
                 radius = radius.max(d);
                 assignment.push(ctr);
             }
+            drop(sweep_span);
             // No `with_lower_bound`: the sub-instance's certified threshold
             // bounds the coreset optimum, not the full-set optimum.
             return Ok(Run::new(Solver::name(self), ProblemKind::KClustering)
@@ -137,7 +146,10 @@ impl Solver for KCenterSolver {
             cfg.graph,
             cfg.radius_deriver,
         )?;
-        let assignment = inst.center_assignment(&sol.centers);
+        let assignment = {
+            let _span = trace::span("full-sweep", None);
+            inst.center_assignment(&sol.centers)
+        };
         Ok(Run::new(Solver::name(self), ProblemKind::KClustering)
             .with_guarantee(Solver::guarantee(self))
             .with_instance_size(inst.n(), inst.n() * inst.n())
@@ -172,9 +184,16 @@ fn local_search_run(
     cfg: &RunConfig,
 ) -> Result<Run, String> {
     if let Coreset::Eps(eps) = cfg.coreset {
-        let (cs, sub) = coreset_for(Solver::name(solver), inst, eps, cfg.k)?;
+        let (cs, sub) = {
+            let _span = trace::span("coreset-build", None);
+            coreset_for(Solver::name(solver), inst, eps, cfg.k)?
+        };
         let ls_cfg = LocalSearchConfig::from(cfg);
-        let sol = parallel_local_search(&sub, cfg.k, objective, &ls_cfg);
+        let sol = {
+            let _span = trace::span("sub-solve", None);
+            parallel_local_search(&sub, cfg.k, objective, &ls_cfg)
+        };
+        let sweep_span = trace::span("full-sweep", None);
         // Coreset cell indices are assigned in ascending representative
         // order, so this mapping preserves the sorted-centers invariant.
         let centers: Vec<usize> = sol
@@ -195,6 +214,7 @@ fn local_search_run(
                 };
             assignment.push(ctr);
         }
+        drop(sweep_span);
         return Ok(Run::new(Solver::name(solver), ProblemKind::KClustering)
             .with_guarantee(Solver::guarantee(solver))
             .with_instance_size(inst.n(), inst.n() * inst.n())
@@ -219,8 +239,14 @@ fn local_search_run(
         ));
     }
     let ls_cfg = LocalSearchConfig::from(cfg);
-    let sol = parallel_local_search(inst, cfg.k, objective, &ls_cfg);
-    let assignment = inst.center_assignment(&sol.centers);
+    let sol = {
+        let _span = trace::span("swap-search", None);
+        parallel_local_search(inst, cfg.k, objective, &ls_cfg)
+    };
+    let assignment = {
+        let _span = trace::span("full-sweep", None);
+        inst.center_assignment(&sol.centers)
+    };
     Ok(Run::new(Solver::name(solver), ProblemKind::KClustering)
         .with_guarantee(Solver::guarantee(solver))
         .with_instance_size(inst.n(), inst.n() * inst.n())

@@ -88,6 +88,15 @@ impl CostMeter {
         }
     }
 
+    /// Counter delta accumulated since the `earlier` snapshot was taken
+    /// from this meter. The span-instrumentation idiom: snapshot at span
+    /// open, `delta_since` at span close — nested spans each see exactly
+    /// the work charged between their own endpoints, so nothing is
+    /// double-counted however deeply spans nest.
+    pub fn delta_since(&self, earlier: &CostReport) -> CostReport {
+        self.report().since(earlier)
+    }
+
     /// Resets all counters to zero.
     pub fn reset(&self) {
         self.element_ops.store(0, Ordering::Relaxed);
@@ -140,6 +149,34 @@ mod tests {
         assert_eq!(delta.element_ops, 50);
         m.reset();
         assert_eq!(m.report(), CostReport::default());
+    }
+
+    #[test]
+    fn delta_since_does_not_double_count_under_nesting() {
+        // Simulated nested spans: outer snapshots, inner snapshots, work
+        // happens at every level; each level's delta covers exactly the
+        // charges between its own snapshot and its close.
+        let m = CostMeter::new();
+        m.add_work(3); // before any span
+        let outer_open = m.report();
+        m.add_work(5);
+        let inner_open = m.report();
+        m.add_primitive(100);
+        m.add_round();
+        let inner_delta = m.delta_since(&inner_open);
+        assert_eq!(inner_delta.element_ops, 100);
+        assert_eq!(inner_delta.primitive_calls, 1);
+        assert_eq!(inner_delta.rounds, 1);
+        m.add_work(7);
+        let outer_delta = m.delta_since(&outer_open);
+        assert_eq!(
+            outer_delta.element_ops,
+            5 + 100 + 7,
+            "outer delta is inclusive of the inner span, counted once"
+        );
+        assert_eq!(outer_delta.primitive_calls, 1);
+        // The work outside both spans is attributed to neither.
+        assert_eq!(m.report().element_ops, 3 + 5 + 100 + 7);
     }
 
     #[test]

@@ -777,6 +777,9 @@ impl PartialEq for SpatialOracle {
 impl SpatialOracle {
     /// Builds the indexes around an existing implicit metric.
     pub fn from_implicit(metric: ImplicitMetric) -> Self {
+        // Index construction is the dominant cost of the spatial backend's
+        // build path, so it gets its own phase under an installed tracer.
+        let _span = parfaclo_trace::timing_span("spatial-index");
         // `SpatialMetric` *is* `DistanceKind` (one shared kernel type), so
         // the kind flows straight into the index.
         let kind = metric.kind();
